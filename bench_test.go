@@ -1,0 +1,451 @@
+package segdb
+
+// Benchmarks mirroring every table and figure of the paper's evaluation
+// (§6). Each benchmark regenerates the corresponding measurement on a
+// reduced county (so iterations complete quickly) and reports the paper's
+// metrics — disk accesses, segment comparisons, bounding box/bucket
+// computations — via b.ReportMetric alongside wall-clock time. The
+// full-size runs that EXPERIMENTS.md records come from cmd/experiments.
+
+import (
+	"sync"
+	"testing"
+
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/harness"
+	"segdb/internal/pmr"
+	"segdb/internal/rstar"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+	"segdb/internal/tiger"
+)
+
+// benchSpec is a mid-size rural county (~12k segments): large enough for
+// height-3/4 structures, small enough to rebuild inside a benchmark loop.
+var benchSpec = tiger.Spec{
+	Name: "bench-rural", Kind: tiger.Rural, Seed: 4242,
+	Lattice: 15, SubdivMin: 25, SubdivMax: 35, DeleteFrac: 0.2,
+}
+
+// benchUrbanSpec contrasts the distribution-sensitivity benchmarks.
+var benchUrbanSpec = tiger.Spec{
+	Name: "bench-urban", Kind: tiger.Urban, Seed: 4243,
+	Lattice: 64, SubdivMin: 1, SubdivMax: 2, DeleteFrac: 0.1,
+}
+
+var (
+	benchOnce   sync.Once
+	benchMap    *tiger.Map
+	benchUrban  *tiger.Map
+	benchBuilt  map[harness.Structure]core.Index
+	benchLoad   *harness.Workload
+	benchSetupE error
+)
+
+func benchSetup(b *testing.B) (*tiger.Map, map[harness.Structure]core.Index, *harness.Workload) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchMap, benchSetupE = tiger.Generate(benchSpec)
+		if benchSetupE != nil {
+			return
+		}
+		benchUrban, benchSetupE = tiger.Generate(benchUrbanSpec)
+		if benchSetupE != nil {
+			return
+		}
+		benchBuilt = make(map[harness.Structure]core.Index)
+		for _, s := range harness.Core() {
+			ix, _, err := harness.Build(s, benchMap, harness.DefaultOptions())
+			if err != nil {
+				benchSetupE = err
+				return
+			}
+			benchBuilt[s] = ix
+		}
+		benchLoad, benchSetupE = harness.NewWorkload(
+			benchMap, benchBuilt[harness.PMR].(*pmr.Tree), 512, 1234)
+	})
+	if benchSetupE != nil {
+		b.Fatal(benchSetupE)
+	}
+	return benchMap, benchBuilt, benchLoad
+}
+
+// BenchmarkTable1Build regenerates Table 1's build statistics: one
+// sub-benchmark per structure, reporting size and disk accesses.
+func BenchmarkTable1Build(b *testing.B) {
+	m, _, _ := benchSetup(b)
+	for _, s := range harness.Core() {
+		b.Run(s.String(), func(b *testing.B) {
+			var last harness.BuildResult
+			for i := 0; i < b.N; i++ {
+				_, br, err := harness.Build(s, m, harness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = br
+			}
+			b.ReportMetric(float64(last.SizeBytes)/1024, "KB")
+			b.ReportMetric(float64(last.DiskAccesses), "disk-accesses")
+			b.ReportMetric(last.AvgLeafOccupancy, "segs/page")
+		})
+	}
+}
+
+// BenchmarkFigure6PageSweep regenerates Figure 6: build disk accesses as
+// the page size and buffer pool vary, for the R+-tree and PMR quadtree.
+func BenchmarkFigure6PageSweep(b *testing.B) {
+	m, _, _ := benchSetup(b)
+	for _, cfg := range []struct{ page, pool int }{
+		{512, 8}, {1024, 16}, {2048, 32}, {4096, 64},
+	} {
+		for _, s := range []harness.Structure{harness.RPlus, harness.PMR} {
+			b.Run(benchName(s.String(), cfg.page, cfg.pool), func(b *testing.B) {
+				opts := harness.DefaultOptions()
+				opts.PageSize = cfg.page
+				opts.PoolPages = cfg.pool
+				var acc uint64
+				for i := 0; i < b.N; i++ {
+					_, br, err := harness.Build(s, m, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = br.DiskAccesses
+				}
+				b.ReportMetric(float64(acc), "disk-accesses")
+			})
+		}
+	}
+}
+
+func benchName(s string, page, pool int) string {
+	return s + "/page=" + itoa(page) + "/pool=" + itoa(pool)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkTable2Queries regenerates Table 2: per-query cost of the seven
+// query variants on each structure, reporting the paper's three counters
+// per operation.
+func BenchmarkTable2Queries(b *testing.B) {
+	_, built, wl := benchSetup(b)
+	type op func(ix core.Index, i int) error
+	sink := func(SegmentID, Segment) bool { return true }
+	ops := []struct {
+		kind harness.QueryKind
+		run  op
+	}{
+		{harness.Point1, func(ix core.Index, i int) error {
+			return core.IncidentAt(ix, wl.EndpointPts[i%len(wl.EndpointPts)], sink)
+		}},
+		{harness.Point2, func(ix core.Index, i int) error {
+			j := i % len(wl.EndpointSegs)
+			return core.OtherEndpoint(ix, wl.EndpointSegs[j], wl.EndpointPts[j], sink)
+		}},
+		{harness.Nearest2Stage, func(ix core.Index, i int) error {
+			_, err := ix.Nearest(wl.TwoStage[i%len(wl.TwoStage)])
+			return err
+		}},
+		{harness.Nearest1Stage, func(ix core.Index, i int) error {
+			_, err := ix.Nearest(wl.OneStage[i%len(wl.OneStage)])
+			return err
+		}},
+		{harness.Polygon2Stage, func(ix core.Index, i int) error {
+			_, err := core.EnclosingPolygon(ix, wl.TwoStage[i%len(wl.TwoStage)])
+			return err
+		}},
+		{harness.Polygon1Stage, func(ix core.Index, i int) error {
+			_, err := core.EnclosingPolygon(ix, wl.OneStage[i%len(wl.OneStage)])
+			return err
+		}},
+		{harness.Range, func(ix core.Index, i int) error {
+			return ix.Window(wl.Windows[i%len(wl.Windows)], sink)
+		}},
+	}
+	for _, s := range harness.Core() {
+		for _, o := range ops {
+			b.Run(s.String()+"/"+o.kind.String(), func(b *testing.B) {
+				ix := built[s]
+				before := core.Snapshot(ix)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := o.run(ix, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				d := core.Snapshot(ix).Sub(before)
+				n := float64(b.N)
+				b.ReportMetric(float64(d.DiskAccesses)/n, "disk-accesses/op")
+				b.ReportMetric(float64(d.SegComps)/n, "seg-comps/op")
+				b.ReportMetric(float64(d.NodeComps)/n, "bbox-comps/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7BBoxComputations regenerates Figure 7's quantity — the
+// bounding box computations of the R-tree variants (with the PMR bucket
+// computations reported for the two-orders-of-magnitude contrast the
+// paper describes).
+func BenchmarkFigure7BBoxComputations(b *testing.B) {
+	_, built, wl := benchSetup(b)
+	for _, s := range []harness.Structure{harness.RStar, harness.RPlus, harness.PMR} {
+		b.Run(s.String(), func(b *testing.B) {
+			ix := built[s]
+			before := ix.NodeComps()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Nearest(wl.TwoStage[i%len(wl.TwoStage)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ix.NodeComps()-before)/float64(b.N), "bbox-comps/op")
+		})
+	}
+}
+
+// BenchmarkFigure8DiskAccesses regenerates Figure 8's quantity — relative
+// disk accesses per query, normalized offline against the PMR column.
+func BenchmarkFigure8DiskAccesses(b *testing.B) {
+	_, built, wl := benchSetup(b)
+	for _, s := range harness.Core() {
+		b.Run(s.String(), func(b *testing.B) {
+			ix := built[s]
+			before := core.Snapshot(ix)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ix.Window(wl.Windows[i%len(wl.Windows)], func(SegmentID, Segment) bool { return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := core.Snapshot(ix).Sub(before)
+			b.ReportMetric(float64(d.DiskAccesses)/float64(b.N), "disk-accesses/op")
+		})
+	}
+}
+
+// BenchmarkFigure9SegmentComparisons regenerates Figure 9's quantity —
+// segment comparisons per query (nearest-line, where the PMR quadtree's
+// spatial sort gives it the paper's decisive advantage).
+func BenchmarkFigure9SegmentComparisons(b *testing.B) {
+	_, built, wl := benchSetup(b)
+	for _, s := range harness.Core() {
+		b.Run(s.String(), func(b *testing.B) {
+			ix := built[s]
+			before := ix.Table().Comparisons()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Nearest(wl.TwoStage[i%len(wl.TwoStage)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ix.Table().Comparisons()-before)/float64(b.N), "seg-comps/op")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the PMR splitting threshold (§3: as
+// the threshold rises, storage falls and query work rises).
+func BenchmarkAblationThreshold(b *testing.B) {
+	m, _, wl := benchSetup(b)
+	for _, th := range []int{2, 4, 16, 64} {
+		b.Run("threshold="+itoa(th), func(b *testing.B) {
+			opts := harness.DefaultOptions()
+			opts.PMRThreshold = th
+			ix, br, err := harness.Build(harness.PMR, m, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := core.Snapshot(ix)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Nearest(wl.TwoStage[i%len(wl.TwoStage)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			d := core.Snapshot(ix).Sub(before)
+			b.ReportMetric(float64(br.SizeBytes)/1024, "KB")
+			b.ReportMetric(float64(d.SegComps)/float64(b.N), "seg-comps/op")
+		})
+	}
+}
+
+// BenchmarkAblationReinsert contrasts the R*-tree build with and without
+// forced reinsertion (the "computationally expensive node overflow
+// technique" of §6).
+func BenchmarkAblationReinsert(b *testing.B) {
+	m, _, _ := benchSetup(b)
+	for _, disable := range []bool{false, true} {
+		name := "reinsert-on"
+		if disable {
+			name = "reinsert-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := harness.DefaultOptions()
+			opts.DisableReinsert = disable
+			var br harness.BuildResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, br, err = harness.Build(harness.RStar, m, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(br.SizeBytes)/1024, "KB")
+			b.ReportMetric(float64(br.DiskAccesses), "disk-accesses")
+		})
+	}
+}
+
+// BenchmarkAblationGridVsPMR contrasts the uniform grid with the PMR
+// quadtree on urban (clustered) vs the benchmark rural data — the §2
+// motivation for the adaptive decomposition.
+func BenchmarkAblationGridVsPMR(b *testing.B) {
+	_, _, wl := benchSetup(b)
+	for _, tc := range []struct {
+		name string
+		m    *tiger.Map
+	}{
+		{"rural", benchMap},
+		{"urban", benchUrban},
+	} {
+		for _, s := range []harness.Structure{harness.UniformGrid, harness.PMR} {
+			b.Run(tc.name+"/"+s.String(), func(b *testing.B) {
+				ix, br, err := harness.Build(s, tc.m, harness.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				before := core.Snapshot(ix)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p := wl.OneStage[i%len(wl.OneStage)]
+					if _, err := ix.Nearest(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				d := core.Snapshot(ix).Sub(before)
+				b.ReportMetric(float64(br.SizeBytes)/1024, "KB")
+				b.ReportMetric(float64(d.DiskAccesses)/float64(b.N), "disk-accesses/op")
+			})
+		}
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end (quickstart shape).
+func BenchmarkPublicAPI(b *testing.B) {
+	db, err := Open(PMRQuadtree, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, _, _ := benchSetup(b)
+	for _, s := range m.Segments[:5000] {
+		if _, err := db.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pts := make([]geom.Point, 64)
+	for i := range pts {
+		pts[i] = m.Segments[i*37].P1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Nearest(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBulkLoad contrasts one-at-a-time insertion (what
+// Table 1 measures) with Sort-Tile-Recursive packing.
+func BenchmarkAblationBulkLoad(b *testing.B) {
+	m, _, _ := benchSetup(b)
+	b.Run("incremental", func(b *testing.B) {
+		var br harness.BuildResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, br, err = harness.Build(harness.RStar, m, harness.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(br.DiskAccesses), "disk-accesses")
+		b.ReportMetric(float64(br.SizeBytes)/1024, "KB")
+	})
+	b.Run("str-packed", func(b *testing.B) {
+		var accesses uint64
+		var size int64
+		for i := 0; i < b.N; i++ {
+			table := seg.NewTable(1024, 16)
+			ids := make([]seg.ID, len(m.Segments))
+			for j, s := range m.Segments {
+				ids[j], _ = table.Append(s)
+			}
+			pool := store.NewPool(store.NewDisk(1024), 16)
+			tree, err := rstar.BulkLoad(pool, table, rstar.DefaultConfig(), ids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses = tree.DiskStats().Accesses()
+			size = tree.SizeBytes()
+		}
+		b.ReportMetric(float64(accesses), "disk-accesses")
+		b.ReportMetric(float64(size)/1024, "KB")
+	})
+}
+
+// BenchmarkOverlayJoin contrasts the PMR merge join with the index
+// nested-loop join on two mid-size maps (the §7 composition claim).
+func BenchmarkOverlayJoin(b *testing.B) {
+	m, built, _ := benchSetup(b)
+	other, err := tiger.Generate(tiger.Spec{
+		Name: "bench-other", Kind: tiger.Suburban, Seed: 777,
+		Lattice: 24, SubdivMin: 2, SubdivMax: 4, DeleteFrac: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmrA := built[harness.PMR].(*pmr.Tree)
+	pmrB, _, err := harness.Build(harness.PMR, other, harness.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := func(seg.ID, seg.ID, geom.Segment, geom.Segment) bool { return true }
+	b.Run("pmr-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := pmr.Join(pmrA, pmrB.(*pmr.Tree), sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rstarB, _, err := harness.Build(harness.RStar, other, harness.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("nested-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := core.JoinNestedLoop(built[harness.RStar], rstarB, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = m
+}

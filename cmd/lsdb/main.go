@@ -1,0 +1,220 @@
+// Command lsdb is an interactive front end to the segdb line segment
+// database: generate synthetic counties, build any of the six indexes,
+// and run the paper's five queries against them with full cost accounting.
+//
+// Usage:
+//
+//	lsdb counties
+//	lsdb build   -county Baltimore -index pmr
+//	lsdb query   -county Baltimore -index pmr -type nearest -x 8000 -y 8000
+//	lsdb query   -county Charles   -index rstar -type polygon -x 4000 -y 9000
+//	lsdb query   -county Cecil     -index rplus -type window -x 100 -y 100 -w 164 -h 164
+//	lsdb query   -county Garrett   -index grid  -type incident -x 8000 -y 8000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"segdb"
+)
+
+var indexKinds = map[string]segdb.Kind{
+	"rstar": segdb.RStarTree,
+	"rtree": segdb.ClassicRTree,
+	"rplus": segdb.RPlusTree,
+	"pmr":   segdb.PMRQuadtree,
+	"kdb":   segdb.KDBTree,
+	"grid":  segdb.UniformGrid,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "counties":
+		err = counties()
+	case "build":
+		err = build(os.Args[2:])
+	case "query":
+		err = query(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lsdb counties
+  lsdb build -county NAME -index rstar|rtree|rplus|pmr|kdb|grid [-save FILE]
+  lsdb query -county NAME -index KIND -type nearest|polygon|window|incident -x X -y Y [-w W -h H] [-load FILE]`)
+}
+
+func counties() error {
+	fmt.Printf("%-14s %-10s %s\n", "county", "class", "segments")
+	for _, name := range segdb.CountyNames() {
+		m, err := segdb.GenerateCounty(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-10s %d\n", m.Name, m.Class, len(m.Segments))
+	}
+	return nil
+}
+
+func load(county, index string) (*segdb.DB, error) {
+	kind, ok := indexKinds[index]
+	if !ok {
+		return nil, fmt.Errorf("unknown index %q (want rstar|rtree|rplus|pmr|kdb|grid)", index)
+	}
+	m, err := segdb.GenerateCounty(county)
+	if err != nil {
+		return nil, err
+	}
+	db, err := segdb.Open(kind, nil)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := db.Load(m); err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded %d segments of %s into a %v in %v\n",
+		db.Len(), county, kind, time.Since(start).Round(time.Millisecond))
+	return db, nil
+}
+
+func build(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	county := fs.String("county", "Charles", "county name")
+	index := fs.String("index", "pmr", "index kind")
+	save := fs.String("save", "", "write the built database to this file")
+	fs.Parse(args)
+	db, err := load(*county, *index)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index size: %d KB, segment table: %d KB\n",
+		db.IndexSizeBytes()/1024, db.TableSizeBytes()/1024)
+	m := db.Metrics()
+	fmt.Printf("build cost: %d disk accesses, %d segment fetches\n", m.DiskAccesses, m.SegComps)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := db.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st, _ := os.Stat(*save)
+		fmt.Printf("saved to %s (%d KB)\n", *save, st.Size()/1024)
+	}
+	return nil
+}
+
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	county := fs.String("county", "Charles", "county name")
+	index := fs.String("index", "pmr", "index kind")
+	qtype := fs.String("type", "nearest", "nearest|polygon|window|incident")
+	x := fs.Int("x", 8192, "query x coordinate")
+	y := fs.Int("y", 8192, "query y coordinate")
+	w := fs.Int("w", 164, "window width (window query)")
+	h := fs.Int("h", 164, "window height (window query)")
+	file := fs.String("load", "", "open a saved database instead of building one")
+	fs.Parse(args)
+
+	var db *segdb.DB
+	var err error
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			return ferr
+		}
+		db, err = segdb.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("opened %s: %v with %d segments\n", *file, db.Kind(), db.Len())
+	} else {
+		db, err = load(*county, *index)
+		if err != nil {
+			return err
+		}
+	}
+	p := segdb.Pt(int32(*x), int32(*y))
+	var qerr error
+	cost, err := db.Measure(func() error {
+		switch *qtype {
+		case "nearest":
+			res, err := db.Nearest(p)
+			if err != nil {
+				return err
+			}
+			if !res.Found {
+				fmt.Println("no segments in the database")
+				return nil
+			}
+			fmt.Printf("nearest segment #%d: %v (distance %.2f)\n",
+				res.ID, res.Seg, math.Sqrt(res.DistSq))
+		case "polygon":
+			poly, err := db.EnclosingPolygon(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("enclosing polygon has %d boundary segments", poly.Size())
+			if poly.Size() <= 16 {
+				fmt.Printf(": %v", poly.IDs)
+			}
+			fmt.Println()
+		case "window":
+			r := segdb.RectOf(int32(*x), int32(*y), int32(*x+*w-1), int32(*y+*h-1))
+			count := 0
+			if err := db.Window(r, func(segdb.SegmentID, segdb.Segment) bool {
+				count++
+				return true
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("%d segments intersect window %v\n", count, r)
+		case "incident":
+			count := 0
+			if err := db.IncidentAt(p, func(id segdb.SegmentID, s segdb.Segment) bool {
+				count++
+				fmt.Printf("  segment #%d: %v\n", id, s)
+				return true
+			}); err != nil {
+				return err
+			}
+			fmt.Printf("%d segments incident at %v\n", count, p)
+		default:
+			qerr = fmt.Errorf("unknown query type %q", *qtype)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if qerr != nil {
+		return qerr
+	}
+	fmt.Printf("cost: %d disk accesses, %d segment comparisons, %d bbox/bucket computations\n",
+		cost.DiskAccesses, cost.SegComps, cost.NodeComps)
+	return nil
+}

@@ -1,0 +1,3 @@
+module segdb
+
+go 1.22

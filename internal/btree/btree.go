@@ -1,0 +1,590 @@
+// Package btree implements a disk-based B+-tree over uint64 keys with
+// optional fixed-size values.
+//
+// It is the storage substrate for the linear PMR quadtree of §4 of the
+// paper: each PMR q-edge is an 8-byte key combining the block's locational
+// code and the segment pointer, stored in key order so that all q-edges of
+// one quadtree block (and of all blocks nested inside it) occupy a
+// contiguous key range. Nodes are serialized into fixed-size pages behind
+// the shared LRU buffer pool, so every structural operation is charged
+// realistic disk accesses.
+//
+// A tree may be created with a fixed per-key value size (NewWithValues);
+// the PMR variant discussed in §6 of the paper — storing a small bounding
+// rectangle with every q-edge so that segment fetches can be filtered —
+// uses an 8-byte value, turning the 2-tuples into the paper's "3-tuples".
+package btree
+
+import (
+	"errors"
+	"fmt"
+
+	"segdb/internal/store"
+)
+
+// ErrDuplicate is returned by Insert when the key is already present.
+var ErrDuplicate = errors.New("btree: duplicate key")
+
+// ErrNotFound is returned by Delete when the key is absent.
+var ErrNotFound = errors.New("btree: key not found")
+
+const headerSize = 8
+
+// Tree is a disk-resident B+-tree. Keys are unique uint64s; each key may
+// carry a fixed-size opaque value.
+type Tree struct {
+	pool        *store.Pool
+	root        store.PageID
+	height      int // 1 = root is a leaf
+	count       int
+	valSize     int
+	leafCap     int // max keys in a leaf
+	internalCap int // max separator keys in an internal node
+}
+
+// New creates an empty tree with bare keys (no values).
+func New(pool *store.Pool) (*Tree, error) { return NewWithValues(pool, 0) }
+
+// NewWithValues creates an empty tree whose leaf entries each carry
+// valueSize bytes of payload alongside the key.
+func NewWithValues(pool *store.Pool, valueSize int) (*Tree, error) {
+	if valueSize < 0 || valueSize > pool.PageSize()/4 {
+		return nil, fmt.Errorf("btree: invalid value size %d", valueSize)
+	}
+	t := &Tree{
+		pool:        pool,
+		valSize:     valueSize,
+		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
+		internalCap: (pool.PageSize() - headerSize) / 12,
+	}
+	if t.leafCap < 3 || t.internalCap < 3 {
+		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
+	}
+	id, data, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	writeNode(data, &node{leaf: true, next: store.NilPage}, valueSize)
+	pool.Unpin(id, true)
+	t.root = id
+	t.height = 1
+	return t, nil
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// LeafCapacity returns the maximum number of keys per leaf page.
+func (t *Tree) LeafCapacity() int { return t.leafCap }
+
+// ValueSize returns the per-key payload size in bytes.
+func (t *Tree) ValueSize() int { return t.valSize }
+
+// Pool returns the buffer pool backing the tree.
+func (t *Tree) Pool() *store.Pool { return t.pool }
+
+// node is the decoded in-memory form of a page.
+type node struct {
+	leaf     bool
+	keys     []uint64
+	vals     []byte         // leaf only: len(keys)*valSize payload bytes
+	children []store.PageID // internal only; len(children) == len(keys)+1
+	next     store.PageID   // leaf only: right sibling
+}
+
+// val returns the payload slice of leaf entry i.
+func (n *node) val(i, valSize int) []byte {
+	if valSize == 0 {
+		return nil
+	}
+	return n.vals[i*valSize : (i+1)*valSize]
+}
+
+// insertVal inserts v (padded/truncated to valSize) at entry position i.
+func (n *node) insertVal(i, valSize int, v []byte) {
+	if valSize == 0 {
+		return
+	}
+	buf := make([]byte, valSize)
+	copy(buf, v)
+	n.vals = append(n.vals, buf...) // grow
+	copy(n.vals[(i+1)*valSize:], n.vals[i*valSize:])
+	copy(n.vals[i*valSize:], buf)
+}
+
+// removeVal deletes the payload of entry i.
+func (n *node) removeVal(i, valSize int) {
+	if valSize == 0 {
+		return
+	}
+	n.vals = append(n.vals[:i*valSize], n.vals[(i+1)*valSize:]...)
+}
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key uint64) (bool, error) {
+	found := false
+	err := t.Scan(key, key+1, func(uint64) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// Get returns the value stored with key. ok is false when the key is
+// absent. For zero-value trees it reports presence with an empty value.
+func (t *Tree) Get(key uint64) (val []byte, ok bool, err error) {
+	err = t.ScanValues(key, key+1, func(_ uint64, v []byte) bool {
+		val = append([]byte(nil), v...)
+		ok = true
+		return false
+	})
+	return val, ok, err
+}
+
+// Insert adds a bare key. It returns ErrDuplicate if the key exists.
+func (t *Tree) Insert(key uint64) error { return t.InsertValue(key, nil) }
+
+// InsertValue adds a key with its payload (padded or truncated to the
+// tree's value size). It returns ErrDuplicate if the key already exists.
+func (t *Tree) InsertValue(key uint64, val []byte) error {
+	sep, right, split, err := t.insert(t.root, t.height, key, val)
+	if err != nil {
+		return err
+	}
+	if split {
+		id, data, err := t.pool.Allocate()
+		if err != nil {
+			return err
+		}
+		writeNode(data, &node{
+			keys:     []uint64{sep},
+			children: []store.PageID{t.root, right},
+		}, t.valSize)
+		t.pool.Unpin(id, true)
+		t.root = id
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+// insert descends to the leaf, inserts, and splits on the way back up.
+func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep uint64, right store.PageID, split bool, err error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return 0, store.NilPage, false, err
+	}
+	n := readNode(data, t.valSize)
+	if level == 1 { // leaf
+		i := lowerBound(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			t.pool.Unpin(id, false)
+			return 0, store.NilPage, false, ErrDuplicate
+		}
+		n.keys = insertAt(n.keys, i, key)
+		n.insertVal(i, t.valSize, val)
+		if len(n.keys) <= t.leafCap {
+			writeNode(data, n, t.valSize)
+			t.pool.Unpin(id, true)
+			return 0, store.NilPage, false, nil
+		}
+		// Split the leaf: right half moves to a new page.
+		mid := len(n.keys) / 2
+		rn := &node{
+			leaf: true,
+			keys: append([]uint64(nil), n.keys[mid:]...),
+			next: n.next,
+		}
+		if t.valSize > 0 {
+			rn.vals = append([]byte(nil), n.vals[mid*t.valSize:]...)
+		}
+		rid, rdata, err := t.pool.Allocate()
+		if err != nil {
+			t.pool.Unpin(id, false)
+			return 0, store.NilPage, false, err
+		}
+		writeNode(rdata, rn, t.valSize)
+		t.pool.Unpin(rid, true)
+		n.keys = n.keys[:mid]
+		if t.valSize > 0 {
+			n.vals = n.vals[:mid*t.valSize]
+		}
+		n.next = rid
+		writeNode(data, n, t.valSize)
+		t.pool.Unpin(id, true)
+		return rn.keys[0], rid, true, nil
+	}
+	// Internal node: descend into the child for key.
+	ci := upperBound(n.keys, key)
+	child := n.children[ci]
+	t.pool.Unpin(id, false) // release during recursion; re-fetch if child split
+	csep, cright, csplit, err := t.insert(child, level-1, key, val)
+	if err != nil {
+		return 0, store.NilPage, false, err
+	}
+	if !csplit {
+		return 0, store.NilPage, false, nil
+	}
+	data, err = t.pool.Get(id)
+	if err != nil {
+		return 0, store.NilPage, false, err
+	}
+	n = readNode(data, t.valSize)
+	i := upperBound(n.keys, csep)
+	n.keys = insertAt(n.keys, i, csep)
+	n.children = insertChildAt(n.children, i+1, cright)
+	if len(n.keys) <= t.internalCap {
+		writeNode(data, n, t.valSize)
+		t.pool.Unpin(id, true)
+		return 0, store.NilPage, false, nil
+	}
+	// Split the internal node: the middle key moves up.
+	mid := len(n.keys) / 2
+	sep = n.keys[mid]
+	rn := &node{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]store.PageID(nil), n.children[mid+1:]...),
+	}
+	rid, rdata, err := t.pool.Allocate()
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return 0, store.NilPage, false, err
+	}
+	writeNode(rdata, rn, t.valSize)
+	t.pool.Unpin(rid, true)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	writeNode(data, n, t.valSize)
+	t.pool.Unpin(id, true)
+	return sep, rid, true, nil
+}
+
+// Scan visits the keys in [lo, hi) in ascending order, stopping early when
+// visit returns false.
+func (t *Tree) Scan(lo, hi uint64, visit func(key uint64) bool) error {
+	return t.ScanValues(lo, hi, func(k uint64, _ []byte) bool { return visit(k) })
+}
+
+// ScanValues visits the keys in [lo, hi) with their payloads. The value
+// slice aliases an internal buffer valid only during the callback.
+func (t *Tree) ScanValues(lo, hi uint64, visit func(key uint64, val []byte) bool) error {
+	if hi <= lo {
+		return nil
+	}
+	// Descend to the leaf that would contain lo.
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		data, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(data, t.valSize)
+		next := n.children[upperBound(n.keys, lo)]
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	// Walk the leaf chain.
+	for id != store.NilPage {
+		data, err := t.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		n := readNode(data, t.valSize)
+		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
+			if n.keys[i] >= hi {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+			if !visit(n.keys[i], n.val(i, t.valSize)) {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		next := n.next
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// CountRange returns the number of keys in [lo, hi).
+func (t *Tree) CountRange(lo, hi uint64) (int, error) {
+	n := 0
+	err := t.Scan(lo, hi, func(uint64) bool { n++; return true })
+	return n, err
+}
+
+// Delete removes a key, rebalancing as needed. It returns ErrNotFound if
+// the key is absent.
+func (t *Tree) Delete(key uint64) error {
+	if err := t.delete(t.root, t.height, key); err != nil {
+		return err
+	}
+	t.count--
+	// Collapse the root when it has a single child.
+	for t.height > 1 {
+		data, err := t.pool.Get(t.root)
+		if err != nil {
+			return err
+		}
+		n := readNode(data, t.valSize)
+		if len(n.keys) > 0 {
+			t.pool.Unpin(t.root, false)
+			break
+		}
+		child := n.children[0]
+		t.pool.Unpin(t.root, false)
+		t.pool.Free(t.root)
+		t.root = child
+		t.height--
+	}
+	return nil
+}
+
+func (t *Tree) minKeys(level int) int {
+	if level == 1 {
+		return t.leafCap / 2
+	}
+	return t.internalCap / 2
+}
+
+// delete removes key from the subtree rooted at id. Parents repair child
+// underflows after the recursive call returns.
+func (t *Tree) delete(id store.PageID, level int, key uint64) error {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	n := readNode(data, t.valSize)
+	if level == 1 {
+		i := lowerBound(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			t.pool.Unpin(id, false)
+			return ErrNotFound
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.removeVal(i, t.valSize)
+		writeNode(data, n, t.valSize)
+		t.pool.Unpin(id, true)
+		return nil
+	}
+	ci := upperBound(n.keys, key)
+	child := n.children[ci]
+	t.pool.Unpin(id, false)
+	if err := t.delete(child, level-1, key); err != nil {
+		return err
+	}
+	return t.fixChild(id, level, ci)
+}
+
+// fixChild rebalances child ci of internal node id if it underflowed.
+func (t *Tree) fixChild(id store.PageID, level, ci int) error {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	n := readNode(data, t.valSize)
+	child := n.children[ci]
+	cdata, err := t.pool.Get(child)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return err
+	}
+	cn := readNode(cdata, t.valSize)
+	if len(cn.keys) >= t.minKeys(level-1) {
+		t.pool.Unpin(child, false)
+		t.pool.Unpin(id, false)
+		return nil
+	}
+	// Prefer borrowing from the left sibling, then the right; merge
+	// otherwise. All siblings share parent id.
+	if ci > 0 {
+		left := n.children[ci-1]
+		ldata, err := t.pool.Get(left)
+		if err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+		ln := readNode(ldata, t.valSize)
+		if len(ln.keys) > t.minKeys(level-1) {
+			if cn.leaf {
+				last := len(ln.keys) - 1
+				cn.keys = insertAt(cn.keys, 0, ln.keys[last])
+				cn.insertVal(0, t.valSize, ln.val(last, t.valSize))
+				ln.keys = ln.keys[:last]
+				ln.removeVal(last, t.valSize)
+				n.keys[ci-1] = cn.keys[0]
+			} else {
+				// Rotate through the parent separator.
+				cn.keys = insertAt(cn.keys, 0, n.keys[ci-1])
+				cn.children = insertChildAt(cn.children, 0, ln.children[len(ln.children)-1])
+				n.keys[ci-1] = ln.keys[len(ln.keys)-1]
+				ln.keys = ln.keys[:len(ln.keys)-1]
+				ln.children = ln.children[:len(ln.children)-1]
+			}
+			writeNode(ldata, ln, t.valSize)
+			t.pool.Unpin(left, true)
+			writeNode(cdata, cn, t.valSize)
+			t.pool.Unpin(child, true)
+			writeNode(data, n, t.valSize)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		t.pool.Unpin(left, false)
+	}
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		rdata, err := t.pool.Get(right)
+		if err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+		rn := readNode(rdata, t.valSize)
+		if len(rn.keys) > t.minKeys(level-1) {
+			if cn.leaf {
+				cn.keys = append(cn.keys, rn.keys[0])
+				if t.valSize > 0 {
+					cn.vals = append(cn.vals, rn.val(0, t.valSize)...)
+				}
+				rn.keys = rn.keys[1:]
+				rn.removeVal(0, t.valSize)
+				n.keys[ci] = rn.keys[0]
+			} else {
+				cn.keys = append(cn.keys, n.keys[ci])
+				cn.children = append(cn.children, rn.children[0])
+				n.keys[ci] = rn.keys[0]
+				rn.keys = rn.keys[1:]
+				rn.children = rn.children[1:]
+			}
+			writeNode(rdata, rn, t.valSize)
+			t.pool.Unpin(right, true)
+			writeNode(cdata, cn, t.valSize)
+			t.pool.Unpin(child, true)
+			writeNode(data, n, t.valSize)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		t.pool.Unpin(right, false)
+	}
+	// Merge with a sibling. Normalize to merging children[mi] and
+	// children[mi+1] into children[mi].
+	mi := ci
+	if ci == len(n.children)-1 {
+		mi = ci - 1
+	}
+	leftID, rightID := n.children[mi], n.children[mi+1]
+	var ldata, rdata []byte
+	if leftID == child {
+		ldata, rdata = cdata, nil
+	} else {
+		rdata = cdata
+	}
+	if ldata == nil {
+		if ldata, err = t.pool.Get(leftID); err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+	}
+	if rdata == nil {
+		if rdata, err = t.pool.Get(rightID); err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+	}
+	ln, rn := readNode(ldata, t.valSize), readNode(rdata, t.valSize)
+	if ln.leaf {
+		ln.keys = append(ln.keys, rn.keys...)
+		ln.vals = append(ln.vals, rn.vals...)
+		ln.next = rn.next
+	} else {
+		ln.keys = append(ln.keys, n.keys[mi])
+		ln.keys = append(ln.keys, rn.keys...)
+		ln.children = append(ln.children, rn.children...)
+	}
+	writeNode(ldata, ln, t.valSize)
+	t.pool.Unpin(leftID, true)
+	t.pool.Unpin(rightID, false)
+	t.pool.Free(rightID)
+	n.keys = append(n.keys[:mi], n.keys[mi+1:]...)
+	n.children = append(n.children[:mi+1], n.children[mi+2:]...)
+	writeNode(data, n, t.valSize)
+	t.pool.Unpin(id, true)
+	return nil
+}
+
+// lowerBound returns the first index i with keys[i] >= key.
+func lowerBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index i with keys[i] > key.
+func upperBound(keys []uint64, key uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func insertAt(s []uint64, i int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertChildAt(s []store.PageID, i int, v store.PageID) []store.PageID {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// PersistMeta captures the tree's in-memory state (root page, height, key
+// count) for serialization alongside its disk image.
+func (t *Tree) PersistMeta() [3]uint64 {
+	return [3]uint64{uint64(t.root), uint64(t.height), uint64(t.count)}
+}
+
+// Restore reattaches a tree to a disk image previously saved with its
+// PersistMeta. The pool must wrap the restored disk; valueSize must match
+// the original tree's.
+func Restore(pool *store.Pool, valueSize int, meta [3]uint64) (*Tree, error) {
+	t := &Tree{
+		pool:        pool,
+		valSize:     valueSize,
+		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
+		internalCap: (pool.PageSize() - headerSize) / 12,
+		root:        store.PageID(meta[0]),
+		height:      int(meta[1]),
+		count:       int(meta[2]),
+	}
+	if t.leafCap < 3 || t.internalCap < 3 {
+		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
+	}
+	if t.height < 1 {
+		return nil, fmt.Errorf("btree: invalid height %d", t.height)
+	}
+	return t, nil
+}

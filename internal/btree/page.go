@@ -1,0 +1,74 @@
+package btree
+
+import (
+	"encoding/binary"
+
+	"segdb/internal/store"
+)
+
+// Page layout (little-endian):
+//
+//	byte 0      node type: 1 = leaf, 0 = internal
+//	bytes 2..3  key count (uint16)
+//	bytes 4..7  leaf: right-sibling page id; internal: first child page id
+//	leaf:       (key, value) entries at 8 + (8+valSize)*i
+//	internal:   (key, child) pairs at 8 + 12*i
+func writeNode(data []byte, n *node, valSize int) {
+	if n.leaf {
+		data[0] = 1
+	} else {
+		data[0] = 0
+	}
+	binary.LittleEndian.PutUint16(data[2:], uint16(len(n.keys)))
+	if n.leaf {
+		binary.LittleEndian.PutUint32(data[4:], uint32(n.next))
+		off := headerSize
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint64(data[off:], k)
+			off += 8
+			if valSize > 0 {
+				copy(data[off:off+valSize], n.val(i, valSize))
+				off += valSize
+			}
+		}
+		return
+	}
+	binary.LittleEndian.PutUint32(data[4:], uint32(n.children[0]))
+	off := headerSize
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint64(data[off:], k)
+		binary.LittleEndian.PutUint32(data[off+8:], uint32(n.children[i+1]))
+		off += 12
+	}
+}
+
+func readNode(data []byte, valSize int) *node {
+	n := &node{leaf: data[0] == 1}
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	n.keys = make([]uint64, count)
+	if n.leaf {
+		n.next = store.PageID(binary.LittleEndian.Uint32(data[4:]))
+		if valSize > 0 {
+			n.vals = make([]byte, count*valSize)
+		}
+		off := headerSize
+		for i := range n.keys {
+			n.keys[i] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+			if valSize > 0 {
+				copy(n.vals[i*valSize:], data[off:off+valSize])
+				off += valSize
+			}
+		}
+		return n
+	}
+	n.children = make([]store.PageID, count+1)
+	n.children[0] = store.PageID(binary.LittleEndian.Uint32(data[4:]))
+	off := headerSize
+	for i := 0; i < count; i++ {
+		n.keys[i] = binary.LittleEndian.Uint64(data[off:])
+		n.children[i+1] = store.PageID(binary.LittleEndian.Uint32(data[off+8:]))
+		off += 12
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+package btree
+
+import "segdb/internal/store"
+
+// SeekLE returns the largest key <= k, or ok=false when no such key
+// exists. It is the predecessor search that the linear quadtree's point
+// location relies on: the leaf block containing a point is found from the
+// predecessor of the point's full-resolution locational key.
+func (t *Tree) SeekLE(k uint64) (uint64, bool, error) {
+	return t.seekLE(t.root, t.height, k)
+}
+
+func (t *Tree) seekLE(id store.PageID, level int, k uint64) (uint64, bool, error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return 0, false, err
+	}
+	n := readNode(data, t.valSize)
+	if level == 1 {
+		i := upperBound(n.keys, k)
+		t.pool.Unpin(id, false)
+		if i == 0 {
+			return 0, false, nil
+		}
+		return n.keys[i-1], true, nil
+	}
+	ci := upperBound(n.keys, k)
+	children := append([]store.PageID(nil), n.children...)
+	t.pool.Unpin(id, false)
+	// The natural child may hold no key <= k (k smaller than everything
+	// in it); fall back through the left siblings, whose keys are all
+	// below the separator and hence <= k.
+	for ; ci >= 0; ci-- {
+		v, ok, err := t.seekLE(children[ci], level-1, k)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,128 @@
+// Package core defines the common spatial-index contract and the five
+// queries of Hoel & Samet (SIGMOD 1992, §5), together with the metric
+// counters used throughout the evaluation.
+//
+// The three quantities measured in the paper are:
+//
+//   - disk accesses — buffer-pool misses and write-backs, for both the
+//     index pages and the disk-resident segment table;
+//   - segment comparisons — fetches of segment geometry from the segment
+//     table;
+//   - bounding box / bucket computations — geometric predicate evaluations
+//     against node rectangles (R-trees) or quadtree blocks (PMR).
+//
+// Every index implementation charges these counters as it works; the
+// harness snapshots them around operations.
+package core
+
+import (
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Index is the interface implemented by the three data structures under
+// study (plus the uniform-grid baseline).
+type Index interface {
+	// Name identifies the structure ("R*-tree", "R+-tree", "PMR").
+	Name() string
+
+	// Insert adds the segment with the given table ID to the index.
+	Insert(id seg.ID) error
+
+	// Delete removes a previously inserted segment.
+	Delete(id seg.ID) error
+
+	// Window visits every segment whose geometry intersects the closed
+	// rectangle r, passing the already-fetched geometry. Each segment is
+	// reported exactly once even if stored in several nodes. Traversal
+	// stops early when visit returns false.
+	Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error
+
+	// Nearest returns the segment closest (Euclidean distance) to p.
+	// found is false only when the index is empty.
+	Nearest(p geom.Point) (NearestResult, error)
+
+	// NearestK returns up to k segments ordered by increasing distance
+	// from p (the incremental ranking of Hoel & Samet [11]). Fewer than k
+	// results means the index ran out of segments.
+	NearestK(p geom.Point, k int) ([]NearestResult, error)
+
+	// Table returns the segment table the index points into.
+	Table() *seg.Table
+
+	// DiskStats returns the cumulative disk activity of the index's own
+	// pages (excluding the segment table, which keeps its own stats).
+	DiskStats() store.Stats
+
+	// NodeComps returns the cumulative bounding box (R-trees) or bounding
+	// bucket (PMR) computation count.
+	NodeComps() uint64
+
+	// SizeBytes returns the storage footprint of the index pages, the
+	// quantity in Table 1 (segment table excluded, as in the paper).
+	SizeBytes() int64
+
+	// DropCache empties the index's buffer pool for a cold restart.
+	DropCache()
+}
+
+// NearestResult describes the outcome of a nearest-line query.
+type NearestResult struct {
+	ID     seg.ID
+	Seg    geom.Segment
+	DistSq float64
+	Found  bool
+}
+
+// FirstNearest adapts NearestK to the single-neighbor Nearest contract.
+func FirstNearest(ix Index, p geom.Point) (NearestResult, error) {
+	res, err := ix.NearestK(p, 1)
+	if err != nil || len(res) == 0 {
+		return NearestResult{}, err
+	}
+	return res[0], nil
+}
+
+// Metrics is a snapshot of the three counters of the study.
+type Metrics struct {
+	DiskAccesses uint64
+	SegComps     uint64
+	NodeComps    uint64
+}
+
+// Snapshot captures the current cumulative counters of an index and its
+// segment table.
+func Snapshot(ix Index) Metrics {
+	t := ix.Table()
+	return Metrics{
+		DiskAccesses: ix.DiskStats().Accesses() + t.DiskStats().Accesses(),
+		SegComps:     t.Comparisons(),
+		NodeComps:    ix.NodeComps(),
+	}
+}
+
+// Sub returns the per-operation deltas between two snapshots.
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		DiskAccesses: m.DiskAccesses - prev.DiskAccesses,
+		SegComps:     m.SegComps - prev.SegComps,
+		NodeComps:    m.NodeComps - prev.NodeComps,
+	}
+}
+
+// Add accumulates counters (used when averaging over query batches).
+func (m Metrics) Add(o Metrics) Metrics {
+	return Metrics{
+		DiskAccesses: m.DiskAccesses + o.DiskAccesses,
+		SegComps:     m.SegComps + o.SegComps,
+		NodeComps:    m.NodeComps + o.NodeComps,
+	}
+}
+
+// Measure runs f and returns the metric deltas it caused on ix.
+func Measure(ix Index, f func() error) (Metrics, error) {
+	before := Snapshot(ix)
+	err := f()
+	return Snapshot(ix).Sub(before), err
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+)
+
+// JoinNestedLoop finds every intersecting pair of segments between two
+// indexes with an index nested-loop join: the outer relation (a's segment
+// table) is scanned in storage order and each segment probes b with a
+// window query on its bounding box. This is the natural join strategy for
+// the R-tree variants, whose data-dependent decompositions cannot be
+// merged block-by-block the way two aligned PMR quadtrees can (§7 of the
+// paper). The inner probes land wherever the outer relation's storage
+// order dictates, so their page traffic is far less sequential than the
+// PMR merge join's.
+//
+// The outer table must contain exactly the segments indexed by a (no
+// deletions), which holds for freshly built maps.
+//
+// visit is called exactly once per unordered intersecting pair (idA from
+// a, idB from b); returning false stops the join.
+func JoinNestedLoop(a, b Index, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) error {
+	outer := a.Table()
+	for i := 0; i < outer.Len(); i++ {
+		idA := seg.ID(i)
+		sA, err := outer.Get(idA)
+		if err != nil {
+			return err
+		}
+		stopped := false
+		err = b.Window(sA.Bounds(), func(idB seg.ID, sB geom.Segment) bool {
+			// Window guarantees sB intersects sA's bounding box; confirm
+			// the segments themselves intersect.
+			if !geom.SegmentsIntersect(sA, sB) {
+				return true
+			}
+			if !visit(idA, idB, sA, sB) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}

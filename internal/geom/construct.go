@@ -1,0 +1,21 @@
+package geom
+
+// Pt is a shorthand constructor for Point.
+func Pt(x, y int32) Point { return Point{X: x, Y: y} }
+
+// Seg is a shorthand constructor for a Segment from endpoint coordinates.
+func Seg(x1, y1, x2, y2 int32) Segment {
+	return Segment{P1: Point{X: x1, Y: y1}, P2: Point{X: x2, Y: y2}}
+}
+
+// RectOf builds the rectangle with the given corner coordinates, swapping
+// them if necessary so the result is valid.
+func RectOf(x1, y1, x2, y2 int32) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Min: Point{X: x1, Y: y1}, Max: Point{X: x2, Y: y2}}
+}

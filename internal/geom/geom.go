@@ -1,0 +1,330 @@
+// Package geom provides the integer planar geometry used throughout segdb.
+//
+// Following Hoel & Samet (SIGMOD 1992, §6), every map is normalized to a
+// 16384 x 16384 grid (2^28 pixels), so coordinates fit comfortably in an
+// int32 and quadtree decomposition bottoms out at depth 14. All predicates
+// needed by the spatial indexes live here: rectangle algebra, segment
+// clipping and intersection, and squared Euclidean distances. Distances are
+// returned as float64 since midpoints of integer segments are not integral.
+package geom
+
+import "fmt"
+
+// WorldSize is the side length of the normalized coordinate space. Maps are
+// scaled so that all coordinates lie in [0, WorldSize).
+const WorldSize = 16384
+
+// MaxDepth is the deepest quadtree decomposition level: splitting WorldSize
+// in half MaxDepth times yields unit-width blocks.
+const MaxDepth = 14
+
+// Point is a location on the integer grid.
+type Point struct {
+	X, Y int32
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Segment is a line segment between two grid points. Segments are treated
+// as undirected: (P1,P2) and (P2,P1) denote the same segment.
+type Segment struct {
+	P1, P2 Point
+}
+
+// String implements fmt.Stringer.
+func (s Segment) String() string { return fmt.Sprintf("%v-%v", s.P1, s.P2) }
+
+// Other returns the endpoint of s that is not p. If p is not an endpoint of
+// s, the second return value is false.
+func (s Segment) Other(p Point) (Point, bool) {
+	switch p {
+	case s.P1:
+		return s.P2, true
+	case s.P2:
+		return s.P1, true
+	}
+	return Point{}, false
+}
+
+// HasEndpoint reports whether p is one of the two endpoints of s.
+func (s Segment) HasEndpoint(p Point) bool { return s.P1 == p || s.P2 == p }
+
+// Bounds returns the minimum bounding rectangle of the segment.
+func (s Segment) Bounds() Rect {
+	r := Rect{Min: s.P1, Max: s.P1}
+	return r.ExtendPoint(s.P2)
+}
+
+// Canonical returns s with its endpoints ordered so equal undirected
+// segments compare equal with ==.
+func (s Segment) Canonical() Segment {
+	if s.P2.X < s.P1.X || (s.P2.X == s.P1.X && s.P2.Y < s.P1.Y) {
+		return Segment{P1: s.P2, P2: s.P1}
+	}
+	return s
+}
+
+// Rect is a closed axis-aligned rectangle. A Rect is valid when
+// Min.X <= Max.X and Min.Y <= Max.Y; degenerate (zero width or height)
+// rectangles are valid and arise as bounding boxes of axis-parallel
+// segments.
+type Rect struct {
+	Min, Max Point
+}
+
+// World is the rectangle covering the whole normalized coordinate space.
+func World() Rect {
+	return Rect{Min: Point{0, 0}, Max: Point{WorldSize - 1, WorldSize - 1}}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v %v]", r.Min, r.Max) }
+
+// Valid reports whether the rectangle is non-empty (Min <= Max on both axes).
+func (r Rect) Valid() bool { return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y }
+
+// Width returns the horizontal extent of r (zero for a vertical segment MBR).
+func (r Rect) Width() int64 { return int64(r.Max.X) - int64(r.Min.X) }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() int64 { return int64(r.Max.Y) - int64(r.Min.Y) }
+
+// Area returns the area of r. Degenerate rectangles have zero area.
+func (r Rect) Area() int64 { return r.Width() * r.Height() }
+
+// Perimeter returns half the perimeter doubled, i.e. 2*(w+h), matching the
+// "margin" used by the R*-tree split heuristic.
+func (r Rect) Perimeter() int64 { return 2 * (r.Width() + r.Height()) }
+
+// ContainsPoint reports whether p lies in the closed rectangle r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether the closed rectangles r and s share at least
+// one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersection returns the common region of r and s. The second return
+// value is false when the rectangles are disjoint.
+func (r Rect) Intersection(s Rect) (Rect, bool) {
+	out := Rect{
+		Min: Point{maxI32(r.Min.X, s.Min.X), maxI32(r.Min.Y, s.Min.Y)},
+		Max: Point{minI32(r.Max.X, s.Max.X), minI32(r.Max.Y, s.Max.Y)},
+	}
+	if !out.Valid() {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// OverlapArea returns the area of the intersection of r and s, or zero when
+// they are disjoint or touch only along an edge.
+func (r Rect) OverlapArea(s Rect) int64 {
+	ix, ok := r.Intersection(s)
+	if !ok {
+		return 0
+	}
+	return ix.Area()
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{minI32(r.Min.X, s.Min.X), minI32(r.Min.Y, s.Min.Y)},
+		Max: Point{maxI32(r.Max.X, s.Max.X), maxI32(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return Rect{
+		Min: Point{minI32(r.Min.X, p.X), minI32(r.Min.Y, p.Y)},
+		Max: Point{maxI32(r.Max.X, p.X), maxI32(r.Max.Y, p.Y)},
+	}
+}
+
+// Enlargement returns the increase in area needed for r to also cover s.
+func (r Rect) Enlargement(s Rect) int64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// Center returns the center of r, rounded down to the grid.
+func (r Rect) Center() Point {
+	return Point{
+		X: int32((int64(r.Min.X) + int64(r.Max.X)) / 2),
+		Y: int32((int64(r.Min.Y) + int64(r.Max.Y)) / 2),
+	}
+}
+
+// DistSqToPoint returns the squared Euclidean distance from p to the
+// rectangle (zero when p is inside).
+func (r Rect) DistSqToPoint(p Point) float64 {
+	dx := axisDist(p.X, r.Min.X, r.Max.X)
+	dy := axisDist(p.Y, r.Min.Y, r.Max.Y)
+	return dx*dx + dy*dy
+}
+
+func axisDist(v, lo, hi int32) float64 {
+	switch {
+	case v < lo:
+		return float64(lo - v)
+	case v > hi:
+		return float64(v - hi)
+	}
+	return 0
+}
+
+// IntersectsSegment reports whether segment s has at least one point inside
+// the closed rectangle r. It is the exact predicate used when distributing
+// q-edges among quadtree blocks and R+-tree regions, implemented via
+// Cohen–Sutherland style clipping on the parametrized segment.
+func (r Rect) IntersectsSegment(s Segment) bool {
+	_, _, ok := clipParams(r, s)
+	return ok
+}
+
+// ClipSegment clips s to r and returns the clipped piece (the q-edge). The
+// returned endpoints are rounded to the grid; ok is false when the segment
+// misses the rectangle entirely.
+func (r Rect) ClipSegment(s Segment) (Segment, bool) {
+	t0, t1, ok := clipParams(r, s)
+	if !ok {
+		return Segment{}, false
+	}
+	dx := float64(s.P2.X - s.P1.X)
+	dy := float64(s.P2.Y - s.P1.Y)
+	p1 := Point{s.P1.X + int32(t0*dx+0.5), s.P1.Y + int32(t0*dy+0.5)}
+	p2 := Point{s.P1.X + int32(t1*dx+0.5), s.P1.Y + int32(t1*dy+0.5)}
+	return Segment{P1: p1, P2: p2}, true
+}
+
+// clipParams computes the parameter interval [t0,t1] of s = P1 + t*(P2-P1)
+// that lies inside r, using the Liang–Barsky formulation.
+func clipParams(r Rect, s Segment) (float64, float64, bool) {
+	dx := float64(s.P2.X) - float64(s.P1.X)
+	dy := float64(s.P2.Y) - float64(s.P1.Y)
+	t0, t1 := 0.0, 1.0
+	// clip handles one boundary with the standard (p, q) parameters:
+	// points on the inside of the boundary satisfy q >= 0 at t = 0.
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0 // parallel: inside iff q >= 0
+		}
+		t := q / p
+		if p < 0 { // entering
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else { // leaving
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	x1, y1 := float64(s.P1.X), float64(s.P1.Y)
+	if !clip(-dx, x1-float64(r.Min.X)) || // left
+		!clip(dx, float64(r.Max.X)-x1) || // right
+		!clip(-dy, y1-float64(r.Min.Y)) || // bottom
+		!clip(dy, float64(r.Max.Y)-y1) { // top
+		return 0, 0, false
+	}
+	return t0, t1, t0 <= t1
+}
+
+// DistSqPointSegment returns the squared Euclidean distance from point p to
+// segment s.
+func DistSqPointSegment(p Point, s Segment) float64 {
+	px, py := float64(p.X), float64(p.Y)
+	x1, y1 := float64(s.P1.X), float64(s.P1.Y)
+	dx := float64(s.P2.X) - x1
+	dy := float64(s.P2.Y) - y1
+	lenSq := dx*dx + dy*dy
+	var t float64
+	if lenSq > 0 {
+		t = ((px-x1)*dx + (py-y1)*dy) / lenSq
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	cx := x1 + t*dx - px
+	cy := y1 + t*dy - py
+	return cx*cx + cy*cy
+}
+
+// SegmentsIntersect reports whether the closed segments a and b share at
+// least one point, including touching at endpoints and collinear overlap.
+func SegmentsIntersect(a, b Segment) bool {
+	d1 := orient(b.P1, b.P2, a.P1)
+	d2 := orient(b.P1, b.P2, a.P2)
+	d3 := orient(a.P1, a.P2, b.P1)
+	d4 := orient(a.P1, a.P2, b.P2)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(b, a.P1):
+		return true
+	case d2 == 0 && onSegment(b, a.P2):
+		return true
+	case d3 == 0 && onSegment(a, b.P1):
+		return true
+	case d4 == 0 && onSegment(a, b.P2):
+		return true
+	}
+	return false
+}
+
+// orient returns the sign of the cross product (b-a) x (c-a): positive for
+// counter-clockwise, negative for clockwise, zero for collinear.
+func orient(a, b, c Point) int64 {
+	v := (int64(b.X)-int64(a.X))*(int64(c.Y)-int64(a.Y)) -
+		(int64(b.Y)-int64(a.Y))*(int64(c.X)-int64(a.X))
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// onSegment reports whether collinear point p lies on segment s.
+func onSegment(s Segment, p Point) bool {
+	return minI32(s.P1.X, s.P2.X) <= p.X && p.X <= maxI32(s.P1.X, s.P2.X) &&
+		minI32(s.P1.Y, s.P2.Y) <= p.Y && p.Y <= maxI32(s.P1.Y, s.P2.Y)
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

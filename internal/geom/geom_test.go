@@ -1,0 +1,368 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{Min: Point{2, 3}, Max: Point{10, 7}}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+	if got := r.Width(); got != 8 {
+		t.Errorf("Width = %d, want 8", got)
+	}
+	if got := r.Height(); got != 4 {
+		t.Errorf("Height = %d, want 4", got)
+	}
+	if got := r.Area(); got != 32 {
+		t.Errorf("Area = %d, want 32", got)
+	}
+	if got := r.Perimeter(); got != 24 {
+		t.Errorf("Perimeter = %d, want 24", got)
+	}
+	if c := r.Center(); c != (Point{6, 5}) {
+		t.Errorf("Center = %v, want (6,5)", c)
+	}
+}
+
+func TestRectDegenerate(t *testing.T) {
+	r := Rect{Min: Point{5, 1}, Max: Point{5, 9}} // vertical segment MBR
+	if !r.Valid() {
+		t.Fatal("degenerate rect should be valid")
+	}
+	if r.Area() != 0 {
+		t.Errorf("Area = %d, want 0", r.Area())
+	}
+	if !r.ContainsPoint(Point{5, 4}) {
+		t.Error("should contain point on the segment")
+	}
+	if r.ContainsPoint(Point{6, 4}) {
+		t.Error("should not contain point off the segment")
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	b := Rect{Min: Point{5, 5}, Max: Point{15, 15}}
+	c := Rect{Min: Point{11, 0}, Max: Point{20, 10}}
+	d := Rect{Min: Point{2, 2}, Max: Point{4, 4}}
+
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	if !a.ContainsRect(d) {
+		t.Error("a should contain d")
+	}
+	if a.ContainsRect(b) {
+		t.Error("a should not contain b")
+	}
+	// Touching along an edge counts as intersecting (closed rectangles).
+	e := Rect{Min: Point{10, 0}, Max: Point{20, 10}}
+	if !a.Intersects(e) {
+		t.Error("closed rects touching on an edge should intersect")
+	}
+}
+
+func TestRectIntersectionUnion(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	b := Rect{Min: Point{5, 5}, Max: Point{15, 15}}
+	ix, ok := a.Intersection(b)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	want := Rect{Min: Point{5, 5}, Max: Point{10, 10}}
+	if ix != want {
+		t.Errorf("Intersection = %v, want %v", ix, want)
+	}
+	if got := a.OverlapArea(b); got != 25 {
+		t.Errorf("OverlapArea = %d, want 25", got)
+	}
+	u := a.Union(b)
+	wantU := Rect{Min: Point{0, 0}, Max: Point{15, 15}}
+	if u != wantU {
+		t.Errorf("Union = %v, want %v", u, wantU)
+	}
+	if got := a.Enlargement(b); got != wantU.Area()-a.Area() {
+		t.Errorf("Enlargement = %d", got)
+	}
+}
+
+func TestRectDistSqToPoint(t *testing.T) {
+	r := Rect{Min: Point{10, 10}, Max: Point{20, 20}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{15, 15}, 0},  // inside
+		{Point{10, 10}, 0},  // corner
+		{Point{5, 15}, 25},  // left
+		{Point{15, 25}, 25}, // above
+		{Point{5, 5}, 50},   // diagonal corner
+	}
+	for _, c := range cases {
+		if got := r.DistSqToPoint(c.p); got != c.want {
+			t.Errorf("DistSqToPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentBoundsAndOther(t *testing.T) {
+	s := Segment{P1: Point{9, 2}, P2: Point{3, 8}}
+	want := Rect{Min: Point{3, 2}, Max: Point{9, 8}}
+	if got := s.Bounds(); got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+	if o, ok := s.Other(Point{9, 2}); !ok || o != (Point{3, 8}) {
+		t.Errorf("Other = %v,%v", o, ok)
+	}
+	if _, ok := s.Other(Point{0, 0}); ok {
+		t.Error("Other should fail for non-endpoint")
+	}
+	if s.Canonical() != (Segment{P1: Point{3, 8}, P2: Point{9, 2}}) {
+		t.Errorf("Canonical = %v", s.Canonical())
+	}
+	if s.Canonical() != (Segment{P1: Point{9, 2}, P2: Point{3, 8}}).Canonical() {
+		t.Error("canonical forms of reversed segments should match")
+	}
+}
+
+func TestIntersectsSegment(t *testing.T) {
+	r := Rect{Min: Point{10, 10}, Max: Point{20, 20}}
+	cases := []struct {
+		s    Segment
+		want bool
+	}{
+		{Segment{Point{0, 0}, Point{5, 5}}, false},          // fully outside
+		{Segment{Point{12, 12}, Point{18, 18}}, true},       // fully inside
+		{Segment{Point{0, 15}, Point{30, 15}}, true},        // crossing horizontally
+		{Segment{Point{15, 0}, Point{15, 30}}, true},        // crossing vertically
+		{Segment{Point{0, 0}, Point{30, 30}}, true},         // diagonal through
+		{Segment{Point{0, 25}, Point{25, 0}}, true},         // cuts a corner region
+		{Segment{Point{0, 31}, Point{31, 0}}, true},         // grazes inside near NW corner
+		{Segment{Point{0, 41}, Point{41, 0}}, false},        // misses the NE corner
+		{Segment{Point{0, 10}, Point{30, 10}}, true},        // along bottom edge
+		{Segment{Point{10, 10}, Point{10, 10}}, true},       // degenerate point on corner
+		{Segment{Point{9, 9}, Point{9, 9}}, false},          // degenerate point outside
+		{Segment{Point{0, 30}, Point{30, 30}}, false},       // parallel above
+		{Segment{Point{5, 15}, Point{10, 15}}, true},        // ends exactly on edge
+		{Segment{Point{21, 0}, Point{21, 30}}, false},       // just right of rect
+		{Segment{Point{0, 20}, Point{10, 30}}, false},       // touches? (0,20)-(10,30): at x=10,y=30 outside; passes via corner (10? ) no
+		{Segment{Point{5, 25}, Point{15, 35}}, false},       // above
+		{Segment{Point{19, 19}, Point{40, 40}}, true},       // starts inside
+		{Segment{Point{20, 20}, Point{40, 40}}, true},       // starts on corner
+		{Segment{Point{-100, -100}, Point{200, 200}}, true}, // long diagonal
+	}
+	for _, c := range cases {
+		if got := r.IntersectsSegment(c.s); got != c.want {
+			t.Errorf("IntersectsSegment(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestClipSegment(t *testing.T) {
+	r := Rect{Min: Point{10, 10}, Max: Point{20, 20}}
+	s := Segment{Point{0, 15}, Point{30, 15}}
+	q, ok := r.ClipSegment(s)
+	if !ok {
+		t.Fatal("expected clip")
+	}
+	if q.P1 != (Point{10, 15}) || q.P2 != (Point{20, 15}) {
+		t.Errorf("clip = %v", q)
+	}
+	if _, ok := r.ClipSegment(Segment{Point{0, 0}, Point{5, 5}}); ok {
+		t.Error("clip of outside segment should fail")
+	}
+	// Clipping a segment fully inside returns it unchanged.
+	in := Segment{Point{12, 12}, Point{18, 14}}
+	q, ok = r.ClipSegment(in)
+	if !ok || q != in {
+		t.Errorf("clip inside = %v,%v", q, ok)
+	}
+}
+
+func TestDistSqPointSegment(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 0}, 0},    // on the segment
+		{Point{5, 3}, 9},    // perpendicular
+		{Point{-3, 4}, 25},  // beyond P1
+		{Point{13, -4}, 25}, // beyond P2
+		{Point{0, 0}, 0},    // endpoint
+	}
+	for _, c := range cases {
+		if got := DistSqPointSegment(c.p, s); got != c.want {
+			t.Errorf("DistSq(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment is a point.
+	pt := Segment{Point{3, 3}, Point{3, 3}}
+	if got := DistSqPointSegment(Point{0, -1}, pt); got != 25 {
+		t.Errorf("degenerate DistSq = %v, want 25", got)
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Segment{Point{0, 0}, Point{10, 10}}, Segment{Point{0, 10}, Point{10, 0}}, true}, // X crossing
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{0, 1}, Point{10, 1}}, false},  // parallel
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{10, 0}, Point{20, 5}}, true},  // shared endpoint
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{5, 0}, Point{5, 5}}, true},    // T junction
+		{Segment{Point{0, 0}, Point{10, 0}}, Segment{Point{4, 0}, Point{6, 0}}, true},    // collinear overlap
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{5, 0}, Point{9, 0}}, false},    // collinear disjoint
+		{Segment{Point{0, 0}, Point{10, 10}}, Segment{Point{11, 11}, Point{20, 20}}, false},
+	}
+	for _, c := range cases {
+		if got := SegmentsIntersect(c.a, c.b); got != c.want {
+			t.Errorf("SegmentsIntersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := SegmentsIntersect(c.b, c.a); got != c.want {
+			t.Errorf("SegmentsIntersect(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// Property: a segment intersects a rect iff its clip succeeds, and the
+// clipped piece stays inside the (slightly expanded, due to rounding) rect.
+func TestClipConsistentWithIntersects(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		r := randRect(rng)
+		s := randSegment(rng)
+		hit := r.IntersectsSegment(s)
+		q, ok := r.ClipSegment(s)
+		if hit != ok {
+			t.Fatalf("IntersectsSegment=%v but ClipSegment ok=%v for r=%v s=%v", hit, ok, r, s)
+		}
+		if ok {
+			grown := Rect{
+				Min: Point{r.Min.X - 1, r.Min.Y - 1},
+				Max: Point{r.Max.X + 1, r.Max.Y + 1},
+			}
+			if !grown.ContainsPoint(q.P1) || !grown.ContainsPoint(q.P2) {
+				t.Fatalf("clip %v escapes rect %v (from %v)", q, r, s)
+			}
+		}
+	}
+}
+
+// Property: DistSqToPoint of a rect lower-bounds DistSqPointSegment for any
+// segment inside the rect — the pruning invariant that the nearest-line
+// query depends on.
+func TestRectDistLowerBoundsSegmentDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		s := randSegment(rng)
+		r := s.Bounds()
+		p := randPoint(rng)
+		rd := r.DistSqToPoint(p)
+		sd := DistSqPointSegment(p, s)
+		if rd > sd+1e-6 {
+			t.Fatalf("rect dist %v > segment dist %v for p=%v s=%v", rd, sd, p, s)
+		}
+	}
+}
+
+func TestUnionCommutativeAssociative(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy uint16) bool {
+		a := Rect{Min: Point{int32(ax % 100), int32(ay % 100)}, Max: Point{int32(ax%100) + 5, int32(ay%100) + 5}}
+		b := Rect{Min: Point{int32(bx % 100), int32(by % 100)}, Max: Point{int32(bx%100) + 9, int32(by%100) + 2}}
+		c := Rect{Min: Point{int32(cx % 100), int32(cy % 100)}, Max: Point{int32(cx%100) + 1, int32(cy%100) + 7}}
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		return a.Union(b).Union(c) == a.Union(b.Union(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapSymmetricAndBounded(t *testing.T) {
+	f := func(ax, ay, bx, by uint16, w1, h1, w2, h2 uint8) bool {
+		a := Rect{Min: Point{int32(ax % 1000), int32(ay % 1000)},
+			Max: Point{int32(ax%1000) + int32(w1), int32(ay%1000) + int32(h1)}}
+		b := Rect{Min: Point{int32(bx % 1000), int32(by % 1000)},
+			Max: Point{int32(bx%1000) + int32(w2), int32(by%1000) + int32(h2)}}
+		ov := a.OverlapArea(b)
+		if ov != b.OverlapArea(a) {
+			return false
+		}
+		return ov <= a.Area() && ov <= b.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return Point{int32(rng.Intn(WorldSize)), int32(rng.Intn(WorldSize))}
+}
+
+func randSegment(rng *rand.Rand) Segment {
+	p := randPoint(rng)
+	q := Point{
+		X: clampI32(p.X+int32(rng.Intn(801)-400), 0, WorldSize-1),
+		Y: clampI32(p.Y+int32(rng.Intn(801)-400), 0, WorldSize-1),
+	}
+	return Segment{P1: p, P2: q}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	p := randPoint(rng)
+	return Rect{Min: p, Max: Point{
+		X: clampI32(p.X+int32(rng.Intn(400)), 0, WorldSize-1),
+		Y: clampI32(p.Y+int32(rng.Intn(400)), 0, WorldSize-1),
+	}}
+}
+
+func clampI32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestDistSqToPointMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		r := randRect(rng)
+		p := randPoint(rng)
+		// Brute force over the 4 edges, or 0 if inside.
+		want := math.Inf(1)
+		if r.ContainsPoint(p) {
+			want = 0
+		} else {
+			edges := []Segment{
+				{Point{r.Min.X, r.Min.Y}, Point{r.Max.X, r.Min.Y}},
+				{Point{r.Min.X, r.Max.Y}, Point{r.Max.X, r.Max.Y}},
+				{Point{r.Min.X, r.Min.Y}, Point{r.Min.X, r.Max.Y}},
+				{Point{r.Max.X, r.Min.Y}, Point{r.Max.X, r.Max.Y}},
+			}
+			for _, e := range edges {
+				if d := DistSqPointSegment(p, e); d < want {
+					want = d
+				}
+			}
+		}
+		got := r.DistSqToPoint(p)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("DistSqToPoint(%v, %v) = %v, want %v", r, p, got, want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package geom
+
+// Locational codes ("Morton codes") identify quadtree blocks, as in §4 of
+// the paper: a code is the bit-interleaved value of the x and y coordinates
+// of the block's lower-left corner together with the block's depth. Depth 0
+// is the whole WorldSize x WorldSize space; each additional level halves the
+// block side. At MaxDepth the blocks are single pixels, so interleaving
+// needs 2*MaxDepth = 28 bits.
+
+// Code is a locational code: 28 bits of interleaved corner coordinates plus
+// 4 bits of depth, packed so that codes sort in Z-order (corner first, then
+// depth). The Z-order property used by the linear quadtree is that every
+// descendant block's code interval nests inside its ancestor's interval.
+type Code uint32
+
+// MakeCode builds the locational code of the block at the given depth whose
+// lower-left corner is p. The corner must be aligned to the block grid at
+// that depth; unaligned low-order bits are truncated.
+func MakeCode(p Point, depth int) Code {
+	side := BlockSide(depth)
+	x := uint32(p.X) &^ (uint32(side) - 1)
+	y := uint32(p.Y) &^ (uint32(side) - 1)
+	return Code(interleave(x, y)<<4 | uint32(depth))
+}
+
+// Depth returns the decomposition depth of the block.
+func (c Code) Depth() int { return int(c & 0xf) }
+
+// Corner returns the lower-left corner of the block.
+func (c Code) Corner() Point {
+	x, y := deinterleave(uint32(c) >> 4)
+	return Point{int32(x), int32(y)}
+}
+
+// BlockSide returns the side length of a block at the given depth.
+func BlockSide(depth int) int32 { return WorldSize >> uint(depth) }
+
+// Block returns the rectangle covered by the coded block.
+func (c Code) Block() Rect {
+	side := BlockSide(c.Depth())
+	p := c.Corner()
+	return Rect{Min: p, Max: Point{p.X + side - 1, p.Y + side - 1}}
+}
+
+// Child returns the code of the quadrant q (0=SW, 1=SE, 2=NW, 3=NE, i.e.
+// bit0 = east, bit1 = north) of the block.
+func (c Code) Child(q int) Code {
+	d := c.Depth() + 1
+	side := BlockSide(d)
+	p := c.Corner()
+	if q&1 != 0 {
+		p.X += side
+	}
+	if q&2 != 0 {
+		p.Y += side
+	}
+	return MakeCode(p, d)
+}
+
+// Parent returns the code of the enclosing block one level up. Calling
+// Parent on the root returns the root.
+func (c Code) Parent() Code {
+	d := c.Depth()
+	if d == 0 {
+		return c
+	}
+	return MakeCode(c.Corner(), d-1)
+}
+
+// Contains reports whether block c contains block other (or equals it).
+func (c Code) Contains(other Code) bool {
+	if other.Depth() < c.Depth() {
+		return false
+	}
+	return c.Block().ContainsRect(other.Block())
+}
+
+// RootCode is the code of the entire space.
+func RootCode() Code { return MakeCode(Point{0, 0}, 0) }
+
+// MortonRange returns the half-open interval [lo, hi) of full-resolution
+// interleaved corner values covered by block c. Every block nested inside c
+// has its interleaved corner in this interval, which is what the linear
+// quadtree's B-tree range scans rely on.
+func (c Code) MortonRange() (lo, hi uint64) {
+	lo = uint64(c) >> 4
+	span := uint64(1) << uint(2*(MaxDepth-c.Depth()))
+	return lo, lo + span
+}
+
+// interleave spreads the low 14 bits of x into the even bit positions and
+// the low 14 bits of y into the odd positions.
+func interleave(x, y uint32) uint32 {
+	return spread(x) | spread(y)<<1
+}
+
+// deinterleave is the inverse of interleave.
+func deinterleave(v uint32) (x, y uint32) {
+	return compact(v), compact(v >> 1)
+}
+
+func spread(v uint32) uint32 {
+	v &= 0x3fff // 14 bits
+	v = (v | v<<8) & 0x00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
+func compact(v uint32) uint32 {
+	v &= 0x55555555
+	v = (v | v>>1) & 0x33333333
+	v = (v | v>>2) & 0x0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff
+	v = (v | v>>8) & 0x0000ffff
+	return v & 0x3fff
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	f := func(x, y uint16) bool {
+		xv := uint32(x) & 0x3fff
+		yv := uint32(y) & 0x3fff
+		gx, gy := deinterleave(interleave(xv, yv))
+		return gx == xv && gy == yv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeBasics(t *testing.T) {
+	root := RootCode()
+	if root.Depth() != 0 {
+		t.Errorf("root depth = %d", root.Depth())
+	}
+	if root.Block() != World() {
+		t.Errorf("root block = %v", root.Block())
+	}
+	// SW child of root covers the lower-left quadrant.
+	sw := root.Child(0)
+	if sw.Depth() != 1 || sw.Corner() != (Point{0, 0}) {
+		t.Errorf("sw = depth %d corner %v", sw.Depth(), sw.Corner())
+	}
+	ne := root.Child(3)
+	if ne.Corner() != (Point{WorldSize / 2, WorldSize / 2}) {
+		t.Errorf("ne corner = %v", ne.Corner())
+	}
+	if ne.Parent() != root {
+		t.Error("parent of NE child should be root")
+	}
+	if root.Parent() != root {
+		t.Error("parent of root should be root")
+	}
+}
+
+func TestCodeChildrenTileParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		depth := rng.Intn(MaxDepth)
+		c := MakeCode(randPoint(rng), depth)
+		parent := c.Block()
+		var area int64
+		for q := 0; q < 4; q++ {
+			ch := c.Child(q)
+			if ch.Depth() != depth+1 {
+				t.Fatalf("child depth = %d", ch.Depth())
+			}
+			b := ch.Block()
+			if !parent.ContainsRect(b) {
+				t.Fatalf("child %v not inside parent %v", b, parent)
+			}
+			if ch.Parent() != c {
+				t.Fatalf("Parent(Child(%d)) != c", q)
+			}
+			area += (b.Width() + 1) * (b.Height() + 1)
+		}
+		if want := (parent.Width() + 1) * (parent.Height() + 1); area != want {
+			t.Fatalf("children cover %d, parent %d", area, want)
+		}
+	}
+}
+
+func TestMortonRangeNesting(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		depth := rng.Intn(MaxDepth)
+		c := MakeCode(randPoint(rng), depth)
+		lo, hi := c.MortonRange()
+		for q := 0; q < 4; q++ {
+			clo, chi := c.Child(q).MortonRange()
+			if clo < lo || chi > hi {
+				t.Fatalf("child range [%d,%d) escapes parent [%d,%d)", clo, chi, lo, hi)
+			}
+		}
+		// Children ranges partition the parent range.
+		var total uint64
+		for q := 0; q < 4; q++ {
+			clo, chi := c.Child(q).MortonRange()
+			total += chi - clo
+		}
+		if total != hi-lo {
+			t.Fatalf("children ranges sum %d != parent span %d", total, hi-lo)
+		}
+	}
+}
+
+func TestCodeContains(t *testing.T) {
+	root := RootCode()
+	deep := MakeCode(Point{3, 5}, MaxDepth)
+	if !root.Contains(deep) {
+		t.Error("root should contain every block")
+	}
+	if deep.Contains(root) {
+		t.Error("deep block should not contain root")
+	}
+	if !deep.Contains(deep) {
+		t.Error("a block contains itself")
+	}
+	a := MakeCode(Point{0, 0}, 1)
+	b := MakeCode(Point{WorldSize / 2, 0}, 1)
+	if a.Contains(b) || b.Contains(a) {
+		t.Error("sibling blocks should not contain each other")
+	}
+}
+
+func TestMakeCodeAlignsCorner(t *testing.T) {
+	// An unaligned point is truncated to the containing block's corner.
+	c := MakeCode(Point{1000, 2000}, 2) // depth-2 blocks have side 4096
+	if c.Corner() != (Point{0, 0}) {
+		t.Errorf("corner = %v, want (0,0)", c.Corner())
+	}
+	if c.Block().Max != (Point{4095, 4095}) {
+		t.Errorf("block max = %v", c.Block().Max)
+	}
+}
+
+func TestBlockSide(t *testing.T) {
+	if BlockSide(0) != WorldSize {
+		t.Errorf("BlockSide(0) = %d", BlockSide(0))
+	}
+	if BlockSide(MaxDepth) != 1 {
+		t.Errorf("BlockSide(MaxDepth) = %d", BlockSide(MaxDepth))
+	}
+}

@@ -1,0 +1,341 @@
+// Package grid implements the uniform grid of §2 (Figure 1) of the paper:
+// space is divided into equal-size cells and every cell stores the
+// q-edges of the segments crossing it.
+//
+// The paper uses the uniform grid as the foil for the quadtree-based
+// regular decomposition: "ideal for uniformly distributed data" but
+// wasteful for the skewed distributions of real maps. It is included here
+// as the baseline for that ablation. The linear representation reuses the
+// same disk B+-tree as the PMR quadtree, keyed by cell index, so the two
+// structures differ only in their decomposition rule.
+package grid
+
+import (
+	"container/heap"
+	"fmt"
+
+	"segdb/internal/btree"
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Config carries the grid resolution.
+type Config struct {
+	// CellsPerSide is the number of cells along each axis.
+	CellsPerSide int32
+}
+
+// DefaultConfig returns a 64x64 grid (256-pixel cells on the 16K world).
+func DefaultConfig() Config { return Config{CellsPerSide: 64} }
+
+// Grid is a disk-resident uniform grid over line segments.
+type Grid struct {
+	bt        *btree.Tree
+	table     *seg.Table
+	n         int32 // cells per side
+	cellSize  int32
+	count     int
+	nodeComps uint64
+}
+
+// New creates an empty grid.
+func New(pool *store.Pool, table *seg.Table, cfg Config) (*Grid, error) {
+	if cfg.CellsPerSide < 1 || cfg.CellsPerSide > geom.WorldSize {
+		return nil, fmt.Errorf("grid: invalid resolution %d", cfg.CellsPerSide)
+	}
+	if geom.WorldSize%cfg.CellsPerSide != 0 {
+		return nil, fmt.Errorf("grid: resolution %d does not divide the world size", cfg.CellsPerSide)
+	}
+	bt, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{
+		bt:       bt,
+		table:    table,
+		n:        cfg.CellsPerSide,
+		cellSize: geom.WorldSize / cfg.CellsPerSide,
+	}, nil
+}
+
+// Name implements core.Index.
+func (g *Grid) Name() string { return "uniform-grid" }
+
+// Table returns the segment table.
+func (g *Grid) Table() *seg.Table { return g.table }
+
+// DiskStats returns the disk activity of the grid's pages.
+func (g *Grid) DiskStats() store.Stats { return g.bt.Pool().Stats() }
+
+// NodeComps returns the cumulative cell computation count.
+func (g *Grid) NodeComps() uint64 { return g.nodeComps }
+
+// SizeBytes returns the storage footprint.
+func (g *Grid) SizeBytes() int64 { return g.bt.Pool().Disk().SizeBytes() }
+
+// DropCache cold-starts the buffer pool.
+func (g *Grid) DropCache() { g.bt.Pool().DropAll() }
+
+// Len returns the number of distinct indexed segments.
+func (g *Grid) Len() int { return g.count }
+
+// QEdges returns the total number of (cell, segment) entries.
+func (g *Grid) QEdges() int { return g.bt.Len() }
+
+// key packs a (cell, segment) pair: cell index in the high 32 bits.
+func (g *Grid) key(cx, cy int32, id seg.ID) uint64 {
+	return uint64(cy)<<cellKeyShiftY | uint64(cx)<<32 | uint64(id)
+}
+
+// Cell indexes fit in 16 bits each (CellsPerSide <= WorldSize = 2^14).
+const cellKeyShiftY = 48
+
+func (g *Grid) cellRect(cx, cy int32) geom.Rect {
+	return geom.Rect{
+		Min: geom.Point{X: cx * g.cellSize, Y: cy * g.cellSize},
+		Max: geom.Point{X: (cx+1)*g.cellSize - 1, Y: (cy+1)*g.cellSize - 1},
+	}
+}
+
+func (g *Grid) cellOf(p geom.Point) (int32, int32) {
+	return p.X / g.cellSize, p.Y / g.cellSize
+}
+
+// cellsFor visits every cell the segment intersects.
+func (g *Grid) cellsFor(s geom.Segment, visit func(cx, cy int32) error) error {
+	b := s.Bounds()
+	cx0, cy0 := g.cellOf(b.Min)
+	cx1, cy1 := g.cellOf(b.Max)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			g.nodeComps++
+			if g.cellRect(cx, cy).IntersectsSegment(s) {
+				if err := visit(cx, cy); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds the segment to every cell it crosses.
+func (g *Grid) Insert(id seg.ID) error {
+	s, err := g.table.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := g.cellsFor(s, func(cx, cy int32) error {
+		return g.bt.Insert(g.key(cx, cy, id))
+	}); err != nil {
+		return err
+	}
+	g.count++
+	return nil
+}
+
+// Delete removes the segment from every cell it crosses.
+func (g *Grid) Delete(id seg.ID) error {
+	s, err := g.table.Get(id)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	if err := g.cellsFor(s, func(cx, cy int32) error {
+		switch err := g.bt.Delete(g.key(cx, cy, id)); err {
+		case nil:
+			removed++
+			return nil
+		case btree.ErrNotFound:
+			return nil
+		default:
+			return err
+		}
+	}); err != nil {
+		return err
+	}
+	if removed == 0 {
+		return seg.ErrNotIndexed
+	}
+	g.count--
+	return nil
+}
+
+// cellMembers returns the distinct segment ids stored in a cell.
+func (g *Grid) cellMembers(cx, cy int32) ([]seg.ID, error) {
+	lo := g.key(cx, cy, 0)
+	hi := lo + (1 << 32)
+	var out []seg.ID
+	err := g.bt.Scan(lo, hi, func(k uint64) bool {
+		out = append(out, seg.ID(k&0xffffffff))
+		return true
+	})
+	return out, err
+}
+
+// Window visits every segment intersecting r exactly once.
+func (g *Grid) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	cx0, cy0 := g.cellOf(r.Min)
+	cx1, cy1 := g.cellOf(r.Max)
+	seen := make(map[seg.ID]struct{})
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			g.nodeComps++
+			members, err := g.cellMembers(cx, cy)
+			if err != nil {
+				return err
+			}
+			for _, id := range members {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				s, err := g.table.Get(id)
+				if err != nil {
+					return err
+				}
+				if !r.IntersectsSegment(s) {
+					continue
+				}
+				seen[id] = struct{}{}
+				if !visit(id, s) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type pqItem struct {
+	distSq float64
+	isSeg  bool
+	cx, cy int32
+	id     seg.ID
+	s      geom.Segment
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Nearest returns the segment closest to p, expanding cells outward from
+// the query point in rings and keeping a candidate priority queue.
+func (g *Grid) Nearest(p geom.Point) (core.NearestResult, error) {
+	return core.FirstNearest(g, p)
+}
+
+// NearestK returns up to k segments in increasing distance from p. Rings
+// of cells are examined outward until the k-th best candidate provably
+// beats everything in unexamined rings.
+func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	var out []core.NearestResult
+	q := &pq{}
+	seen := make(map[seg.ID]struct{})
+	pcx, pcy := g.cellOf(p)
+	examine := func(cx, cy int32) error {
+		if cx < 0 || cy < 0 || cx >= g.n || cy >= g.n {
+			return nil
+		}
+		g.nodeComps++
+		members, err := g.cellMembers(cx, cy)
+		if err != nil {
+			return err
+		}
+		for _, id := range members {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			s, err := g.table.Get(id)
+			if err != nil {
+				return err
+			}
+			heap.Push(q, pqItem{
+				distSq: geom.DistSqPointSegment(p, s),
+				isSeg:  true,
+				id:     id,
+				s:      s,
+			})
+		}
+		return nil
+	}
+	for ring := int32(0); ring < 2*g.n; ring++ {
+		// All cells whose Chebyshev cell-distance from (pcx,pcy) is ring.
+		if ring == 0 {
+			if err := examine(pcx, pcy); err != nil {
+				return nil, err
+			}
+		} else {
+			for d := -ring; d <= ring; d++ {
+				for _, c := range [][2]int32{
+					{pcx + d, pcy - ring}, {pcx + d, pcy + ring},
+					{pcx - ring, pcy + d}, {pcx + ring, pcy + d},
+				} {
+					if err := examine(c[0], c[1]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// Cells in later rings lie at least (ring-1)*cellSize from p (p
+		// sits somewhere inside its own cell), and any segment passing
+		// closer would be stored in a cell already examined, so every
+		// candidate at or below that bound is final.
+		bound := (float64(ring) - 1) * float64(g.cellSize)
+		if bound > 0 {
+			b2 := bound * bound
+			for q.Len() > 0 && len(out) < k && (*q)[0].distSq <= b2 {
+				it := heap.Pop(q).(pqItem)
+				out = append(out, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
+			}
+			if len(out) >= k {
+				return out, nil
+			}
+		}
+	}
+	// Rings exhausted: everything remaining is final.
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(q).(pqItem)
+		out = append(out, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
+	}
+	return out, nil
+}
+
+var _ core.Index = (*Grid)(nil)
+
+// PersistMeta captures the grid's in-memory state (the underlying
+// B-tree's metadata plus the distinct segment count) for serialization
+// alongside its disk image.
+func (g *Grid) PersistMeta() [4]uint64 {
+	bm := g.bt.PersistMeta()
+	return [4]uint64{bm[0], bm[1], bm[2], uint64(g.count)}
+}
+
+// Restore reattaches a grid to a disk image previously saved with its
+// PersistMeta. The pool must wrap the restored disk; cfg must match the
+// original grid's.
+func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*Grid, error) {
+	bt, err := btree.Restore(pool, 0, [3]uint64{meta[0], meta[1], meta[2]})
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{
+		bt:       bt,
+		table:    table,
+		n:        cfg.CellsPerSide,
+		cellSize: geom.WorldSize / cfg.CellsPerSide,
+		count:    int(meta[3]),
+	}, nil
+}

@@ -1,0 +1,428 @@
+package pmr
+
+import (
+	"container/heap"
+
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+)
+
+// Window visits every segment intersecting r exactly once. Like the
+// data-driven window decomposition of Aref & Samet used in the paper's
+// experiments, it decomposes the window into at most four aligned quadtree
+// blocks no smaller than the window and resolves each with one contiguous
+// B-tree range scan, so the disk cost is a handful of sequential leaf
+// pages rather than a root-to-leaf probe per quadtree node.
+//
+// A degenerate (point) window short-circuits to direct point location by
+// locational key, as QUILT's linear quadtree does: a single bucket
+// computation instead of a quadrant descent.
+func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	if r.Min == r.Max {
+		return t.pointQuery(r.Min, visit)
+	}
+	// Depth of the smallest aligned blocks at least as large as the
+	// window: the window then intersects at most 2 blocks per axis, each
+	// containing one of its corners.
+	side := r.Width() + 1
+	if h := r.Height() + 1; h > side {
+		side = h
+	}
+	depth := 0
+	for depth < geom.MaxDepth && int64(geom.BlockSide(depth+1)) >= side {
+		depth++
+	}
+	corners := []geom.Point{
+		r.Min,
+		{X: r.Max.X, Y: r.Min.Y},
+		{X: r.Min.X, Y: r.Max.Y},
+		r.Max,
+	}
+	seen := make(map[seg.ID]struct{})
+	scannedCover := make(map[geom.Code]struct{})
+	scannedLeaf := make(map[geom.Code]struct{})
+	for _, corner := range corners {
+		cover := geom.MakeCode(corner, depth)
+		if _, dup := scannedCover[cover]; dup {
+			continue
+		}
+		scannedCover[cover] = struct{}{}
+		// A leaf larger than the cover block would not appear in the
+		// cover's key range; point location on the corner finds it.
+		leaf, ok, err := t.Locate(corner)
+		if err != nil {
+			return err
+		}
+		if ok && leaf.Depth() < depth {
+			if _, dup := scannedLeaf[leaf]; dup {
+				continue
+			}
+			scannedLeaf[leaf] = struct{}{}
+			cont, err := t.scanBlockEntries(leaf, r, seen, visit)
+			if err != nil || !cont {
+				return err
+			}
+			continue
+		}
+		cont, err := t.scanBlockEntries(cover, r, seen, visit)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanBlockEntries reports the segments of every q-edge stored under the
+// block whose own block intersects r. One bucket computation is charged
+// per distinct stored block encountered; one segment comparison per
+// candidate segment fetched.
+func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool) (bool, error) {
+	lo, hi := blockRange(c)
+	var members []seg.ID
+	var lastBlock geom.Code
+	blockHits, haveBlock := false, false
+	if err := t.bt.ScanValues(lo, hi, func(k uint64, v []byte) bool {
+		bc := keyCode(k)
+		if !haveBlock || bc != lastBlock {
+			lastBlock, haveBlock = bc, true
+			t.nodeComps++
+			blockHits = bc.Block().Intersects(r)
+		}
+		if !blockHits {
+			return true
+		}
+		// In the StoreMBR variant the stored q-edge rectangle rejects
+		// candidates without a segment-table fetch.
+		if qr, ok := decodeQEdgeRect(bc, v); ok {
+			t.nodeComps++
+			if !qr.Intersects(r) {
+				return true
+			}
+		}
+		members = append(members, keySeg(k))
+		return true
+	}); err != nil {
+		return false, err
+	}
+	for _, id := range members {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		s, err := t.table.Get(id)
+		if err != nil {
+			return false, err
+		}
+		if !r.IntersectsSegment(s) {
+			continue
+		}
+		seen[id] = struct{}{}
+		if !visit(id, s) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Locate returns the occupied leaf block containing p, if any, via a
+// single predecessor search on the locational keys. Empty regions (not
+// represented in a linear quadtree) report ok=false.
+func (t *Tree) Locate(p geom.Point) (geom.Code, bool, error) {
+	full := geom.MakeCode(p, geom.MaxDepth)
+	mlo, _ := full.MortonRange()
+	probe := mlo<<36 | uint64(geom.MaxDepth)<<32 | 0xffffffff
+	k, ok, err := t.bt.SeekLE(probe)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	c := keyCode(k)
+	// One bounding bucket computation: does the predecessor's block
+	// contain the point? (Occupied blocks form an antichain, so if any
+	// occupied block contains p it is the predecessor's.)
+	t.nodeComps++
+	if !c.Block().ContainsPoint(p) {
+		return 0, false, nil
+	}
+	return c, true, nil
+}
+
+func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool) error {
+	c, ok, err := t.Locate(p)
+	if err != nil || !ok {
+		return err
+	}
+	exLo, exHi := exactRange(c)
+	var members []seg.ID
+	if err := t.bt.ScanValues(exLo, exHi, func(k uint64, v []byte) bool {
+		if qr, ok := decodeQEdgeRect(c, v); ok {
+			t.nodeComps++
+			if !qr.ContainsPoint(p) {
+				return true
+			}
+		}
+		members = append(members, keySeg(k))
+		return true
+	}); err != nil {
+		return err
+	}
+	pt := geom.Rect{Min: p, Max: p}
+	for _, id := range members {
+		s, err := t.table.Get(id)
+		if err != nil {
+			return err
+		}
+		if !pt.IntersectsSegment(s) {
+			continue
+		}
+		if !visit(id, s) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// qedgeRef is one member of a bucket: a segment id with, in the StoreMBR
+// variant, the q-edge's stored bounding rectangle.
+type qedgeRef struct {
+	id      seg.ID
+	rect    geom.Rect
+	hasRect bool
+}
+
+type pqItem struct {
+	distSq  float64
+	kind    pqKind
+	code    geom.Code
+	id      seg.ID
+	s       geom.Segment
+	members []qedgeRef // bucket items: q-edges of the leaf block, prefetched
+}
+
+type pqKind uint8
+
+const (
+	pqRegion pqKind = iota // an undecomposed key range (block + descendants)
+	pqBucket               // one leaf block whose member ids are known
+	pqEdge                 // one q-edge, lower-bounded by its stored rect
+	pqSeg                  // a fully resolved segment
+)
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// nearestEnumLimit caps how many q-edges a popped region may hold before
+// the search subdivides it instead of enumerating its members. Small
+// regions resolve with one contiguous scan (exploiting the Z-order
+// clustering of the linear quadtree); large ones split into quadrants.
+const nearestEnumLimit = 32
+
+// Nearest returns the segment closest to p, using the incremental
+// priority-queue search over quadtree blocks of Hoel & Samet [11]. The
+// regular decomposition sorts the segments by position, so the search
+// prunes aggressively — the paper's explanation of the PMR quadtree's low
+// segment-comparison counts on this query. Regions with few q-edges are
+// resolved with a single contiguous key-range scan rather than further
+// subdivision, mirroring how a linear quadtree reads whole buckets off
+// sequential B-tree leaves.
+func (t *Tree) Nearest(p geom.Point) (core.NearestResult, error) {
+	return core.FirstNearest(t, p)
+}
+
+// NearestK returns up to k segments in increasing distance from p,
+// continuing the same incremental search until k neighbors have been
+// ranked.
+func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	var out []core.NearestResult
+	q := &pq{}
+	// Seed the queue from the leaf block containing p (one predecessor
+	// search) plus the unexplored siblings along its ancestor path. In
+	// the dense regions favored by the two-stage query points, the
+	// answer then comes from the located leaf or an adjacent block —
+	// pages that are Z-order neighbors on the same B-tree leaves — which
+	// is why the PMR quadtree wins this query in the paper. When p falls
+	// in unoccupied space (common for one-stage points) the search falls
+	// back to a full top-down descent.
+	if leaf, ok, err := t.Locate(p); err != nil {
+		return nil, err
+	} else if ok {
+		heap.Push(q, pqItem{distSq: 0, kind: pqBucket, code: leaf})
+		for c := leaf; c.Depth() > 0; c = c.Parent() {
+			parent := c.Parent()
+			for qd := 0; qd < 4; qd++ {
+				sib := parent.Child(qd)
+				if sib == c {
+					continue
+				}
+				t.nodeComps++
+				heap.Push(q, pqItem{distSq: sib.Block().DistSqToPoint(p), kind: pqRegion, code: sib})
+			}
+		}
+	} else {
+		heap.Push(q, pqItem{distSq: 0, kind: pqRegion, code: geom.RootCode()})
+	}
+	seen := make(map[seg.ID]struct{})
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(q).(pqItem)
+		switch it.kind {
+		case pqSeg:
+			out = append(out, core.NearestResult{
+				ID:     it.id,
+				Seg:    it.s,
+				DistSq: it.distSq,
+				Found:  true,
+			})
+
+		case pqBucket:
+			// Resolve the deferred leaf block only now, when no closer
+			// candidate remains. A bucket seeded by Locate carries no
+			// prefetched keys; scan its exact range.
+			if it.members == nil {
+				exLo, exHi := exactRange(it.code)
+				if err := t.bt.ScanValues(exLo, exHi, func(k uint64, v []byte) bool {
+					ref := qedgeRef{id: keySeg(k)}
+					ref.rect, ref.hasRect = decodeQEdgeRect(it.code, v)
+					it.members = append(it.members, ref)
+					return true
+				}); err != nil {
+					return nil, err
+				}
+			}
+			for _, ref := range it.members {
+				if ref.hasRect {
+					// StoreMBR variant: defer the segment fetch behind the
+					// stored rectangle's distance. Deduplication happens at
+					// fetch time since another q-edge of the same segment
+					// may carry a smaller lower bound.
+					if _, dup := seen[ref.id]; dup {
+						continue
+					}
+					t.nodeComps++
+					heap.Push(q, pqItem{
+						distSq: ref.rect.DistSqToPoint(p),
+						kind:   pqEdge,
+						id:     ref.id,
+					})
+					continue
+				}
+				if _, dup := seen[ref.id]; dup {
+					continue
+				}
+				seen[ref.id] = struct{}{}
+				s, err := t.table.Get(ref.id)
+				if err != nil {
+					return nil, err
+				}
+				heap.Push(q, pqItem{
+					distSq: geom.DistSqPointSegment(p, s),
+					kind:   pqSeg,
+					id:     ref.id,
+					s:      s,
+				})
+			}
+
+		case pqEdge:
+			if _, dup := seen[it.id]; dup {
+				continue
+			}
+			seen[it.id] = struct{}{}
+			s, err := t.table.Get(it.id)
+			if err != nil {
+				return nil, err
+			}
+			heap.Push(q, pqItem{
+				distSq: geom.DistSqPointSegment(p, s),
+				kind:   pqSeg,
+				id:     it.id,
+				s:      s,
+			})
+
+		case pqRegion:
+			// Enumerate the q-edges under this region, stopping early
+			// when the region is clearly populous.
+			lo, hi := blockRange(it.code)
+			limit := nearestEnumLimit
+			if it.code.Depth() >= geom.MaxDepth {
+				// A maximally deep block cannot be subdivided; enumerate
+				// it fully however many coincident q-edges it holds.
+				limit = int(^uint(0) >> 1)
+			}
+			type blockGroup struct {
+				code    geom.Code
+				members []qedgeRef
+			}
+			var groups []blockGroup
+			count := 0
+			if err := t.bt.ScanValues(lo, hi, func(k uint64, v []byte) bool {
+				count++
+				bc := keyCode(k)
+				if len(groups) == 0 || groups[len(groups)-1].code != bc {
+					groups = append(groups, blockGroup{code: bc})
+				}
+				g := &groups[len(groups)-1]
+				ref := qedgeRef{id: keySeg(k)}
+				ref.rect, ref.hasRect = decodeQEdgeRect(bc, v)
+				g.members = append(g.members, ref)
+				return count <= limit
+			}); err != nil {
+				return nil, err
+			}
+			if count > limit {
+				for qd := 0; qd < 4; qd++ {
+					child := it.code.Child(qd)
+					t.nodeComps++
+					heap.Push(q, pqItem{distSq: child.Block().DistSqToPoint(p), kind: pqRegion, code: child})
+				}
+				continue
+			}
+			// Defer each leaf block as a bucket ordered by its distance;
+			// its segments are fetched only if the bucket is reached.
+			for _, g := range groups {
+				t.nodeComps++
+				heap.Push(q, pqItem{
+					distSq:  g.code.Block().DistSqToPoint(p),
+					kind:    pqBucket,
+					code:    g.code,
+					members: g.members,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// LeafBlocks returns the codes of all occupied leaf blocks in Z-order.
+// The harness samples these (uniformly by block, not by area) for the
+// two-stage query point generation of §6.
+func (t *Tree) LeafBlocks() ([]geom.Code, error) {
+	var out []geom.Code
+	var last geom.Code
+	first := true
+	lo, hi := blockRange(geom.RootCode())
+	err := t.bt.Scan(lo, hi, func(k uint64) bool {
+		c := keyCode(k)
+		if first || c != last {
+			out = append(out, c)
+			last, first = c, false
+		}
+		return true
+	})
+	return out, err
+}
+
+// FindLeaves returns the leaf blocks of the decomposition that intersect
+// the segment (exported for tests and tools; insertion uses the same
+// walk).
+func (t *Tree) FindLeaves(s geom.Segment) ([]geom.Code, error) {
+	return t.leavesFor(s)
+}

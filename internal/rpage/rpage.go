@@ -1,0 +1,91 @@
+// Package rpage provides the on-page node format shared by the R-tree
+// variants (R*-tree and the hybrid R+-tree).
+//
+// Per §4 of the paper, a node is a set of 2-tuples (R, O): five 4-byte
+// entries each — four coordinates of the rectangle R and one pointer O to
+// either a child page or a segment-table slot. With 1 KB pages this yields
+// a maximum of 50 tuples per node, exactly as the paper computes.
+package rpage
+
+import (
+	"encoding/binary"
+
+	"segdb/internal/geom"
+)
+
+// EntrySize is the 20-byte footprint of one (rect, pointer) tuple.
+const EntrySize = 20
+
+// HeaderSize is the per-node header: a leaf flag and an entry count.
+const HeaderSize = 4
+
+// Entry is one (R, O) tuple. For leaf nodes Ptr is a segment-table ID;
+// for internal nodes it is a child page ID.
+type Entry struct {
+	Rect geom.Rect
+	Ptr  uint32
+}
+
+// Node is the decoded form of an R-tree page.
+type Node struct {
+	Leaf    bool
+	Entries []Entry
+}
+
+// Capacity returns the maximum number of entries a page of the given size
+// can hold (the M of the R-tree order).
+func Capacity(pageSize int) int { return (pageSize - HeaderSize) / EntrySize }
+
+// Write encodes n into the page buffer.
+func Write(data []byte, n *Node) {
+	if n.Leaf {
+		data[0] = 1
+	} else {
+		data[0] = 0
+	}
+	binary.LittleEndian.PutUint16(data[2:], uint16(len(n.Entries)))
+	off := HeaderSize
+	for _, e := range n.Entries {
+		binary.LittleEndian.PutUint32(data[off+0:], uint32(e.Rect.Min.X))
+		binary.LittleEndian.PutUint32(data[off+4:], uint32(e.Rect.Min.Y))
+		binary.LittleEndian.PutUint32(data[off+8:], uint32(e.Rect.Max.X))
+		binary.LittleEndian.PutUint32(data[off+12:], uint32(e.Rect.Max.Y))
+		binary.LittleEndian.PutUint32(data[off+16:], e.Ptr)
+		off += EntrySize
+	}
+}
+
+// Read decodes a page into a Node.
+func Read(data []byte) *Node {
+	n := &Node{Leaf: data[0] == 1}
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	n.Entries = make([]Entry, count)
+	off := HeaderSize
+	for i := range n.Entries {
+		n.Entries[i] = Entry{
+			Rect: geom.Rect{
+				Min: geom.Point{
+					X: int32(binary.LittleEndian.Uint32(data[off+0:])),
+					Y: int32(binary.LittleEndian.Uint32(data[off+4:])),
+				},
+				Max: geom.Point{
+					X: int32(binary.LittleEndian.Uint32(data[off+8:])),
+					Y: int32(binary.LittleEndian.Uint32(data[off+12:])),
+				},
+			},
+			Ptr: binary.LittleEndian.Uint32(data[off+16:]),
+		}
+		off += EntrySize
+	}
+	return n
+}
+
+// MBR returns the minimum bounding rectangle of the node's entries. It
+// must not be called on an empty node.
+func (n *Node) MBR() geom.Rect {
+	r := n.Entries[0].Rect
+	for _, e := range n.Entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}

@@ -1,0 +1,244 @@
+// Package rplus implements the hybrid R+-tree used by Hoel & Samet: a
+// structure "somewhere between the k-d-B-tree and the R+-tree" (§3).
+//
+// Nonleaf nodes store the raw partition rectangles produced by splitting
+// (k-d-B style, no minimum bounding rectangle tightening); the child
+// regions of a node tile its own region exactly — disjoint and complete.
+// Leaf nodes store minimum bounding rectangles of the line segments (the
+// R+-tree half of the hybrid). A segment is stored in every leaf whose
+// region it intersects, so the decomposition of space is disjoint and point
+// search follows a single root-to-leaf path.
+//
+// Node splits follow the policy of §3: try every vertical and horizontal
+// split line and keep the one that cuts the fewest line segments (or child
+// rectangles); ties are broken by the most even distribution. Splitting an
+// internal node may force downward splits of straddling children, as in
+// the k-d-B-tree.
+package rplus
+
+import (
+	"errors"
+	"fmt"
+
+	"segdb/internal/geom"
+	"segdb/internal/rpage"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// ErrUnsplittable is returned when no split line can reduce a node's
+// occupancy (e.g. more segments than a page holds all meeting at one
+// point, the case footnote 2 of the paper warns about).
+var ErrUnsplittable = errors.New("rplus: node cannot be split productively")
+
+// Config carries the tree's tunable parameters.
+type Config struct {
+	// LeafMBR selects the hybrid of the paper (true: leaf entries carry
+	// the segment's minimum bounding rectangle, enabling early rejection)
+	// or the pure k-d-B behaviour (false: leaf entries carry the leaf
+	// region, so every probe must fetch the segment). The storage layout
+	// is identical; only pruning power differs.
+	LeafMBR bool
+}
+
+// DefaultConfig returns the hybrid configuration used in the paper.
+func DefaultConfig() Config { return Config{LeafMBR: true} }
+
+// KDBConfig returns the pure k-d-B-tree variant (ablation).
+func KDBConfig() Config { return Config{LeafMBR: false} }
+
+// Tree is a disk-resident hybrid R+-tree over line segments.
+type Tree struct {
+	pool      *store.Pool
+	table     *seg.Table
+	cfg       Config
+	root      store.PageID
+	height    int // 1 = root is a leaf
+	max       int // M: page capacity in entries
+	count     int // distinct segments indexed
+	nodeComps uint64
+	name      string
+}
+
+// New creates an empty tree. The root region is the whole world.
+func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
+	max := rpage.Capacity(pool.PageSize())
+	if max < 4 {
+		return nil, fmt.Errorf("rplus: page size %d too small", pool.PageSize())
+	}
+	name := "R+-tree"
+	if !cfg.LeafMBR {
+		name = "k-d-B-tree"
+	}
+	t := &Tree{pool: pool, table: table, cfg: cfg, max: max, name: name}
+	id, data, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	rpage.Write(data, &rpage.Node{Leaf: true})
+	pool.Unpin(id, true)
+	t.root = id
+	t.height = 1
+	return t, nil
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string { return t.name }
+
+// Table returns the segment table the leaf entries point into.
+func (t *Tree) Table() *seg.Table { return t.table }
+
+// DiskStats returns the disk activity of the tree's own pages.
+func (t *Tree) DiskStats() store.Stats { return t.pool.Stats() }
+
+// NodeComps returns the cumulative bounding box computation count.
+func (t *Tree) NodeComps() uint64 { return t.nodeComps }
+
+// SizeBytes returns the storage footprint of the tree pages.
+func (t *Tree) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
+
+// DropCache cold-starts the tree's buffer pool.
+func (t *Tree) DropCache() { t.pool.DropAll() }
+
+// Len returns the number of distinct indexed segments.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+func (t *Tree) readNode(id store.PageID) (*rpage.Node, error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	n := rpage.Read(data)
+	t.pool.Unpin(id, false)
+	return n, nil
+}
+
+func (t *Tree) writeNode(id store.PageID, n *rpage.Node) error {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return err
+	}
+	rpage.Write(data, n)
+	t.pool.Unpin(id, true)
+	return nil
+}
+
+func (t *Tree) allocNode(n *rpage.Node) (store.PageID, error) {
+	id, data, err := t.pool.Allocate()
+	if err != nil {
+		return store.NilPage, err
+	}
+	rpage.Write(data, n)
+	t.pool.Unpin(id, true)
+	return id, nil
+}
+
+// Insert adds the segment with the given table ID, placing it in every
+// leaf whose region it intersects.
+func (t *Tree) Insert(id seg.ID) error {
+	s, err := t.table.Get(id)
+	if err != nil {
+		return err
+	}
+	repl, err := t.insertRec(t.root, geom.World(), s, id)
+	if err != nil {
+		return err
+	}
+	// Grow the tree while the root produced siblings. A recursive split
+	// can return more entries than one node holds; pack each extra level
+	// through emitInternal until a single root remains.
+	for len(repl) > 1 {
+		t.height++
+		if len(repl) <= t.max {
+			rid, err := t.allocNode(&rpage.Node{Entries: repl})
+			if err != nil {
+				return err
+			}
+			t.root = rid
+			break
+		}
+		repl, err = t.emitInternal(store.NilPage, false, geom.World(), repl)
+		if err != nil {
+			return err
+		}
+	}
+	t.count++
+	return nil
+}
+
+// insertRec inserts the segment into the subtree rooted at id covering
+// region. It returns the entry list that must replace the subtree's entry
+// in its parent: one entry normally, two when the node split.
+func (t *Tree) insertRec(id store.PageID, region geom.Rect, s geom.Segment, sid seg.ID) ([]rpage.Entry, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.Leaf {
+		n.Entries = append(n.Entries, rpage.Entry{Rect: t.leafRect(s, region), Ptr: uint32(sid)})
+		if len(n.Entries) <= t.max {
+			if err := t.writeNode(id, n); err != nil {
+				return nil, err
+			}
+			return []rpage.Entry{{Rect: region, Ptr: uint32(id)}}, nil
+		}
+		return t.splitLeaf(id, region, n)
+	}
+	var out []rpage.Entry
+	for _, e := range n.Entries {
+		t.nodeComps++
+		if !e.Rect.IntersectsSegment(s) {
+			out = append(out, e)
+			continue
+		}
+		repl, err := t.insertRec(store.PageID(e.Ptr), e.Rect, s, sid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, repl...)
+	}
+	n.Entries = out
+	if len(n.Entries) <= t.max {
+		if err := t.writeNode(id, n); err != nil {
+			return nil, err
+		}
+		return []rpage.Entry{{Rect: region, Ptr: uint32(id)}}, nil
+	}
+	return t.splitInternal(id, region, n)
+}
+
+// leafRect is the rectangle stored with a leaf entry: the segment MBR for
+// the hybrid, or the leaf region for the pure k-d-B variant.
+func (t *Tree) leafRect(s geom.Segment, region geom.Rect) geom.Rect {
+	if t.cfg.LeafMBR {
+		return s.Bounds()
+	}
+	return region
+}
+
+// PersistMeta captures the tree's in-memory state for serialization
+// alongside its disk image.
+func (t *Tree) PersistMeta() [3]uint64 {
+	return [3]uint64{uint64(t.root), uint64(t.height), uint64(t.count)}
+}
+
+// Restore reattaches a tree to a disk image previously saved with its
+// PersistMeta. The pool must wrap the restored disk; cfg must match the
+// original tree's.
+func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*Tree, error) {
+	t, err := New(pool, table, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool.Free(t.root)
+	t.root = store.PageID(meta[0])
+	t.height = int(meta[1])
+	t.count = int(meta[2])
+	if t.height < 1 {
+		return nil, fmt.Errorf("rplus: invalid height %d", t.height)
+	}
+	return t, nil
+}

@@ -1,0 +1,185 @@
+package rplus
+
+import (
+	"container/heap"
+
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Window visits every segment intersecting r exactly once. Because the
+// R+-tree stores a segment in every leaf it crosses, duplicates are
+// suppressed with a per-query set.
+func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	seen := make(map[seg.ID]struct{})
+	_, err := t.window(t.root, r, seen, visit)
+	return err
+}
+
+func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.Entries {
+		t.nodeComps++
+		if !e.Rect.Intersects(r) {
+			continue
+		}
+		if n.Leaf {
+			sid := seg.ID(e.Ptr)
+			if _, dup := seen[sid]; dup {
+				continue
+			}
+			s, err := t.table.Get(sid)
+			if err != nil {
+				return false, err
+			}
+			if !r.IntersectsSegment(s) {
+				continue
+			}
+			seen[sid] = struct{}{}
+			if !visit(sid, s) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.window(store.PageID(e.Ptr), r, seen, visit)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+type pqItem struct {
+	distSq float64
+	isSeg  bool
+	ptr    uint32
+	s      geom.Segment
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Nearest returns the segment closest to p via the incremental
+// priority-queue search. The disjoint decomposition means the start region
+// containing p is found on a single path, which is why the R+-tree tends
+// to beat the R*-tree on this query in the paper.
+func (t *Tree) Nearest(p geom.Point) (core.NearestResult, error) {
+	return core.FirstNearest(t, p)
+}
+
+// NearestK returns up to k segments in increasing distance from p.
+func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	var out []core.NearestResult
+	q := &pq{{distSq: 0, ptr: uint32(t.root)}}
+	seen := make(map[seg.ID]struct{})
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(q).(pqItem)
+		if it.isSeg {
+			out = append(out, core.NearestResult{
+				ID:     seg.ID(it.ptr),
+				Seg:    it.s,
+				DistSq: it.distSq,
+				Found:  true,
+			})
+			continue
+		}
+		n, err := t.readNode(store.PageID(it.ptr))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range n.Entries {
+			t.nodeComps++
+			if n.Leaf {
+				sid := seg.ID(e.Ptr)
+				if _, dup := seen[sid]; dup {
+					continue
+				}
+				seen[sid] = struct{}{}
+				s, err := t.table.Get(sid)
+				if err != nil {
+					return nil, err
+				}
+				heap.Push(q, pqItem{
+					distSq: geom.DistSqPointSegment(p, s),
+					isSeg:  true,
+					ptr:    e.Ptr,
+					s:      s,
+				})
+				continue
+			}
+			heap.Push(q, pqItem{distSq: e.Rect.DistSqToPoint(p), ptr: e.Ptr})
+		}
+	}
+	return out, nil
+}
+
+// Delete removes the segment from every leaf containing it. The R+-tree
+// literature does not specify an underflow policy and neither does the
+// paper (deletion "is not so common"); pages are left as they are.
+func (t *Tree) Delete(id seg.ID) error {
+	s, err := t.table.Get(id)
+	if err != nil {
+		return err
+	}
+	removed, err := t.deleteRec(t.root, s, id)
+	if err != nil {
+		return err
+	}
+	if removed == 0 {
+		return seg.ErrNotIndexed
+	}
+	t.count--
+	return nil
+}
+
+func (t *Tree) deleteRec(id store.PageID, s geom.Segment, sid seg.ID) (int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.Leaf {
+		kept := n.Entries[:0]
+		removed := 0
+		for _, e := range n.Entries {
+			if seg.ID(e.Ptr) == sid {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if removed == 0 {
+			return 0, nil
+		}
+		n.Entries = kept
+		return removed, t.writeNode(id, n)
+	}
+	total := 0
+	for _, e := range n.Entries {
+		t.nodeComps++
+		if !e.Rect.IntersectsSegment(s) {
+			continue
+		}
+		r, err := t.deleteRec(store.PageID(e.Ptr), s, sid)
+		if err != nil {
+			return 0, err
+		}
+		total += r
+	}
+	return total, nil
+}

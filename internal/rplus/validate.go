@@ -1,0 +1,99 @@
+package rplus
+
+import (
+	"fmt"
+
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Validate checks the hybrid R+-tree invariants:
+//   - the child regions of every internal node are pairwise disjoint and
+//     tile the node's region exactly (area bookkeeping);
+//   - all leaves are at the same level;
+//   - occupancy never exceeds the page capacity;
+//   - every leaf entry's segment truly intersects the leaf's region;
+//   - in the hybrid configuration, leaf entry rects equal segment MBRs.
+func (t *Tree) Validate() error {
+	return t.validate(t.root, geom.World(), t.height)
+}
+
+func (t *Tree) validate(id store.PageID, region geom.Rect, level int) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf != (level == 1) {
+		return fmt.Errorf("rplus: page %d leaf=%v at level %d", id, n.Leaf, level)
+	}
+	if len(n.Entries) > t.max {
+		return fmt.Errorf("rplus: page %d overfull (%d > %d)", id, len(n.Entries), t.max)
+	}
+	if n.Leaf {
+		for _, e := range n.Entries {
+			s, err := t.table.Get(seg.ID(e.Ptr))
+			if err != nil {
+				return fmt.Errorf("rplus: leaf %d: %w", id, err)
+			}
+			if !region.IntersectsSegment(s) {
+				return fmt.Errorf("rplus: leaf %d region %v does not intersect member segment %d %v", id, region, e.Ptr, s)
+			}
+			if t.cfg.LeafMBR && e.Rect != s.Bounds() {
+				return fmt.Errorf("rplus: leaf %d entry %d rect %v != MBR %v", id, e.Ptr, e.Rect, s.Bounds())
+			}
+		}
+		return nil
+	}
+	var areaSum int64
+	for i, e := range n.Entries {
+		if !region.ContainsRect(e.Rect) {
+			return fmt.Errorf("rplus: page %d child region %v escapes %v", id, e.Rect, region)
+		}
+		areaSum += (e.Rect.Width() + 1) * (e.Rect.Height() + 1)
+		for j := i + 1; j < len(n.Entries); j++ {
+			if e.Rect.Intersects(n.Entries[j].Rect) {
+				return fmt.Errorf("rplus: page %d children %d and %d overlap: %v, %v", id, i, j, e.Rect, n.Entries[j].Rect)
+			}
+		}
+		if err := t.validate(store.PageID(e.Ptr), e.Rect, level-1); err != nil {
+			return err
+		}
+	}
+	if want := (region.Width() + 1) * (region.Height() + 1); areaSum != want {
+		return fmt.Errorf("rplus: page %d children cover area %d of region area %d", id, areaSum, want)
+	}
+	return nil
+}
+
+// AvgLeafOccupancy returns the mean number of entries per leaf page (the
+// ~32 segments/page figure of §7; R+ duplication makes it lower than the
+// R*-tree's).
+func (t *Tree) AvgLeafOccupancy() (float64, error) {
+	entries, leaves := 0, 0
+	if err := t.countLeaves(t.root, &entries, &leaves); err != nil {
+		return 0, err
+	}
+	if leaves == 0 {
+		return 0, nil
+	}
+	return float64(entries) / float64(leaves), nil
+}
+
+func (t *Tree) countLeaves(id store.PageID, entries, leaves *int) error {
+	n, err := t.readNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Leaf {
+		*entries += len(n.Entries)
+		*leaves++
+		return nil
+	}
+	for _, e := range n.Entries {
+		if err := t.countLeaves(store.PageID(e.Ptr), entries, leaves); err != nil {
+			return err
+		}
+	}
+	return nil
+}

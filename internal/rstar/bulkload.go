@@ -1,0 +1,122 @@
+package rstar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"segdb/internal/rpage"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// BulkLoad builds a packed R-tree over the given segments with the
+// Sort-Tile-Recursive algorithm (Leutenegger et al.): entries are sorted
+// into √n vertical slices by center x, each slice sorted by center y, and
+// packed into leaves at the target fill; upper levels pack the same way
+// recursively.
+//
+// The paper builds its trees by one-at-a-time insertion (that is what
+// Table 1 measures), so bulk loading is an extension: it shows how much
+// of the R*-tree's build cost is the price of incremental maintenance.
+// The resulting tree answers queries through the same code paths.
+func BulkLoad(pool *store.Pool, table *seg.Table, cfg Config, ids []seg.ID) (*Tree, error) {
+	t, err := New(pool, table, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return t, nil
+	}
+	// Target fill: pack to ~80% so later inserts do not split immediately.
+	perNode := t.max * 4 / 5
+	if perNode < 2 {
+		perNode = 2
+	}
+
+	entries := make([]rpage.Entry, len(ids))
+	for i, id := range ids {
+		s, err := table.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = rpage.Entry{Rect: s.Bounds(), Ptr: uint32(id)}
+	}
+	// Free the empty root New allocated; the packing allocates its own.
+	pool.Free(t.root)
+
+	level := entries
+	leaf := true
+	height := 0
+	for {
+		height++
+		nodes, err := t.packLevel(level, perNode, leaf)
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) == 1 {
+			t.root = store.PageID(nodes[0].Ptr)
+			t.height = height
+			t.count = len(ids)
+			return t, nil
+		}
+		level = nodes
+		leaf = false
+	}
+}
+
+// packLevel tiles one level's entries into nodes of ~perNode entries and
+// returns the parent entries describing them. Slices and nodes receive
+// evenly balanced shares so that no non-root node falls under the m
+// minimum (the tail of a naive greedy packing would).
+func (t *Tree) packLevel(entries []rpage.Entry, perNode int, leaf bool) ([]rpage.Entry, error) {
+	nodeCount := (len(entries) + perNode - 1) / perNode
+	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	})
+	var parents []rpage.Entry
+	for _, slice := range evenChunks(entries, sliceCount) {
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		nodesInSlice := (len(slice) + perNode - 1) / perNode
+		for _, group := range evenChunks(slice, nodesInSlice) {
+			n := &rpage.Node{Leaf: leaf, Entries: group}
+			id, err := t.allocNode(n)
+			if err != nil {
+				return nil, err
+			}
+			parents = append(parents, rpage.Entry{Rect: n.MBR(), Ptr: uint32(id)})
+		}
+	}
+	if len(parents) == 0 {
+		return nil, fmt.Errorf("rstar: bulk load packed no nodes")
+	}
+	return parents, nil
+}
+
+// evenChunks splits s into at most n contiguous chunks whose sizes differ
+// by at most one.
+func evenChunks(s []rpage.Entry, n int) [][]rpage.Entry {
+	if n > len(s) {
+		n = len(s)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([][]rpage.Entry, 0, n)
+	base := len(s) / n
+	extra := len(s) % n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		out = append(out, s[lo:lo+size])
+		lo += size
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package rstar
+
+import (
+	"container/heap"
+
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Window visits every segment intersecting r. Each candidate entry costs
+// one bounding box computation; each surviving leaf entry costs one
+// segment comparison (the exact segment/window test).
+func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	_, err := t.window(t.root, t.height, r, visit)
+	return err
+}
+
+func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID, geom.Segment) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.Entries {
+		t.nodeComps++
+		if !e.Rect.Intersects(r) {
+			continue
+		}
+		if n.Leaf {
+			s, err := t.table.Get(seg.ID(e.Ptr))
+			if err != nil {
+				return false, err
+			}
+			if !r.IntersectsSegment(s) {
+				continue
+			}
+			if !visit(seg.ID(e.Ptr), s) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.window(store.PageID(e.Ptr), level-1, r, visit)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// pqItem is an element of the incremental nearest-neighbor priority queue:
+// either a node awaiting expansion or a fully resolved segment.
+type pqItem struct {
+	distSq float64
+	isSeg  bool
+	ptr    uint32
+	level  int
+	s      geom.Segment // valid when isSeg
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Nearest returns the segment closest to p using the incremental
+// priority-queue search of Hoel & Samet [11]: nodes and segments are
+// ordered by distance and the first segment popped is the answer.
+func (t *Tree) Nearest(p geom.Point) (core.NearestResult, error) {
+	return core.FirstNearest(t, p)
+}
+
+// NearestK returns up to k segments in increasing distance from p — the
+// incremental ranking of [11], which emits neighbors one at a time.
+func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	var out []core.NearestResult
+	q := &pq{{distSq: 0, isSeg: false, ptr: uint32(t.root), level: t.height}}
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(q).(pqItem)
+		if it.isSeg {
+			out = append(out, core.NearestResult{
+				ID:     seg.ID(it.ptr),
+				Seg:    it.s,
+				DistSq: it.distSq,
+				Found:  true,
+			})
+			continue
+		}
+		n, err := t.readNode(store.PageID(it.ptr))
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range n.Entries {
+			t.nodeComps++
+			d := e.Rect.DistSqToPoint(p)
+			if n.Leaf {
+				s, err := t.table.Get(seg.ID(e.Ptr))
+				if err != nil {
+					return nil, err
+				}
+				heap.Push(q, pqItem{
+					distSq: geom.DistSqPointSegment(p, s),
+					isSeg:  true,
+					ptr:    e.Ptr,
+					s:      s,
+				})
+				continue
+			}
+			heap.Push(q, pqItem{distSq: d, ptr: e.Ptr, level: it.level - 1})
+		}
+	}
+	return out, nil
+}
+
+// Delete removes a segment, condensing underfull nodes by reinsertion (the
+// classic R-tree CondenseTree step).
+func (t *Tree) Delete(id seg.ID) error {
+	s, err := t.table.Get(id)
+	if err != nil {
+		return err
+	}
+	r := s.Bounds()
+	var orphans []pending
+	found, _, err := t.deleteRec(t.root, t.height, id, r, &orphans)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return seg.ErrNotIndexed
+	}
+	t.count--
+	// CondenseTree: reinsert orphaned entries at their original levels,
+	// then shrink the root while it is an internal node with one child.
+	for _, o := range orphans {
+		if err := t.insertAll(o); err != nil {
+			return err
+		}
+	}
+	for t.height > 1 {
+		n, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		if len(n.Entries) != 1 {
+			break
+		}
+		old := t.root
+		t.root = store.PageID(n.Entries[0].Ptr)
+		t.height--
+		t.pool.Free(old)
+	}
+	return nil
+}
+
+// deleteRec removes the entry from the subtree. It returns whether the
+// entry was found and whether this node became underfull and was emptied
+// into the orphan list (in which case the caller removes its entry).
+func (t *Tree) deleteRec(id store.PageID, level int, target seg.ID, r geom.Rect, orphans *[]pending) (found, removed bool, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, false, err
+	}
+	if n.Leaf {
+		for i, e := range n.Entries {
+			t.nodeComps++
+			if seg.ID(e.Ptr) != target {
+				continue
+			}
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+			if len(n.Entries) < t.min && level != t.height {
+				for _, rest := range n.Entries {
+					*orphans = append(*orphans, pending{e: rest, level: level})
+				}
+				t.pool.Free(id)
+				return true, true, nil
+			}
+			return true, false, t.writeNode(id, n)
+		}
+		return false, false, nil
+	}
+	for i := 0; i < len(n.Entries); i++ {
+		e := n.Entries[i]
+		t.nodeComps++
+		if !e.Rect.ContainsRect(r) {
+			continue
+		}
+		f, rm, err := t.deleteRec(store.PageID(e.Ptr), level-1, target, r, orphans)
+		if err != nil {
+			return false, false, err
+		}
+		if !f {
+			continue
+		}
+		if rm {
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+		} else {
+			child, err := t.readNode(store.PageID(e.Ptr))
+			if err != nil {
+				return false, false, err
+			}
+			n.Entries[i].Rect = child.MBR()
+		}
+		if len(n.Entries) < t.min && level != t.height {
+			for _, rest := range n.Entries {
+				*orphans = append(*orphans, pending{e: rest, level: level})
+			}
+			t.pool.Free(id)
+			return true, true, nil
+		}
+		return true, false, t.writeNode(id, n)
+	}
+	return false, false, nil
+}

@@ -1,0 +1,179 @@
+// Package seg implements the disk-resident segment table shared by all
+// three spatial indexes.
+//
+// Per §4 of the paper, the indexes themselves store only *pointers* into
+// this table (the spatial index proper); the endpoints of each line segment
+// live here, packed into pages behind a small buffer pool. A "segment
+// comparison" in the paper's statistics is one fetch of a segment's
+// geometry from this table, counted by Table.Comparisons.
+package seg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"segdb/internal/geom"
+	"segdb/internal/store"
+)
+
+// ErrNotIndexed is returned by index Delete implementations when the
+// segment is not present in the index.
+var ErrNotIndexed = errors.New("segdb: segment not found in index")
+
+// ID is a segment's index in the table, the pointer value stored inside
+// the spatial indexes.
+type ID uint32
+
+// NilID marks "no segment".
+const NilID = ^ID(0)
+
+// recordSize is the on-page footprint of one segment: four int32
+// coordinates.
+const recordSize = 16
+
+// Table is the append-only, disk-resident table of line segments.
+type Table struct {
+	pool    *store.Pool
+	perPage int
+	count   int
+	fetches uint64
+}
+
+// NewTable creates a segment table over its own simulated disk.
+func NewTable(pageSize, poolPages int) *Table {
+	return &Table{
+		pool:    store.NewPool(store.NewDisk(pageSize), poolPages),
+		perPage: pageSize / recordSize,
+	}
+}
+
+// Len returns the number of segments in the table.
+func (t *Table) Len() int { return t.count }
+
+// DiskStats returns the disk activity of the table's buffer pool.
+func (t *Table) DiskStats() store.Stats { return t.pool.Stats() }
+
+// Comparisons returns the cumulative number of segment fetches — the
+// paper's "segment comparisons" counter.
+func (t *Table) Comparisons() uint64 { return t.fetches }
+
+// SizeBytes returns the storage occupied by the table.
+func (t *Table) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
+
+// DropCache empties the table's buffer pool (cold restart between
+// experiment phases).
+func (t *Table) DropCache() { t.pool.DropAll() }
+
+// Append stores a segment and returns its ID. Appending does not count as
+// a segment comparison.
+func (t *Table) Append(s geom.Segment) (ID, error) {
+	id := ID(t.count)
+	pageIdx := t.count / t.perPage
+	slot := t.count % t.perPage
+	var (
+		pid  store.PageID
+		data []byte
+		err  error
+	)
+	if slot == 0 {
+		pid, data, err = t.pool.Allocate()
+		if err != nil {
+			return NilID, err
+		}
+		if int(pid) != pageIdx {
+			return NilID, fmt.Errorf("seg: unexpected page id %d for page %d", pid, pageIdx)
+		}
+	} else {
+		pid = store.PageID(pageIdx)
+		data, err = t.pool.Get(pid)
+		if err != nil {
+			return NilID, err
+		}
+	}
+	encode(data[slot*recordSize:], s)
+	t.pool.Unpin(pid, true)
+	t.count++
+	return id, nil
+}
+
+// Get fetches a segment's endpoints, counting one segment comparison.
+func (t *Table) Get(id ID) (geom.Segment, error) {
+	if int(id) >= t.count {
+		return geom.Segment{}, fmt.Errorf("seg: id %d out of range (%d segments)", id, t.count)
+	}
+	t.fetches++
+	pid := store.PageID(int(id) / t.perPage)
+	slot := int(id) % t.perPage
+	data, err := t.pool.Get(pid)
+	if err != nil {
+		return geom.Segment{}, err
+	}
+	s := decode(data[slot*recordSize:])
+	t.pool.Unpin(pid, false)
+	return s, nil
+}
+
+// MustGet is Get for callers that treat table errors as fatal logic errors
+// (the IDs they hold were handed out by Append).
+func (t *Table) MustGet(id ID) geom.Segment {
+	s, err := t.Get(id)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func encode(b []byte, s geom.Segment) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(s.P1.X))
+	binary.LittleEndian.PutUint32(b[4:], uint32(s.P1.Y))
+	binary.LittleEndian.PutUint32(b[8:], uint32(s.P2.X))
+	binary.LittleEndian.PutUint32(b[12:], uint32(s.P2.Y))
+}
+
+func decode(b []byte) geom.Segment {
+	return geom.Segment{
+		P1: geom.Point{
+			X: int32(binary.LittleEndian.Uint32(b[0:])),
+			Y: int32(binary.LittleEndian.Uint32(b[4:])),
+		},
+		P2: geom.Point{
+			X: int32(binary.LittleEndian.Uint32(b[8:])),
+			Y: int32(binary.LittleEndian.Uint32(b[12:])),
+		},
+	}
+}
+
+// SaveTo serializes the table (record count followed by its disk image)
+// after flushing buffered pages.
+func (t *Table) SaveTo(w io.Writer) error {
+	t.pool.Flush()
+	if err := binary.Write(w, binary.LittleEndian, uint32(t.count)); err != nil {
+		return err
+	}
+	_, err := t.pool.Disk().WriteTo(w)
+	return err
+}
+
+// RestoreTable reconstructs a table serialized by SaveTo, fronted by a
+// fresh buffer pool of poolPages frames.
+func RestoreTable(r io.Reader, poolPages int) (*Table, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("seg: reading table header: %w", err)
+	}
+	disk, err := store.ReadDiskFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		pool:    store.NewPool(disk, poolPages),
+		perPage: disk.PageSize() / recordSize,
+		count:   int(count),
+	}
+	if need := (t.count + t.perPage - 1) / t.perPage; disk.PagesInUse() < need {
+		return nil, fmt.Errorf("seg: table image has %d pages, %d records need %d", disk.PagesInUse(), t.count, need)
+	}
+	return t, nil
+}

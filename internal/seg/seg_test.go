@@ -1,0 +1,141 @@
+package seg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segdb/internal/geom"
+)
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	tab := NewTable(1024, 16)
+	segs := []geom.Segment{
+		geom.Seg(0, 0, 100, 200),
+		geom.Seg(16383, 16383, 1, 2),
+		geom.Seg(5, 5, 5, 5),
+	}
+	var ids []ID
+	for _, s := range segs {
+		id, err := tab.Append(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if tab.Len() != len(segs) {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for i, id := range ids {
+		got, err := tab.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != segs[i] {
+			t.Errorf("Get(%d) = %v, want %v", id, got, segs[i])
+		}
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	tab := NewTable(1024, 4)
+	if _, err := tab.Get(0); err == nil {
+		t.Error("expected error for empty table")
+	}
+	tab.Append(geom.Segment{})
+	if _, err := tab.Get(1); err == nil {
+		t.Error("expected error past end")
+	}
+	if _, err := tab.Get(NilID); err == nil {
+		t.Error("expected error for NilID")
+	}
+}
+
+func TestComparisonCounting(t *testing.T) {
+	tab := NewTable(1024, 4)
+	id, _ := tab.Append(geom.Seg(1, 2, 3, 4))
+	if tab.Comparisons() != 0 {
+		t.Fatal("append should not count as comparison")
+	}
+	tab.Get(id)
+	tab.Get(id)
+	if got := tab.Comparisons(); got != 2 {
+		t.Errorf("Comparisons = %d, want 2", got)
+	}
+}
+
+func TestPackingDensityAndLocality(t *testing.T) {
+	// 1 KB pages hold 64 records; 640 segments should occupy 10 pages.
+	tab := NewTable(1024, 16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 640; i++ {
+		s := geom.Seg(int32(rng.Intn(16384)), int32(rng.Intn(16384)),
+			int32(rng.Intn(16384)), int32(rng.Intn(16384)))
+		if _, err := tab.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tab.SizeBytes(); got != 10*1024 {
+		t.Errorf("SizeBytes = %d, want %d", got, 10*1024)
+	}
+	// Sequential access after a cold start: 640 gets touch only 10 pages.
+	tab.DropCache()
+	before := tab.DiskStats()
+	for i := 0; i < 640; i++ {
+		tab.Get(ID(i))
+	}
+	if reads := tab.DiskStats().Sub(before).Reads; reads != 10 {
+		t.Errorf("sequential scan reads = %d, want 10", reads)
+	}
+}
+
+func TestManySegmentsRoundTripAcrossPages(t *testing.T) {
+	tab := NewTable(256, 2) // tiny pages + pool to force eviction traffic
+	rng := rand.New(rand.NewSource(4))
+	var want []geom.Segment
+	for i := 0; i < 1000; i++ {
+		s := geom.Seg(int32(rng.Intn(16384)), int32(rng.Intn(16384)),
+			int32(rng.Intn(16384)), int32(rng.Intn(16384)))
+		want = append(want, s)
+		if _, err := tab.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random access pattern.
+	for i := 0; i < 5000; i++ {
+		j := rng.Intn(len(want))
+		got, err := tab.Get(ID(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[j] {
+			t.Fatalf("Get(%d) = %v, want %v", j, got, want[j])
+		}
+	}
+}
+
+func TestMustGetPanicsOnBadID(t *testing.T) {
+	tab := NewTable(1024, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tab.MustGet(7)
+}
+
+// Property: any in-world segment round-trips through the on-page record
+// encoding exactly.
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(x1, y1, x2, y2 uint16) bool {
+		s := geom.Seg(
+			int32(x1)%geom.WorldSize, int32(y1)%geom.WorldSize,
+			int32(x2)%geom.WorldSize, int32(y2)%geom.WorldSize)
+		var buf [recordSize]byte
+		encode(buf[:], s)
+		return decode(buf[:]) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

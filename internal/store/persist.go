@@ -1,0 +1,88 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// diskMagic guards the on-file layout of a serialized Disk.
+const diskMagic = 0x5344424b // "SDBK"
+
+// WriteTo serializes the disk image: page size, page count, free list,
+// and raw pages. Callers must Flush any pools first so the image reflects
+// buffered writes.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	header := []uint32{diskMagic, uint32(d.pageSize), uint32(len(d.pages)), uint32(len(d.free))}
+	for _, v := range header {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, id := range d.free {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(id)); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, p := range d.pages {
+		if _, err := cw.Write(p); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadDiskFrom reconstructs a disk image written by WriteTo. The restored
+// disk starts with zeroed statistics.
+func ReadDiskFrom(r io.Reader) (*Disk, error) {
+	var header [4]uint32
+	for i := range header {
+		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("store: reading disk header: %w", err)
+		}
+	}
+	if header[0] != diskMagic {
+		return nil, fmt.Errorf("store: bad disk magic %#x", header[0])
+	}
+	pageSize := int(header[1])
+	pageCount := int(header[2])
+	freeCount := int(header[3])
+	if pageSize <= 0 || pageSize > 1<<20 {
+		return nil, fmt.Errorf("store: implausible page size %d", pageSize)
+	}
+	if freeCount > pageCount {
+		return nil, fmt.Errorf("store: free list (%d) exceeds page count (%d)", freeCount, pageCount)
+	}
+	d := NewDisk(pageSize)
+	d.free = make([]PageID, freeCount)
+	for i := range d.free {
+		var id uint32
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		if int(id) >= pageCount {
+			return nil, fmt.Errorf("store: free page %d out of range", id)
+		}
+		d.free[i] = PageID(id)
+	}
+	d.pages = make([][]byte, pageCount)
+	for i := range d.pages {
+		d.pages[i] = make([]byte, pageSize)
+		if _, err := io.ReadFull(r, d.pages[i]); err != nil {
+			return nil, fmt.Errorf("store: reading page %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

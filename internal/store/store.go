@@ -1,0 +1,317 @@
+// Package store simulates the disk subsystem of Hoel & Samet's testbed: a
+// page-oriented store fronted by a small LRU buffer pool (16 pages of 1 KB
+// by default, per §4 of the paper).
+//
+// As in the paper, a "disk access" is an operation that *potentially*
+// touches the disk: fetching a page that is not resident in the pool, or
+// writing back a dirty page on eviction or flush. The store keeps those
+// counters; higher layers snapshot them around operations to produce the
+// per-query disk-access statistics.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default configuration used throughout the paper's main experiments.
+const (
+	DefaultPageSize  = 1024
+	DefaultPoolPages = 16
+	invalidPage      = ^PageID(0)
+)
+
+// PageID identifies a page on the simulated disk. Zero is a valid page;
+// NilPage marks "no page".
+type PageID uint32
+
+// NilPage is the sentinel for a missing page reference.
+const NilPage = invalidPage
+
+// Stats counts potential disk activity.
+type Stats struct {
+	Reads  uint64 // pages fetched into the pool (buffer-pool misses)
+	Writes uint64 // dirty pages written back (eviction or flush)
+	Allocs uint64 // pages ever allocated
+	Frees  uint64 // pages returned to the free list
+}
+
+// Accesses returns the total number of potential disk accesses, the
+// quantity tabulated in Table 1 and Figure 6 of the paper.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - prev.Reads,
+		Writes: s.Writes - prev.Writes,
+		Allocs: s.Allocs - prev.Allocs,
+		Frees:  s.Frees - prev.Frees,
+	}
+}
+
+// Disk is the simulated backing store: a growable array of fixed-size
+// pages plus a free list. Disk is not safe for concurrent use; each index
+// owns its own Disk, mirroring the single-user testbed of the paper.
+type Disk struct {
+	pageSize int
+	pages    [][]byte
+	free     []PageID
+	stats    Stats
+}
+
+// NewDisk creates an empty disk with the given page size.
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("store: invalid page size %d", pageSize))
+	}
+	return &Disk{pageSize: pageSize}
+}
+
+// PageSize returns the size in bytes of every page.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// PagesInUse returns the number of allocated, non-freed pages.
+func (d *Disk) PagesInUse() int { return len(d.pages) - len(d.free) }
+
+// SizeBytes returns the total storage occupied by live pages. This is the
+// "size (Kbytes)" column of Table 1.
+func (d *Disk) SizeBytes() int64 { return int64(d.PagesInUse()) * int64(d.pageSize) }
+
+// allocate reserves a zeroed page and returns its id.
+func (d *Disk) allocate() PageID {
+	d.stats.Allocs++
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		clear(d.pages[id])
+		return id
+	}
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// release returns a page to the free list.
+func (d *Disk) release(id PageID) {
+	d.stats.Frees++
+	d.free = append(d.free, id)
+}
+
+// read copies the page contents into buf, counting one disk read.
+func (d *Disk) read(id PageID, buf []byte) {
+	d.stats.Reads++
+	copy(buf, d.pages[id])
+}
+
+// write copies buf onto the page, counting one disk write.
+func (d *Disk) write(id PageID, buf []byte) {
+	d.stats.Writes++
+	copy(d.pages[id], buf)
+}
+
+var errAllPinned = errors.New("store: all buffer frames pinned")
+
+// frame is one buffer-pool slot.
+type frame struct {
+	id         PageID
+	data       []byte
+	dirty      bool
+	pins       int
+	prev, next *frame // LRU list; most recently used at head
+}
+
+// Pool is an LRU buffer pool over a Disk. Fetching a page that is resident
+// costs nothing; a miss evicts the least recently used unpinned frame
+// (writing it back if dirty) and reads the page from disk.
+type Pool struct {
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+}
+
+// NewPool creates a buffer pool with the given number of frames.
+func NewPool(disk *Disk, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("store: invalid pool capacity %d", capacity))
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+	}
+}
+
+// Disk returns the underlying disk.
+func (p *Pool) Disk() *Disk { return p.disk }
+
+// PageSize returns the size of pages managed by this pool.
+func (p *Pool) PageSize() int { return p.disk.pageSize }
+
+// Stats returns the accumulated disk statistics.
+func (p *Pool) Stats() Stats { return p.disk.stats }
+
+// Resident reports whether the page is currently in the pool (test hook).
+func (p *Pool) Resident(id PageID) bool {
+	_, ok := p.frames[id]
+	return ok
+}
+
+// Allocate creates a new page and returns it pinned and dirty. The caller
+// must Unpin it when done.
+func (p *Pool) Allocate() (PageID, []byte, error) {
+	id := p.disk.allocate()
+	f, err := p.install(id, false)
+	if err != nil {
+		return NilPage, nil, err
+	}
+	f.dirty = true
+	f.pins++
+	return id, f.data, nil
+}
+
+// Get pins the page and returns its contents. The slice aliases the buffer
+// frame: it is valid until Unpin, and writes to it must be followed by
+// Unpin(id, true) (or MarkDirty) to be persisted.
+func (p *Pool) Get(id PageID) ([]byte, error) {
+	if id == NilPage {
+		return nil, errors.New("store: get of nil page")
+	}
+	if f, ok := p.frames[id]; ok {
+		p.touch(f)
+		f.pins++
+		return f.data, nil
+	}
+	f, err := p.install(id, true)
+	if err != nil {
+		return nil, err
+	}
+	f.pins++
+	return f.data, nil
+}
+
+// Unpin releases one pin on the page, marking it dirty if the caller
+// modified it.
+func (p *Pool) Unpin(id PageID, dirty bool) {
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		panic(fmt.Sprintf("store: unpin of unpinned page %d", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// MarkDirty flags a currently pinned page as modified.
+func (p *Pool) MarkDirty(id PageID) {
+	f, ok := p.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("store: mark dirty of non-resident page %d", id))
+	}
+	f.dirty = true
+}
+
+// Free returns the page to the disk free list. The page must be unpinned;
+// a dirty page being freed is simply dropped (its contents are dead).
+func (p *Pool) Free(id PageID) {
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			panic(fmt.Sprintf("store: free of pinned page %d", id))
+		}
+		p.unlink(f)
+		delete(p.frames, id)
+	}
+	p.disk.release(id)
+}
+
+// Flush writes back every dirty frame (without evicting), as done once at
+// the end of a build so that sizes and write counts are comparable.
+func (p *Pool) Flush() {
+	for _, f := range p.frames {
+		if f.dirty {
+			p.disk.write(f.id, f.data)
+			f.dirty = false
+		}
+	}
+}
+
+// DropAll empties the pool, writing back dirty pages. Used between
+// experiment phases to cold-start the cache.
+func (p *Pool) DropAll() {
+	p.Flush()
+	for id, f := range p.frames {
+		if f.pins > 0 {
+			panic(fmt.Sprintf("store: drop-all with pinned page %d", id))
+		}
+		delete(p.frames, id)
+	}
+	p.head, p.tail = nil, nil
+}
+
+// install brings a page into the pool, evicting if necessary.
+func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, p.disk.pageSize)}
+	if readFromDisk {
+		p.disk.read(id, f.data)
+	}
+	p.frames[id] = f
+	p.pushFront(f)
+	return f, nil
+}
+
+// evictOne removes the least recently used unpinned frame.
+func (p *Pool) evictOne() error {
+	for f := p.tail; f != nil; f = f.prev {
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			p.disk.write(f.id, f.data)
+		}
+		p.unlink(f)
+		delete(p.frames, f.id)
+		return nil
+	}
+	return errAllPinned
+}
+
+func (p *Pool) touch(f *frame) {
+	if p.head == f {
+		return
+	}
+	p.unlink(f)
+	p.pushFront(f)
+}
+
+func (p *Pool) pushFront(f *frame) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+func (p *Pool) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

@@ -1,0 +1,197 @@
+package tiger
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"segdb/internal/geom"
+)
+
+// FaceStats summarizes the polygonal subdivision induced by a map: the
+// paper's "polygon" statistics (§6 reports an average polygon size of 19
+// for Baltimore county against 132 for Charles county).
+type FaceStats struct {
+	Faces        int     // number of faces, excluding the outer face
+	AvgSize      float64 // mean boundary length (in segments) of inner faces
+	MaxSize      int
+	OuterSize    int // total boundary length of outer (unbounded) faces
+	DirectedUsed int // directed edges consumed (sanity: 2x segment count)
+}
+
+// Faces computes the face decomposition of the map with an in-memory
+// angular sweep — the ground truth that the index-based enclosing-polygon
+// query is tested against.
+func Faces(m *Map) (FaceStats, error) {
+	type dedge struct{ from, to geom.Point }
+	adj := make(map[geom.Point][]geom.Point)
+	for _, s := range m.Segments {
+		adj[s.P1] = append(adj[s.P1], s.P2)
+		adj[s.P2] = append(adj[s.P2], s.P1)
+	}
+	// Sort neighbors counter-clockwise around each vertex.
+	for v, ns := range adj {
+		sort.Slice(ns, func(i, j int) bool {
+			return angleOf(v, ns[i]) < angleOf(v, ns[j])
+		})
+		adj[v] = ns
+	}
+	// next(from->to) for face-on-left traversal: the neighbor of `to`
+	// that is the clockwise predecessor of `from` in the CCW order
+	// around `to`.
+	next := func(e dedge) dedge {
+		ns := adj[e.to]
+		back := angleOf(e.to, e.from)
+		// Find the neighbor with the largest angle strictly below back,
+		// wrapping around (i.e. the CCW-sorted predecessor of `back`).
+		idx := sort.Search(len(ns), func(i int) bool {
+			return angleOf(e.to, ns[i]) >= back
+		})
+		idx-- // predecessor
+		if idx < 0 {
+			idx = len(ns) - 1
+		}
+		return dedge{from: e.to, to: ns[idx]}
+	}
+	visited := make(map[dedge]bool)
+	var stats FaceStats
+	total := 0
+	for _, s := range m.Segments {
+		for _, start := range []dedge{{s.P1, s.P2}, {s.P2, s.P1}} {
+			if visited[start] {
+				continue
+			}
+			size := 0
+			var area2 int64 // twice the signed area of the boundary cycle
+			e := start
+			for {
+				if visited[e] {
+					return stats, fmt.Errorf("tiger: face traversal revisited %v before closing", e)
+				}
+				visited[e] = true
+				size++
+				stats.DirectedUsed++
+				area2 += int64(e.from.X)*int64(e.to.Y) - int64(e.to.X)*int64(e.from.Y)
+				e = next(e)
+				if e == start {
+					break
+				}
+				if size > 4*len(m.Segments) {
+					return stats, fmt.Errorf("tiger: runaway face from %v", start)
+				}
+			}
+			// Face-on-left traversal walks bounded (inner) faces counter-
+			// clockwise, so they have positive signed area; the unbounded
+			// outer boundary of each component is clockwise (negative),
+			// and pure dead-end trees enclose zero area.
+			if area2 > 0 {
+				stats.Faces++
+				total += size
+				if size > stats.MaxSize {
+					stats.MaxSize = size
+				}
+			} else {
+				stats.OuterSize += size
+			}
+		}
+	}
+	if stats.Faces > 0 {
+		stats.AvgSize = float64(total) / float64(stats.Faces)
+	}
+	return stats, nil
+}
+
+func angleOf(from, to geom.Point) float64 {
+	return math.Atan2(float64(to.Y-from.Y), float64(to.X-from.X))
+}
+
+// CheckPlanar verifies that the map is a noded planar graph: segments may
+// share endpoints but must not cross, touch mid-segment, or overlap
+// collinearly, and no segment may be degenerate or escape the world. It
+// uses a uniform spatial hash so ~50k-segment maps check in well under a
+// second.
+func CheckPlanar(m *Map) error {
+	const cell = 256
+	buckets := make(map[[2]int32][]int)
+	for i, s := range m.Segments {
+		if s.P1 == s.P2 {
+			return fmt.Errorf("tiger: degenerate segment %d at %v", i, s.P1)
+		}
+		if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
+			return fmt.Errorf("tiger: segment %d escapes the world: %v", i, s)
+		}
+		b := s.Bounds()
+		for cy := b.Min.Y / cell; cy <= b.Max.Y/cell; cy++ {
+			for cx := b.Min.X / cell; cx <= b.Max.X/cell; cx++ {
+				k := [2]int32{cx, cy}
+				buckets[k] = append(buckets[k], i)
+			}
+		}
+	}
+	checked := make(map[[2]int]bool)
+	for _, ids := range buckets {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if i > j {
+					i, j = j, i
+				}
+				pk := [2]int{i, j}
+				if checked[pk] {
+					continue
+				}
+				checked[pk] = true
+				if err := checkPair(m.Segments[i], m.Segments[j], i, j); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkPair(s1, s2 geom.Segment, i, j int) error {
+	if !geom.SegmentsIntersect(s1, s2) {
+		return nil
+	}
+	shared, other1, other2, ok := sharedEndpoint(s1, s2)
+	if !ok {
+		return fmt.Errorf("tiger: segments %d %v and %d %v cross without a shared endpoint", i, s1, j, s2)
+	}
+	// Sharing an endpoint is fine unless the segments overlap collinearly.
+	if collinear(shared, other1, other2) && sameDirection(shared, other1, other2) {
+		return fmt.Errorf("tiger: segments %d %v and %d %v overlap collinearly", i, s1, j, s2)
+	}
+	// The shared endpoint must be the only contact: the other endpoints
+	// must not lie on the opposite segment.
+	if geom.DistSqPointSegment(other1, s2) == 0 && other1 != shared {
+		return fmt.Errorf("tiger: endpoint %v of segment %d lies on segment %d", other1, i, j)
+	}
+	if geom.DistSqPointSegment(other2, s1) == 0 && other2 != shared {
+		return fmt.Errorf("tiger: endpoint %v of segment %d lies on segment %d", other2, j, i)
+	}
+	return nil
+}
+
+func sharedEndpoint(s1, s2 geom.Segment) (shared, other1, other2 geom.Point, ok bool) {
+	for _, p1 := range []geom.Point{s1.P1, s1.P2} {
+		for _, p2 := range []geom.Point{s2.P1, s2.P2} {
+			if p1 == p2 {
+				o1, _ := s1.Other(p1)
+				o2, _ := s2.Other(p2)
+				return p1, o1, o2, true
+			}
+		}
+	}
+	return geom.Point{}, geom.Point{}, geom.Point{}, false
+}
+
+func collinear(a, b, c geom.Point) bool {
+	return (int64(b.X)-int64(a.X))*(int64(c.Y)-int64(a.Y)) ==
+		(int64(b.Y)-int64(a.Y))*(int64(c.X)-int64(a.X))
+}
+
+func sameDirection(origin, a, b geom.Point) bool {
+	return (int64(a.X)-int64(origin.X))*(int64(b.X)-int64(origin.X))+
+		(int64(a.Y)-int64(origin.Y))*(int64(b.Y)-int64(origin.Y)) > 0
+}

@@ -1,0 +1,217 @@
+// Package tiger generates synthetic road-network maps that stand in for
+// the Bureau of the Census TIGER/Line files used by Hoel & Samet.
+//
+// The paper's six Maryland county extracts (~50,000 line segments each)
+// are not redistributable, so this package synthesizes *polygonal maps* —
+// noded planar graphs of line segments — whose experiment-relevant
+// properties match the originals:
+//
+//   - segment count around 50,000 per county;
+//   - urban counties (Baltimore) are dense lattices of small city blocks
+//     (polygons of a handful of segments);
+//   - rural counties (Cecil, Charles, Garrett, Washington) are sparse
+//     corridor networks whose roads meander, so faces contain on the order
+//     of a hundred segments (the paper measures an average polygon size of
+//     19 for Baltimore county vs 132 for Charles county);
+//   - suburban Anne Arundel sits in between;
+//   - segments meet only at shared endpoints (planarity), which makes the
+//     enclosing-polygon query (face traversal) well defined.
+//
+// Maps are generated from a jittered lattice whose edges are optionally
+// deleted and then subdivided into meandering chains. Jitter and meander
+// amplitudes are bounded by fractions of the lattice spacing chosen so
+// that edge corridors can never touch, guaranteeing planarity by
+// construction (and verified by CheckPlanar in the tests).
+package tiger
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+)
+
+// Kind classifies a county archetype.
+type Kind int
+
+// County archetypes, mirroring §6 of the paper.
+const (
+	Urban Kind = iota
+	Suburban
+	Rural
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Urban:
+		return "urban"
+	case Suburban:
+		return "suburban"
+	case Rural:
+		return "rural"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec describes one synthetic county.
+type Spec struct {
+	Name       string
+	Kind       Kind
+	Seed       int64
+	Lattice    int     // lattice cells per side
+	SubdivMin  int     // minimum sub-segments per lattice edge
+	SubdivMax  int     // maximum sub-segments per lattice edge
+	DeleteFrac float64 // fraction of interior lattice edges removed
+}
+
+// Counties returns the six synthetic counties standing in for the paper's
+// Maryland extracts. Parameters are tuned so each map lands near 50,000
+// segments with the urban/suburban/rural polygon-size contrast of §6.
+func Counties() []Spec {
+	return []Spec{
+		{Name: "Anne Arundel", Kind: Suburban, Seed: 1001, Lattice: 82, SubdivMin: 3, SubdivMax: 5, DeleteFrac: 0.12},
+		{Name: "Baltimore", Kind: Urban, Seed: 1002, Lattice: 132, SubdivMin: 1, SubdivMax: 2, DeleteFrac: 0.10},
+		{Name: "Cecil", Kind: Rural, Seed: 1003, Lattice: 32, SubdivMin: 25, SubdivMax: 35, DeleteFrac: 0.20},
+		{Name: "Charles", Kind: Rural, Seed: 1004, Lattice: 30, SubdivMin: 30, SubdivMax: 36, DeleteFrac: 0.20},
+		{Name: "Garrett", Kind: Rural, Seed: 1005, Lattice: 26, SubdivMin: 40, SubdivMax: 50, DeleteFrac: 0.18},
+		{Name: "Washington", Kind: Rural, Seed: 1006, Lattice: 36, SubdivMin: 20, SubdivMax: 28, DeleteFrac: 0.18},
+	}
+}
+
+// CountyByName returns the spec with the given name.
+func CountyByName(name string) (Spec, bool) {
+	for _, s := range Counties() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Map is a generated polygonal map.
+type Map struct {
+	Spec     Spec
+	Segments []geom.Segment
+}
+
+// margin keeps the map away from the world boundary, as the paper's
+// normalization of each county into the 16K x 16K square does.
+const margin = 128
+
+// Generate builds the map for a spec. Generation is deterministic in the
+// spec's seed.
+func Generate(spec Spec) (*Map, error) {
+	if spec.Lattice < 2 {
+		return nil, fmt.Errorf("tiger: lattice %d too small", spec.Lattice)
+	}
+	if spec.SubdivMin < 1 || spec.SubdivMax < spec.SubdivMin {
+		return nil, fmt.Errorf("tiger: bad subdivision range [%d,%d]", spec.SubdivMin, spec.SubdivMax)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Lattice
+	spacing := float64(geom.WorldSize-2*margin) / float64(n)
+	jitterR := 0.18 * spacing
+	meanderAmp := 0.22 * spacing
+
+	// Jittered lattice vertices. Each vertex stays within jitterR of its
+	// lattice position; combined with the meander bound this keeps edge
+	// corridors disjoint, so the map is planar by construction.
+	verts := make([][]geom.Point, n+1)
+	for i := 0; i <= n; i++ {
+		verts[i] = make([]geom.Point, n+1)
+		for j := 0; j <= n; j++ {
+			x := margin + float64(j)*spacing + (rng.Float64()*2-1)*jitterR
+			y := margin + float64(i)*spacing + (rng.Float64()*2-1)*jitterR
+			verts[i][j] = geom.Pt(roundClamp(x), roundClamp(y))
+		}
+	}
+
+	m := &Map{Spec: spec}
+	addEdge := func(u, v geom.Point, boundary bool) {
+		if !boundary && rng.Float64() < spec.DeleteFrac {
+			return
+		}
+		k := spec.SubdivMin
+		if spec.SubdivMax > spec.SubdivMin {
+			k += rng.Intn(spec.SubdivMax - spec.SubdivMin + 1)
+		}
+		m.Segments = append(m.Segments, meander(rng, u, v, k, meanderAmp)...)
+	}
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			if j < n { // horizontal edge
+				addEdge(verts[i][j], verts[i][j+1], i == 0 || i == n)
+			}
+			if i < n { // vertical edge
+				addEdge(verts[i][j], verts[i+1][j], j == 0 || j == n)
+			}
+		}
+	}
+	return m, nil
+}
+
+// meander subdivides the edge u->v into k sub-segments whose interior
+// points follow a smooth sinusoidal offset perpendicular to the chord,
+// bounded by amp. Adjacent duplicate points (possible after rounding) are
+// merged so no zero-length segments are produced.
+func meander(rng *rand.Rand, u, v geom.Point, k int, amp float64) []geom.Segment {
+	dx := float64(v.X - u.X)
+	dy := float64(v.Y - u.Y)
+	length := math.Hypot(dx, dy)
+	if length == 0 {
+		return nil
+	}
+	// Unit perpendicular.
+	px, py := -dy/length, dx/length
+	waves := 1 + rng.Intn(3)
+	phase := rng.Float64() * 2 * math.Pi
+	scale := amp * (0.4 + 0.6*rng.Float64())
+
+	pts := []geom.Point{u}
+	for t := 1; t < k; t++ {
+		f := float64(t) / float64(k)
+		off := scale * math.Sin(2*math.Pi*float64(waves)*f+phase) * math.Sin(math.Pi*f)
+		x := float64(u.X) + f*dx + off*px
+		y := float64(u.Y) + f*dy + off*py
+		p := geom.Pt(roundClamp(x), roundClamp(y))
+		if p != pts[len(pts)-1] {
+			pts = append(pts, p)
+		}
+	}
+	if v != pts[len(pts)-1] {
+		pts = append(pts, v)
+	}
+	segs := make([]geom.Segment, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		segs = append(segs, geom.Segment{P1: pts[i-1], P2: pts[i]})
+	}
+	return segs
+}
+
+func roundClamp(v float64) int32 {
+	r := int32(math.Round(v))
+	if r < 0 {
+		return 0
+	}
+	if r >= geom.WorldSize {
+		return geom.WorldSize - 1
+	}
+	return r
+}
+
+// PopulateTable appends every segment of the map to the table, returning
+// the assigned IDs (which are dense and insertion-ordered).
+func (m *Map) PopulateTable(tab *seg.Table) ([]seg.ID, error) {
+	ids := make([]seg.ID, 0, len(m.Segments))
+	for _, s := range m.Segments {
+		id, err := tab.Append(s)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

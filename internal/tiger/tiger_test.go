@@ -1,0 +1,226 @@
+package tiger
+
+import (
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Counties()[0]
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Segments), len(b.Segments))
+	}
+	for i := range a.Segments {
+		if a.Segments[i] != b.Segments[i] {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+}
+
+func TestCountiesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Counties() {
+		if seen[spec.Name] {
+			t.Fatalf("duplicate county %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		if _, ok := CountyByName(spec.Name); !ok {
+			t.Fatalf("CountyByName(%q) failed", spec.Name)
+		}
+	}
+	if _, ok := CountyByName("Atlantis"); ok {
+		t.Fatal("found nonexistent county")
+	}
+}
+
+func TestSegmentCountsNearPaper(t *testing.T) {
+	// Table 1 maps hold 46,335..50,998 segments; ours should land in the
+	// same ballpark.
+	for _, spec := range Counties() {
+		m, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(m.Segments)
+		if n < 40000 || n > 62000 {
+			t.Errorf("%s: %d segments, want ~50k", spec.Name, n)
+		}
+		t.Logf("%s (%s): %d segments", spec.Name, spec.Kind, n)
+	}
+}
+
+func TestAllCountiesPlanar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, spec := range Counties() {
+		m, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPlanar(m); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestFaceStatsMatchArchetypes(t *testing.T) {
+	// §6: urban polygons have a handful of segments, rural ones over a
+	// hundred (19 vs 132 average for Baltimore vs Charles).
+	baltimore, _ := CountyByName("Baltimore")
+	charles, _ := CountyByName("Charles")
+	mb, err := Generate(baltimore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Generate(charles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Faces(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Faces(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Baltimore: faces=%d avg=%.1f max=%d", sb.Faces, sb.AvgSize, sb.MaxSize)
+	t.Logf("Charles:   faces=%d avg=%.1f max=%d", sc.Faces, sc.AvgSize, sc.MaxSize)
+	if sb.AvgSize > 30 {
+		t.Errorf("Baltimore avg polygon size %.1f, want small (urban)", sb.AvgSize)
+	}
+	if sc.AvgSize < 60 {
+		t.Errorf("Charles avg polygon size %.1f, want large (rural)", sc.AvgSize)
+	}
+	if sc.AvgSize < 3*sb.AvgSize {
+		t.Errorf("rural avg (%.1f) should dwarf urban avg (%.1f)", sc.AvgSize, sb.AvgSize)
+	}
+	// Every directed edge is consumed by exactly one face.
+	if sb.DirectedUsed != 2*len(mb.Segments) {
+		t.Errorf("Baltimore: %d directed edges used, want %d", sb.DirectedUsed, 2*len(mb.Segments))
+	}
+	if sc.DirectedUsed != 2*len(mc.Segments) {
+		t.Errorf("Charles: %d directed edges used, want %d", sc.DirectedUsed, 2*len(mc.Segments))
+	}
+}
+
+func TestFacesSquare(t *testing.T) {
+	// A unit square: one inner face of 4 edges plus the outer face.
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(100, 0, 100, 100),
+		geom.Seg(100, 100, 0, 100),
+		geom.Seg(0, 100, 0, 0),
+	}}
+	st, err := Faces(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faces != 1 || st.AvgSize != 4 || st.OuterSize != 4 {
+		t.Errorf("square stats = %+v", st)
+	}
+}
+
+func TestFacesWithDeadEnd(t *testing.T) {
+	// A square with a spur into its interior (noded: the right edge is
+	// split at the junction). The inner face boundary walks the spur
+	// twice: bottom + lower-right + spur*2 + upper-right + top + left =
+	// 7 directed edges; the outer face uses the remaining 5.
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(100, 0, 100, 50),
+		geom.Seg(100, 50, 100, 100),
+		geom.Seg(100, 100, 0, 100),
+		geom.Seg(0, 100, 0, 0),
+		geom.Seg(100, 50, 50, 50), // spur (dead end at (50,50))
+	}}
+	st, err := Faces(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faces != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgSize != 7 {
+		t.Errorf("inner face size = %.0f, want 7 (spur walked twice)", st.AvgSize)
+	}
+	if st.OuterSize != 5 {
+		t.Errorf("outer face size = %d, want 5", st.OuterSize)
+	}
+}
+
+func TestCheckPlanarCatchesCrossing(t *testing.T) {
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 100),
+		geom.Seg(0, 100, 100, 0),
+	}}
+	if err := CheckPlanar(m); err == nil {
+		t.Error("crossing should be detected")
+	}
+}
+
+func TestCheckPlanarCatchesCollinearOverlap(t *testing.T) {
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(100, 0, 40, 0), // doubles back over the first
+	}}
+	if err := CheckPlanar(m); err == nil {
+		t.Error("collinear overlap should be detected")
+	}
+}
+
+func TestCheckPlanarCatchesTJunctionWithoutNode(t *testing.T) {
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(50, 0, 50, 80), // touches mid-segment, not noded
+	}}
+	if err := CheckPlanar(m); err == nil {
+		t.Error("unnoded T junction should be detected")
+	}
+}
+
+func TestCheckPlanarAllowsSharedEndpoints(t *testing.T) {
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 100, 0),
+		geom.Seg(100, 0, 100, 100),
+		geom.Seg(100, 0, 200, 0), // collinear continuation: allowed
+	}}
+	if err := CheckPlanar(m); err != nil {
+		t.Errorf("noded junction rejected: %v", err)
+	}
+}
+
+func TestPopulateTable(t *testing.T) {
+	m := &Map{Segments: []geom.Segment{
+		geom.Seg(0, 0, 10, 10),
+		geom.Seg(10, 10, 20, 0),
+	}}
+	tab := seg.NewTable(1024, 4)
+	ids, err := m.PopulateTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || tab.Len() != 2 {
+		t.Fatalf("ids=%v len=%d", ids, tab.Len())
+	}
+	for i, id := range ids {
+		got, err := tab.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m.Segments[i] {
+			t.Errorf("segment %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package tigerline parses US Census Bureau TIGER/Line Record Type 1
+// files — the "complete chain basic data record" that Hoel & Samet drew
+// their test data from — and normalizes the chains into segdb's
+// 16K x 16K coordinate space.
+//
+// Record Type 1 is a fixed-width, 228-byte ASCII record (1990/1992
+// technical documentation). Only the fields needed to recover geometry
+// and classification are decoded here:
+//
+//	position   len  field
+//	1          1    record type, always '1'
+//	2..5       4    version
+//	6..15      10   TIGER/Line ID (TLID)
+//	56..57     2    CFCC category letter + code (e.g. "A4")
+//	191..200   10   FRLONG: longitude of the start point, signed,
+//	                in millionths of a degree
+//	201..209   9    FRLAT: latitude of the start point
+//	210..219   10   TOLONG: longitude of the end point
+//	220..228   9    TOLAT: latitude of the end point
+//
+// Coordinates are stored with an implied six decimal places; longitudes
+// carry a leading sign. A Record Type 1 gives one straight-line chain
+// between the from- and to-nodes (shape points from Record Type 2 refine
+// the chain; Normalize treats each chain as a single segment, which is
+// exactly what the paper's line segment databases contain).
+package tigerline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"segdb/internal/geom"
+)
+
+// Chain is one parsed Record Type 1.
+type Chain struct {
+	// TLID is the permanent TIGER/Line record identifier.
+	TLID int64
+	// CFCC is the census feature class code (e.g. "A41" for a local
+	// road).
+	CFCC string
+	// FromLong/FromLat/ToLong/ToLat are in millionths of a degree.
+	FromLong, FromLat, ToLong, ToLat int64
+}
+
+// recordLength is the fixed width of a Record Type 1 (excluding the line
+// terminator).
+const recordLength = 228
+
+// ParseRecord decodes one fixed-width Record Type 1 line.
+func ParseRecord(line string) (Chain, error) {
+	if len(line) < recordLength {
+		return Chain{}, fmt.Errorf("tigerline: record has %d bytes, want %d", len(line), recordLength)
+	}
+	if line[0] != '1' {
+		return Chain{}, fmt.Errorf("tigerline: record type %q, want 1", line[0])
+	}
+	var c Chain
+	var err error
+	if c.TLID, err = parseInt(line[5:15]); err != nil {
+		return Chain{}, fmt.Errorf("tigerline: bad TLID: %w", err)
+	}
+	c.CFCC = strings.TrimSpace(line[55:58])
+	if c.FromLong, err = parseInt(line[190:200]); err != nil {
+		return Chain{}, fmt.Errorf("tigerline: bad FRLONG: %w", err)
+	}
+	if c.FromLat, err = parseInt(line[200:209]); err != nil {
+		return Chain{}, fmt.Errorf("tigerline: bad FRLAT: %w", err)
+	}
+	if c.ToLong, err = parseInt(line[209:219]); err != nil {
+		return Chain{}, fmt.Errorf("tigerline: bad TOLONG: %w", err)
+	}
+	if c.ToLat, err = parseInt(line[219:228]); err != nil {
+		return Chain{}, fmt.Errorf("tigerline: bad TOLAT: %w", err)
+	}
+	return c, nil
+}
+
+// parseInt handles the TIGER fixed-width convention: right-justified,
+// blank-padded, optional leading '+'/'-'.
+func parseInt(field string) (int64, error) {
+	s := strings.TrimSpace(field)
+	if s == "" {
+		return 0, fmt.Errorf("empty numeric field %q", field)
+	}
+	return strconv.ParseInt(strings.TrimPrefix(s, "+"), 10, 64)
+}
+
+// Parse reads a whole Record Type 1 file, skipping records of other types
+// (a combined file may interleave them) and returning the chains in file
+// order.
+func Parse(r io.Reader) ([]Chain, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), 4096)
+	var out []Chain
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] != '1' {
+			continue // other record types
+		}
+		c, err := ParseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Filter returns the chains whose CFCC starts with any of the given
+// prefixes ("A" selects all roads, as in the paper's road networks).
+func Filter(chains []Chain, prefixes ...string) []Chain {
+	var out []Chain
+	for _, c := range chains {
+		for _, p := range prefixes {
+			if strings.HasPrefix(c.CFCC, p) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Normalize maps the chains into the WorldSize x WorldSize space the way
+// §6 of the paper does: "a minimum bounding square was computed for each
+// map, and all coordinate values were normalized with respect to a 16K by
+// 16K region". Chains that collapse to a point under quantization are
+// dropped; the returned segments preserve input order otherwise.
+func Normalize(chains []Chain) ([]geom.Segment, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("tigerline: no chains to normalize")
+	}
+	minX, maxX := chains[0].FromLong, chains[0].FromLong
+	minY, maxY := chains[0].FromLat, chains[0].FromLat
+	grow := func(x, y int64) {
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if y < minY {
+			minY = y
+		}
+		if y > maxY {
+			maxY = y
+		}
+	}
+	for _, c := range chains {
+		grow(c.FromLong, c.FromLat)
+		grow(c.ToLong, c.ToLat)
+	}
+	// Minimum bounding square.
+	side := maxX - minX
+	if dy := maxY - minY; dy > side {
+		side = dy
+	}
+	if side == 0 {
+		return nil, fmt.Errorf("tigerline: degenerate extent")
+	}
+	scale := func(v, lo int64) int32 {
+		n := (v - lo) * (geom.WorldSize - 1) / side
+		if n < 0 {
+			n = 0
+		}
+		if n > geom.WorldSize-1 {
+			n = geom.WorldSize - 1
+		}
+		return int32(n)
+	}
+	var out []geom.Segment
+	for _, c := range chains {
+		s := geom.Segment{
+			P1: geom.Point{X: scale(c.FromLong, minX), Y: scale(c.FromLat, minY)},
+			P2: geom.Point{X: scale(c.ToLong, minX), Y: scale(c.ToLat, minY)},
+		}
+		if s.P1 == s.P2 {
+			continue // collapsed under quantization
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatRecord renders a chain back into the fixed-width Record Type 1
+// layout (fields not modeled here are blank-filled). It round-trips with
+// ParseRecord and is used to build test fixtures and export synthetic
+// maps in TIGER form.
+func FormatRecord(c Chain) string {
+	buf := []byte(strings.Repeat(" ", recordLength))
+	buf[0] = '1'
+	put := func(start, end int, s string) {
+		// Right-justify into [start, end) (0-based).
+		for i := 0; i < len(s) && end-1-i >= start; i++ {
+			buf[end-1-i] = s[len(s)-1-i]
+		}
+	}
+	put(5, 15, strconv.FormatInt(c.TLID, 10))
+	copy(buf[55:58], c.CFCC)
+	put(190, 200, signed(c.FromLong))
+	put(200, 209, strconv.FormatInt(c.FromLat, 10))
+	put(209, 219, signed(c.ToLong))
+	put(219, 228, strconv.FormatInt(c.ToLat, 10))
+	return string(buf)
+}
+
+func signed(v int64) string {
+	if v >= 0 {
+		return "+" + strconv.FormatInt(v, 10)
+	}
+	return strconv.FormatInt(v, 10)
+}

@@ -1,0 +1,163 @@
+package tigerline
+
+import (
+	"strings"
+	"testing"
+
+	"segdb/internal/geom"
+)
+
+func sample() []Chain {
+	// A tiny patch of roads near College Park, MD (plausible values).
+	return []Chain{
+		{TLID: 10001, CFCC: "A41", FromLong: -76938000, FromLat: 38986000, ToLong: -76935500, ToLat: 38986200},
+		{TLID: 10002, CFCC: "A41", FromLong: -76935500, FromLat: 38986200, ToLong: -76933000, ToLat: 38986500},
+		{TLID: 10003, CFCC: "H11", FromLong: -76936000, FromLat: 38984000, ToLong: -76934000, ToLat: 38988000}, // a stream
+		{TLID: 10004, CFCC: "B11", FromLong: -76940000, FromLat: 38985000, ToLong: -76930000, ToLat: 38985100}, // a railroad
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, want := range sample() {
+		line := FormatRecord(want)
+		if len(line) != recordLength {
+			t.Fatalf("record length %d", len(line))
+		}
+		got, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	var sb strings.Builder
+	for _, c := range sample() {
+		sb.WriteString(FormatRecord(c))
+		sb.WriteByte('\n')
+	}
+	// Interleave a Record Type 2 and a blank line; both must be skipped.
+	sb.WriteString("2" + strings.Repeat(" ", 207) + "\n\n")
+
+	chains, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != len(sample()) {
+		t.Fatalf("parsed %d chains, want %d", len(chains), len(sample()))
+	}
+	for i, c := range chains {
+		if c != sample()[i] {
+			t.Errorf("chain %d mismatch: %+v", i, c)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseRecord("1 too short"); err == nil {
+		t.Error("short record accepted")
+	}
+	bad := FormatRecord(sample()[0])
+	bad = bad[:190] + "xxxxxxxxxx" + bad[200:]
+	if _, err := ParseRecord(bad); err == nil {
+		t.Error("non-numeric longitude accepted")
+	}
+	if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+		t.Error("Parse should surface record errors")
+	}
+}
+
+func TestFilterByCFCC(t *testing.T) {
+	chains := sample()
+	roads := Filter(chains, "A")
+	if len(roads) != 2 {
+		t.Fatalf("A filter got %d", len(roads))
+	}
+	roadsAndRail := Filter(chains, "A", "B")
+	if len(roadsAndRail) != 3 {
+		t.Fatalf("A,B filter got %d", len(roadsAndRail))
+	}
+	if len(Filter(chains, "Z")) != 0 {
+		t.Fatal("Z filter should be empty")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	segs, err := Normalize(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != len(sample()) {
+		t.Fatalf("normalized %d, want %d", len(segs), len(sample()))
+	}
+	world := geom.World()
+	for i, s := range segs {
+		if !world.ContainsPoint(s.P1) || !world.ContainsPoint(s.P2) {
+			t.Errorf("segment %d escapes world: %v", i, s)
+		}
+	}
+	// The bounding square normalization preserves aspect: the widest
+	// dimension spans (nearly) the full world.
+	mbr := segs[0].Bounds()
+	for _, s := range segs[1:] {
+		mbr = mbr.Union(s.Bounds())
+	}
+	if mbr.Width() < geom.WorldSize/2 && mbr.Height() < geom.WorldSize/2 {
+		t.Errorf("normalized extent %v too small", mbr)
+	}
+	// Shared endpoints stay shared after normalization (chain 1 ends
+	// where chain 2 begins) — essential for the polygon query.
+	if segs[0].P2 != segs[1].P1 {
+		t.Errorf("shared node broken: %v vs %v", segs[0].P2, segs[1].P1)
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	if _, err := Normalize(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	same := Chain{TLID: 1, CFCC: "A41", FromLong: 5, FromLat: 5, ToLong: 5, ToLat: 5}
+	if _, err := Normalize([]Chain{same}); err == nil {
+		t.Error("degenerate extent accepted")
+	}
+	// Chains collapsing under quantization are dropped, not errored.
+	chains := []Chain{
+		{TLID: 1, FromLong: 0, FromLat: 0, ToLong: 100000000, ToLat: 0},
+		{TLID: 2, FromLong: 50, FromLat: 0, ToLong: 51, ToLat: 0}, // ~0 after scaling
+	}
+	segs, err := Normalize(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1 (collapsed chain dropped)", len(segs))
+	}
+}
+
+func TestEndToEndIntoIndex(t *testing.T) {
+	// Parse -> filter roads -> normalize -> the segments are usable
+	// geometry (this is the paper's ingestion pipeline in miniature).
+	var sb strings.Builder
+	for _, c := range sample() {
+		sb.WriteString(FormatRecord(c) + "\n")
+	}
+	chains, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Normalize(Filter(chains, "A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("got %d road segments", len(segs))
+	}
+	for _, s := range segs {
+		if s.P1 == s.P2 {
+			t.Error("degenerate road segment")
+		}
+	}
+}

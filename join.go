@@ -1,0 +1,26 @@
+package segdb
+
+import (
+	"segdb/internal/core"
+	"segdb/internal/pmr"
+)
+
+// Overlay finds every pair of intersecting segments between two databases
+// — the map-overlay composition that §7 of the paper singles out as the
+// PMR quadtree's strength: because its decomposition lines are always in
+// the same positions, two PMR-backed databases are joined by a
+// synchronized sequential merge of their linear quadtrees. Any other
+// combination of index kinds falls back to an index nested-loop join
+// (each outer segment probes the inner index with a window query).
+//
+// visit receives the two segment IDs (first from db, second from other)
+// and their geometries, once per unordered intersecting pair; returning
+// false stops the overlay early.
+func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+	if a, ok := db.index.(*pmr.Tree); ok {
+		if b, ok := other.index.(*pmr.Tree); ok {
+			return pmr.Join(a, b, visit)
+		}
+	}
+	return core.JoinNestedLoop(db.index, other.index, visit)
+}

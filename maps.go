@@ -1,0 +1,122 @@
+package segdb
+
+import (
+	"fmt"
+	"io"
+
+	"segdb/internal/geom"
+	"segdb/internal/rstar"
+	"segdb/internal/store"
+	"segdb/internal/tiger"
+	"segdb/internal/tigerline"
+)
+
+// MapData is a synthetic TIGER/Line-style polygonal map: a noded planar
+// collection of road segments normalized to the 16K x 16K world.
+type MapData struct {
+	// Name of the county archetype.
+	Name string
+	// Class is "urban", "suburban" or "rural".
+	Class string
+	// Segments of the map, planar by construction.
+	Segments []Segment
+}
+
+// CountyNames lists the six built-in synthetic counties standing in for
+// the paper's Maryland TIGER/Line extracts (about 50,000 segments each).
+func CountyNames() []string {
+	var names []string
+	for _, spec := range tiger.Counties() {
+		names = append(names, spec.Name)
+	}
+	return names
+}
+
+// GenerateCounty deterministically generates one of the built-in counties
+// by name (see CountyNames).
+func GenerateCounty(name string) (*MapData, error) {
+	spec, ok := tiger.CountyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("segdb: unknown county %q (have %v)", name, CountyNames())
+	}
+	m, err := tiger.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &MapData{Name: spec.Name, Class: spec.Kind.String(), Segments: m.Segments}, nil
+}
+
+// Load adds every segment of the map to the database, returning the
+// assigned IDs (in input order).
+func (db *DB) Load(m *MapData) ([]SegmentID, error) {
+	ids := make([]SegmentID, 0, len(m.Segments))
+	for _, s := range m.Segments {
+		id, err := db.Add(s)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// ParseTIGER reads US Census TIGER/Line Record Type 1 data (the format
+// the paper's maps came from), keeps the chains whose census feature
+// class code starts with one of the prefixes (defaulting to "A", the road
+// classes used in the paper), and normalizes them into the 16K x 16K
+// world exactly as §6 describes: coordinates are scaled with respect to
+// the minimum bounding square of the map.
+func ParseTIGER(r io.Reader, cfccPrefixes ...string) (*MapData, error) {
+	chains, err := tigerline.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfccPrefixes) == 0 {
+		cfccPrefixes = []string{"A"}
+	}
+	segs, err := tigerline.Normalize(tigerline.Filter(chains, cfccPrefixes...))
+	if err != nil {
+		return nil, err
+	}
+	return &MapData{Name: "TIGER import", Class: "imported", Segments: segs}, nil
+}
+
+// LoadPacked bulk-loads the map into an empty R-tree-backed database with
+// Sort-Tile-Recursive packing instead of one-at-a-time insertion — far
+// fewer build disk accesses and a tighter tree. Databases backed by other
+// index kinds fall back to Load (their structures are built
+// incrementally, as in the paper).
+func (db *DB) LoadPacked(m *MapData) ([]SegmentID, error) {
+	if db.Len() != 0 {
+		return nil, fmt.Errorf("segdb: LoadPacked requires an empty database (have %d segments)", db.Len())
+	}
+	var cfg rstar.Config
+	switch db.kind {
+	case RStarTree:
+		cfg = rstar.DefaultConfig()
+	case ClassicRTree:
+		cfg = rstar.GuttmanConfig()
+	default:
+		return db.Load(m)
+	}
+	ids := make([]SegmentID, 0, len(m.Segments))
+	for _, s := range m.Segments {
+		if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
+			return nil, fmt.Errorf("segdb: segment %v outside the world", s)
+		}
+		id, err := db.table.Append(s)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	// Pack into a fresh disk, replacing the empty index.
+	pool := store.NewPool(store.NewDisk(db.opts.PageSize), db.opts.PoolPages)
+	ix, err := rstar.BulkLoad(pool, db.table, cfg, ids)
+	if err != nil {
+		return nil, err
+	}
+	db.pool = pool
+	db.index = ix
+	return ids, nil
+}

@@ -1,0 +1,197 @@
+package segdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"segdb/internal/grid"
+	"segdb/internal/pmr"
+	"segdb/internal/rplus"
+	"segdb/internal/rstar"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// fileMagic identifies a segdb database file ("SEGDB" + format version).
+var fileMagic = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '1'}
+
+// Save serializes the whole database — options, index metadata, the
+// segment table's disk image, and the index's disk image — so it can be
+// reopened later with Load. Both buffer pools are flushed first; counters
+// are not persisted (a reopened database starts cold with zeroed
+// statistics, like a fresh process over the same disk).
+func (db *DB) Save(w io.Writer) error {
+	meta, err := db.indexMeta()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	o := db.opts
+	header := []uint32{
+		uint32(db.kind),
+		uint32(o.PageSize),
+		uint32(o.PoolPages),
+		uint32(o.PMRThreshold),
+		boolWord(o.PMRStoreMBR),
+		uint32(o.GridCells),
+		uint32(len(meta)),
+	}
+	for _, v := range header {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range meta {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := db.table.SaveTo(w); err != nil {
+		return err
+	}
+	db.pool.Flush()
+	_, err = db.pool.Disk().WriteTo(w)
+	return err
+}
+
+// Load reopens a database serialized with Save.
+func Load(r io.Reader) (*DB, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("segdb: reading file magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("segdb: not a segdb file (magic %q)", magic[:])
+	}
+	var header [7]uint32
+	for i := range header {
+		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("segdb: reading header: %w", err)
+		}
+	}
+	kind := Kind(header[0])
+	opts := Options{
+		PageSize:     int(header[1]),
+		PoolPages:    int(header[2]),
+		PMRThreshold: int(header[3]),
+		PMRStoreMBR:  header[4] != 0,
+		GridCells:    int32(header[5]),
+	}
+	meta := make([]uint64, header[6])
+	for i := range meta {
+		if err := binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
+			return nil, err
+		}
+	}
+	table, err := seg.RestoreTable(r, opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := store.ReadDiskFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if disk.PageSize() != opts.PageSize {
+		return nil, fmt.Errorf("segdb: index image page size %d, header says %d", disk.PageSize(), opts.PageSize)
+	}
+	pool := store.NewPool(disk, opts.PoolPages)
+	db := &DB{kind: kind, table: table, opts: opts, pool: pool}
+	switch kind {
+	case RStarTree, ClassicRTree:
+		cfg := rstar.DefaultConfig()
+		if kind == ClassicRTree {
+			cfg = rstar.GuttmanConfig()
+		}
+		m, err := meta3(meta)
+		if err != nil {
+			return nil, err
+		}
+		db.index, err = rstar.Restore(pool, table, cfg, m)
+		if err != nil {
+			return nil, err
+		}
+	case RPlusTree, KDBTree:
+		cfg := rplus.DefaultConfig()
+		if kind == KDBTree {
+			cfg = rplus.KDBConfig()
+		}
+		m, err := meta3(meta)
+		if err != nil {
+			return nil, err
+		}
+		db.index, err = rplus.Restore(pool, table, cfg, m)
+		if err != nil {
+			return nil, err
+		}
+	case PMRQuadtree:
+		cfg := pmr.DefaultConfig()
+		cfg.SplittingThreshold = opts.PMRThreshold
+		cfg.StoreMBR = opts.PMRStoreMBR
+		m, err := meta4(meta)
+		if err != nil {
+			return nil, err
+		}
+		db.index, err = pmr.Restore(pool, table, cfg, m)
+		if err != nil {
+			return nil, err
+		}
+	case UniformGrid:
+		m, err := meta4(meta)
+		if err != nil {
+			return nil, err
+		}
+		db.index, err = grid.Restore(pool, table, grid.Config{CellsPerSide: opts.GridCells}, m)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
+	}
+	return db, nil
+}
+
+func (db *DB) indexMeta() ([]uint64, error) {
+	switch ix := db.index.(type) {
+	case *rstar.Tree:
+		m := ix.PersistMeta()
+		return m[:], nil
+	case *rplus.Tree:
+		m := ix.PersistMeta()
+		return m[:], nil
+	case *pmr.Tree:
+		m := ix.PersistMeta()
+		return m[:], nil
+	case *grid.Grid:
+		m := ix.PersistMeta()
+		return m[:], nil
+	}
+	return nil, fmt.Errorf("segdb: index %s is not persistable", db.index.Name())
+}
+
+func meta3(meta []uint64) ([3]uint64, error) {
+	var m [3]uint64
+	if len(meta) != 3 {
+		return m, fmt.Errorf("segdb: index metadata has %d words, want 3", len(meta))
+	}
+	copy(m[:], meta)
+	return m, nil
+}
+
+func meta4(meta []uint64) ([4]uint64, error) {
+	var m [4]uint64
+	if len(meta) != 4 {
+		return m, fmt.Errorf("segdb: index metadata has %d words, want 4", len(meta))
+	}
+	copy(m[:], meta)
+	return m, nil
+}
+
+func boolWord(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package segdb
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func populate(t *testing.T, db *DB, n int, seed int64) []Segment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	segs := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		x := int32(rng.Intn(WorldSize - 500))
+		y := int32(rng.Intn(WorldSize - 500))
+		s := Seg(x, y, x+int32(rng.Intn(500)), y+int32(rng.Intn(500)))
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+func TestSaveLoadRoundTripAllKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		db, err := Open(k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := populate(t, db, 700, int64(k)+50)
+
+		var buf bytes.Buffer
+		if err := db.Save(&buf); err != nil {
+			t.Fatalf("%v: save: %v", k, err)
+		}
+		restored, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: load: %v", k, err)
+		}
+		if restored.Kind() != k || restored.Len() != db.Len() {
+			t.Fatalf("%v: kind=%v len=%d after load", k, restored.Kind(), restored.Len())
+		}
+
+		// Query equivalence on windows and nearest.
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 25; trial++ {
+			r := RectOf(
+				int32(rng.Intn(WorldSize)), int32(rng.Intn(WorldSize)),
+				int32(rng.Intn(WorldSize)), int32(rng.Intn(WorldSize)))
+			var a, b []SegmentID
+			db.Window(r, func(id SegmentID, _ Segment) bool { a = append(a, id); return true })
+			restored.Window(r, func(id SegmentID, _ Segment) bool { b = append(b, id); return true })
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if len(a) != len(b) {
+				t.Fatalf("%v trial %d: window %d vs %d results", k, trial, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v trial %d: window result %d differs", k, trial, i)
+				}
+			}
+			p := Pt(int32(rng.Intn(WorldSize)), int32(rng.Intn(WorldSize)))
+			ra, _ := db.Nearest(p)
+			rb, _ := restored.Nearest(p)
+			if ra.DistSq != rb.DistSq {
+				t.Fatalf("%v trial %d: nearest %v vs %v", k, trial, ra.DistSq, rb.DistSq)
+			}
+		}
+
+		// The restored database remains fully writable.
+		if _, err := restored.Add(Seg(1, 1, 77, 77)); err != nil {
+			t.Fatalf("%v: add after load: %v", k, err)
+		}
+		res, err := restored.Nearest(Pt(2, 2))
+		if err != nil || !res.Found || res.Seg != Seg(1, 1, 77, 77) {
+			t.Fatalf("%v: post-load insert invisible: %+v %v", k, res, err)
+		}
+		if err := restored.Delete(0); err != nil {
+			t.Fatalf("%v: delete after load: %v", k, err)
+		}
+		_ = segs
+	}
+}
+
+func TestSaveLoadPreservesOptions(t *testing.T) {
+	opts := &Options{PageSize: 2048, PoolPages: 8, PMRThreshold: 8, PMRStoreMBR: true}
+	db, err := Open(PMRQuadtree, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, db, 300, 7)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.opts != db.opts {
+		t.Fatalf("options differ: %+v vs %+v", restored.opts, db.opts)
+	}
+	// The restored StoreMBR tree keeps answering correctly.
+	res, err := restored.Nearest(Pt(8000, 8000))
+	if err != nil || !res.Found {
+		t.Fatalf("nearest: %+v %v", res, err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated file.
+	db, _ := Open(RStarTree, nil)
+	populate(t, db, 100, 3)
+	var buf bytes.Buffer
+	db.Save(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestSaveIsDeterministicAfterFlush(t *testing.T) {
+	db, _ := Open(RPlusTree, nil)
+	populate(t, db, 200, 4)
+	var b1, b2 bytes.Buffer
+	if err := db.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("back-to-back saves differ")
+	}
+}

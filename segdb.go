@@ -1,0 +1,286 @@
+// Package segdb is a disk-oriented spatial database for large line segment
+// collections ("polygonal maps"), reproducing the systems compared by
+// Hoel & Samet in "A Qualitative Comparison Study of Data Structures for
+// Large Line Segment Databases" (SIGMOD 1992).
+//
+// A DB pairs a disk-resident segment table with one of six spatial
+// indexes — the R*-tree, the classic Guttman R-tree, the hybrid R+-tree of
+// the paper, the PMR quadtree (a linear quadtree over a B+-tree), the pure
+// k-d-B-tree variant, or a uniform grid — all implemented from scratch over a simulated paged disk
+// with an LRU buffer pool, so every operation is accounted in the paper's
+// three currencies: disk accesses, segment comparisons, and bounding
+// box/bucket computations.
+//
+// The five queries of the paper are provided on every index: segments
+// incident at an endpoint, segments at the other endpoint of a segment,
+// nearest segment to a point, the minimal polygon (map face) enclosing a
+// point, and rectangular window search.
+//
+//	db, _ := segdb.Open(segdb.PMRQuadtree, nil)
+//	id, _ := db.Add(segdb.Seg(10, 10, 400, 80))
+//	res, _ := db.Nearest(segdb.Pt(50, 60))
+package segdb
+
+import (
+	"fmt"
+
+	"segdb/internal/core"
+	"segdb/internal/geom"
+	"segdb/internal/grid"
+	"segdb/internal/pmr"
+	"segdb/internal/rplus"
+	"segdb/internal/rstar"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// Geometry types of the 16384 x 16384 integer world.
+type (
+	// Point is a location on the grid.
+	Point = geom.Point
+	// Segment is an undirected line segment between two grid points.
+	Segment = geom.Segment
+	// Rect is a closed axis-aligned rectangle.
+	Rect = geom.Rect
+	// SegmentID identifies a stored segment.
+	SegmentID = seg.ID
+	// NearestResult is the answer to a nearest-segment query.
+	NearestResult = core.NearestResult
+	// Polygon is the boundary of a map face, as returned by
+	// EnclosingPolygon.
+	Polygon = core.Polygon
+	// Metrics counts disk accesses, segment comparisons, and bounding
+	// box/bucket computations.
+	Metrics = core.Metrics
+)
+
+// WorldSize is the side length of the coordinate space.
+const WorldSize = geom.WorldSize
+
+// Pt builds a Point.
+func Pt(x, y int32) Point { return geom.Pt(x, y) }
+
+// Seg builds a Segment from endpoint coordinates.
+func Seg(x1, y1, x2, y2 int32) Segment { return geom.Seg(x1, y1, x2, y2) }
+
+// RectOf builds a Rect from two corners (in any order).
+func RectOf(x1, y1, x2, y2 int32) Rect { return geom.RectOf(x1, y1, x2, y2) }
+
+// World returns the rectangle covering the whole coordinate space.
+func World() Rect { return geom.World() }
+
+// Kind selects the spatial index backing a DB.
+type Kind int
+
+// The six index kinds.
+const (
+	// RStarTree is the R*-tree of Beckmann et al. (minimum bounding
+	// rectangles, forced reinsertion; the most compact structure).
+	RStarTree Kind = iota
+	// RPlusTree is the paper's hybrid R+-tree: disjoint k-d-B style space
+	// partition with segment MBRs in the leaves.
+	RPlusTree
+	// PMRQuadtree is the PMR quadtree stored as a linear quadtree in a
+	// disk B+-tree (splitting threshold 4, max depth 14 by default).
+	PMRQuadtree
+	// KDBTree is the pure k-d-B-tree variant of the hybrid (no leaf
+	// MBRs); an ablation of RPlusTree.
+	KDBTree
+	// UniformGrid is the fixed-resolution grid of the paper's §2.
+	UniformGrid
+	// ClassicRTree is the original R-tree of Guttman (least-enlargement
+	// insertion, quadratic split, no forced reinsertion) — the baseline
+	// the R*-tree improves on.
+	ClassicRTree
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case RStarTree:
+		return "R*-tree"
+	case RPlusTree:
+		return "R+-tree"
+	case PMRQuadtree:
+		return "PMR quadtree"
+	case KDBTree:
+		return "k-d-B-tree"
+	case UniformGrid:
+		return "uniform grid"
+	case ClassicRTree:
+		return "R-tree"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Options tunes the simulated disk and the index parameters. The zero
+// value of any field selects the paper's default.
+type Options struct {
+	// PageSize is the disk page size in bytes (default 1024).
+	PageSize int
+	// PoolPages is the buffer pool capacity in pages (default 16).
+	PoolPages int
+	// PMRThreshold is the PMR quadtree splitting threshold (default 4).
+	PMRThreshold int
+	// PMRStoreMBR enables the PMR variant of §6 of the paper that stores
+	// a small bounding rectangle with every q-edge ("3-tuples"), trading
+	// storage for fewer segment comparisons.
+	PMRStoreMBR bool
+	// GridCells is the uniform grid resolution per side (default 64).
+	GridCells int32
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.PageSize == 0 {
+		out.PageSize = store.DefaultPageSize
+	}
+	if out.PoolPages == 0 {
+		out.PoolPages = store.DefaultPoolPages
+	}
+	if out.PMRThreshold == 0 {
+		out.PMRThreshold = 4
+	}
+	if out.GridCells == 0 {
+		out.GridCells = 64
+	}
+	return out
+}
+
+// DB is a line segment database: a disk-resident segment table plus one
+// spatial index over it. DB is not safe for concurrent use.
+type DB struct {
+	kind  Kind
+	opts  Options
+	table *seg.Table
+	pool  *store.Pool
+	index core.Index
+}
+
+// Open creates an empty database backed by the chosen index kind. Pass
+// nil opts for the configuration used in the paper's experiments.
+func Open(kind Kind, opts *Options) (*DB, error) {
+	o := opts.withDefaults()
+	table := seg.NewTable(o.PageSize, o.PoolPages)
+	pool := store.NewPool(store.NewDisk(o.PageSize), o.PoolPages)
+	var (
+		ix  core.Index
+		err error
+	)
+	switch kind {
+	case RStarTree:
+		ix, err = rstar.New(pool, table, rstar.DefaultConfig())
+	case ClassicRTree:
+		ix, err = rstar.New(pool, table, rstar.GuttmanConfig())
+	case RPlusTree:
+		ix, err = rplus.New(pool, table, rplus.DefaultConfig())
+	case KDBTree:
+		ix, err = rplus.New(pool, table, rplus.KDBConfig())
+	case PMRQuadtree:
+		cfg := pmr.DefaultConfig()
+		cfg.SplittingThreshold = o.PMRThreshold
+		cfg.StoreMBR = o.PMRStoreMBR
+		ix, err = pmr.New(pool, table, cfg)
+	case UniformGrid:
+		ix, err = grid.New(pool, table, grid.Config{CellsPerSide: o.GridCells})
+	default:
+		err = fmt.Errorf("segdb: unknown index kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DB{kind: kind, opts: o, table: table, pool: pool, index: ix}, nil
+}
+
+// Kind returns the index kind backing the database.
+func (db *DB) Kind() Kind { return db.kind }
+
+// Len returns the number of stored segments.
+func (db *DB) Len() int { return db.index.Table().Len() }
+
+// Add stores a segment and indexes it, returning its ID. Coordinates must
+// lie in [0, WorldSize).
+func (db *DB) Add(s Segment) (SegmentID, error) {
+	if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
+		return seg.NilID, fmt.Errorf("segdb: segment %v outside the %dx%d world", s, WorldSize, WorldSize)
+	}
+	id, err := db.table.Append(s)
+	if err != nil {
+		return seg.NilID, err
+	}
+	if err := db.index.Insert(id); err != nil {
+		return seg.NilID, err
+	}
+	return id, nil
+}
+
+// Get fetches a segment's endpoints (counting one segment comparison,
+// like any access to the disk-resident segment table).
+func (db *DB) Get(id SegmentID) (Segment, error) { return db.table.Get(id) }
+
+// Delete removes a segment from the index. The table slot is retained
+// (the table is append-only, as in the paper's testbed).
+func (db *DB) Delete(id SegmentID) error { return db.index.Delete(id) }
+
+// Window visits every segment intersecting r (query 5 of the paper).
+func (db *DB) Window(r Rect, visit func(SegmentID, Segment) bool) error {
+	return db.index.Window(r, visit)
+}
+
+// Nearest returns the segment closest to p (query 3). Found is false only
+// for an empty database.
+func (db *DB) Nearest(p Point) (NearestResult, error) { return db.index.Nearest(p) }
+
+// NearestK returns up to k segments ordered by increasing distance from p
+// (incremental distance ranking — "find the nearest three subway lines").
+func (db *DB) NearestK(p Point, k int) ([]NearestResult, error) {
+	return db.index.NearestK(p, k)
+}
+
+// IncidentAt visits the segments having an endpoint exactly at p
+// (query 1).
+func (db *DB) IncidentAt(p Point, visit func(SegmentID, Segment) bool) error {
+	return core.IncidentAt(db.index, p, visit)
+}
+
+// OtherEndpoint visits the segments incident at the other endpoint of
+// segment id, given one endpoint p (query 2).
+func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment) bool) error {
+	return core.OtherEndpoint(db.index, id, p, visit)
+}
+
+// EnclosingPolygon returns the boundary of the map face containing p
+// (query 4). The database must hold a noded planar map for the result to
+// be meaningful.
+func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
+	return core.EnclosingPolygon(db.index, p)
+}
+
+// Metrics returns the cumulative counter snapshot; subtract two snapshots
+// to cost an operation.
+func (db *DB) Metrics() Metrics { return core.Snapshot(db.index) }
+
+// Measure runs f and returns the metric deltas it caused.
+func (db *DB) Measure(f func() error) (Metrics, error) {
+	return core.Measure(db.index, f)
+}
+
+// IndexSizeBytes returns the storage footprint of the index pages
+// (excluding the segment table).
+func (db *DB) IndexSizeBytes() int64 { return db.index.SizeBytes() }
+
+// TableSizeBytes returns the storage footprint of the segment table.
+func (db *DB) TableSizeBytes() int64 { return db.table.SizeBytes() }
+
+// DropCaches empties both buffer pools, simulating a cold restart.
+func (db *DB) DropCaches() {
+	db.index.DropCache()
+	db.table.DropCache()
+}
+
+// Index exposes the underlying core.Index for advanced use (experiment
+// harnesses); most callers should use the DB methods.
+func (db *DB) Index() core.Index { return db.index }
