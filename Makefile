@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test vet race fuzz-smoke
+
+# check is the full local gate: what CI runs.
+check: vet build race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke runs each fuzz target briefly — a regression net for the
+# image parsers, not a bug hunt.
+fuzz-smoke:
+	$(GO) test -run=FuzzReadDiskFrom -fuzz=FuzzReadDiskFrom -fuzztime=10s ./internal/store
+	$(GO) test -run=FuzzLoad -fuzz=FuzzLoad -fuzztime=10s .

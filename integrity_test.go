@@ -1,0 +1,124 @@
+package segdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"segdb/internal/store"
+)
+
+// TestBitFlipDetectedAtLoad saves a database, flips one bit inside a page
+// of the image, and requires Load to fail with store.ErrChecksum naming
+// the offending page.
+func TestBitFlipDetectedAtLoad(t *testing.T) {
+	db, err := Open(PMRQuadtree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range crashSegments(80, 3) {
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// The image ends with the index disk's last page, its 4-byte CRC, and
+	// the 8-byte footer; byte len-13 is the final byte of that page.
+	img[len(img)-13] ^= 0x40
+	_, err = Load(bytes.NewReader(img))
+	if !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("Load of bit-flipped image = %v, want ErrChecksum", err)
+	}
+	var ce *store.ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error does not name the page: %v", err)
+	}
+	if int(ce.Page) >= db.pool.Disk().PageCount() {
+		t.Errorf("checksum error names page %d, disk has %d", ce.Page, db.pool.Disk().PageCount())
+	}
+}
+
+// TestCheckIntegrityHealthy verifies a freshly built database of every
+// kind passes the unified check.
+func TestCheckIntegrityHealthy(t *testing.T) {
+	segs := crashSegments(60, 5)
+	for _, kind := range crashKinds {
+		db, err := Open(kind, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			if _, err := db.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep := db.CheckIntegrity()
+		if !rep.Healthy() {
+			t.Errorf("%v: %v", kind, rep.Err())
+		}
+		if rep.Err() != nil {
+			t.Errorf("%v: Err() non-nil on healthy report", kind)
+		}
+		if rep.Segments != len(segs) || rep.Kind != kind {
+			t.Errorf("%v: report facts %+v", kind, rep)
+		}
+	}
+}
+
+// TestCheckIntegrityFindsCorruption corrupts a live page behind the
+// buffer pool's back and requires the unified check to surface it with
+// the typed checksum error.
+func TestCheckIntegrityFindsCorruption(t *testing.T) {
+	db, err := Open(RStarTree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range crashSegments(60, 11) {
+		if _, err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.pool.Disk().CorruptPage(0, 333); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.CheckIntegrity()
+	if rep.Healthy() {
+		t.Fatal("corrupted page not reported")
+	}
+	if !errors.Is(rep.Err(), store.ErrChecksum) {
+		t.Fatalf("Err() = %v, want to wrap ErrChecksum", rep.Err())
+	}
+}
+
+// TestCheckIntegrityAfterDeletes verifies the unified check still passes
+// after deletions (the index count drops below the append-only table's —
+// allowed; only index > table is drift).
+func TestCheckIntegrityAfterDeletes(t *testing.T) {
+	db, err := Open(UniformGrid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []SegmentID
+	for _, s := range crashSegments(40, 13) {
+		id, err := db.Add(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:10] {
+		if err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rep := db.CheckIntegrity(); !rep.Healthy() {
+		t.Fatalf("unhealthy after deletes: %v", rep.Problems)
+	}
+}

@@ -86,6 +86,22 @@ func (t *Tree) ValueSize() int { return t.valSize }
 // Pool returns the buffer pool backing the tree.
 func (t *Tree) Pool() *store.Pool { return t.pool }
 
+// getNode pins page id and decodes it. On success the page stays pinned
+// and the frame buffer is returned alongside the decoded node; on failure
+// the page is left unpinned.
+func (t *Tree) getNode(id store.PageID) (*node, []byte, error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := readNode(data, t.valSize)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, nil, err
+	}
+	return n, data, nil
+}
+
 // node is the decoded in-memory form of a page.
 type node struct {
 	leaf     bool
@@ -173,11 +189,10 @@ func (t *Tree) InsertValue(key uint64, val []byte) error {
 
 // insert descends to the leaf, inserts, and splits on the way back up.
 func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep uint64, right store.PageID, split bool, err error) {
-	data, err := t.pool.Get(id)
+	n, data, err := t.getNode(id)
 	if err != nil {
 		return 0, store.NilPage, false, err
 	}
-	n := readNode(data, t.valSize)
 	if level == 1 { // leaf
 		i := lowerBound(n.keys, key)
 		if i < len(n.keys) && n.keys[i] == key {
@@ -228,11 +243,10 @@ func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep u
 	if !csplit {
 		return 0, store.NilPage, false, nil
 	}
-	data, err = t.pool.Get(id)
+	n, data, err = t.getNode(id)
 	if err != nil {
 		return 0, store.NilPage, false, err
 	}
-	n = readNode(data, t.valSize)
 	i := upperBound(n.keys, csep)
 	n.keys = insertAt(n.keys, i, csep)
 	n.children = insertChildAt(n.children, i+1, cright)
@@ -277,22 +291,25 @@ func (t *Tree) ScanValues(lo, hi uint64, visit func(key uint64, val []byte) bool
 	// Descend to the leaf that would contain lo.
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		data, err := t.pool.Get(id)
+		n, _, err := t.getNode(id)
 		if err != nil {
 			return err
 		}
-		n := readNode(data, t.valSize)
 		next := n.children[upperBound(n.keys, lo)]
 		t.pool.Unpin(id, false)
 		id = next
 	}
-	// Walk the leaf chain.
+	// Walk the leaf chain. A corrupted image could link the chain into a
+	// cycle; more hops than the disk has pages proves one.
+	hops := 0
 	for id != store.NilPage {
-		data, err := t.pool.Get(id)
+		if hops++; hops > t.pool.Disk().PageCount() {
+			return fmt.Errorf("btree: leaf chain cycle detected after %d pages", hops-1)
+		}
+		n, _, err := t.getNode(id)
 		if err != nil {
 			return err
 		}
-		n := readNode(data, t.valSize)
 		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
 			if n.keys[i] >= hi {
 				t.pool.Unpin(id, false)
@@ -326,11 +343,10 @@ func (t *Tree) Delete(key uint64) error {
 	t.count--
 	// Collapse the root when it has a single child.
 	for t.height > 1 {
-		data, err := t.pool.Get(t.root)
+		n, _, err := t.getNode(t.root)
 		if err != nil {
 			return err
 		}
-		n := readNode(data, t.valSize)
 		if len(n.keys) > 0 {
 			t.pool.Unpin(t.root, false)
 			break
@@ -354,11 +370,10 @@ func (t *Tree) minKeys(level int) int {
 // delete removes key from the subtree rooted at id. Parents repair child
 // underflows after the recursive call returns.
 func (t *Tree) delete(id store.PageID, level int, key uint64) error {
-	data, err := t.pool.Get(id)
+	n, data, err := t.getNode(id)
 	if err != nil {
 		return err
 	}
-	n := readNode(data, t.valSize)
 	if level == 1 {
 		i := lowerBound(n.keys, key)
 		if i >= len(n.keys) || n.keys[i] != key {
@@ -382,18 +397,16 @@ func (t *Tree) delete(id store.PageID, level int, key uint64) error {
 
 // fixChild rebalances child ci of internal node id if it underflowed.
 func (t *Tree) fixChild(id store.PageID, level, ci int) error {
-	data, err := t.pool.Get(id)
+	n, data, err := t.getNode(id)
 	if err != nil {
 		return err
 	}
-	n := readNode(data, t.valSize)
 	child := n.children[ci]
-	cdata, err := t.pool.Get(child)
+	cn, cdata, err := t.getNode(child)
 	if err != nil {
 		t.pool.Unpin(id, false)
 		return err
 	}
-	cn := readNode(cdata, t.valSize)
 	if len(cn.keys) >= t.minKeys(level-1) {
 		t.pool.Unpin(child, false)
 		t.pool.Unpin(id, false)
@@ -403,13 +416,12 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 	// otherwise. All siblings share parent id.
 	if ci > 0 {
 		left := n.children[ci-1]
-		ldata, err := t.pool.Get(left)
+		ln, ldata, err := t.getNode(left)
 		if err != nil {
 			t.pool.Unpin(child, false)
 			t.pool.Unpin(id, false)
 			return err
 		}
-		ln := readNode(ldata, t.valSize)
 		if len(ln.keys) > t.minKeys(level-1) {
 			if cn.leaf {
 				last := len(ln.keys) - 1
@@ -438,13 +450,12 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 	}
 	if ci < len(n.children)-1 {
 		right := n.children[ci+1]
-		rdata, err := t.pool.Get(right)
+		rn, rdata, err := t.getNode(right)
 		if err != nil {
 			t.pool.Unpin(child, false)
 			t.pool.Unpin(id, false)
 			return err
 		}
-		rn := readNode(rdata, t.valSize)
 		if len(rn.keys) > t.minKeys(level-1) {
 			if cn.leaf {
 				cn.keys = append(cn.keys, rn.keys[0])
@@ -498,7 +509,20 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 			return err
 		}
 	}
-	ln, rn := readNode(ldata, t.valSize), readNode(rdata, t.valSize)
+	ln, lerr := readNode(ldata, t.valSize)
+	rn, rerr := readNode(rdata, t.valSize)
+	if lerr != nil || rerr != nil {
+		t.pool.Unpin(leftID, false)
+		t.pool.Unpin(rightID, false)
+		if leftID != child && rightID != child {
+			t.pool.Unpin(child, false)
+		}
+		t.pool.Unpin(id, false)
+		if lerr != nil {
+			return lerr
+		}
+		return rerr
+	}
 	if ln.leaf {
 		ln.keys = append(ln.keys, rn.keys...)
 		ln.vals = append(ln.vals, rn.vals...)
@@ -583,8 +607,15 @@ func Restore(pool *store.Pool, valueSize int, meta [3]uint64) (*Tree, error) {
 	if t.leafCap < 3 || t.internalCap < 3 {
 		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
 	}
-	if t.height < 1 {
+	if int(t.root) >= pool.Disk().PageCount() {
+		return nil, fmt.Errorf("btree: root page %d outside disk (%d pages): %w", t.root, pool.Disk().PageCount(), store.ErrBadPage)
+	}
+	// A height beyond 64 is implausible for any restorable page count.
+	if t.height < 1 || t.height > 64 {
 		return nil, fmt.Errorf("btree: invalid height %d", t.height)
+	}
+	if t.count < 0 {
+		return nil, fmt.Errorf("btree: invalid key count %d", t.count)
 	}
 	return t, nil
 }

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"segdb/internal/store"
 )
@@ -42,9 +43,22 @@ func writeNode(data []byte, n *node, valSize int) {
 	}
 }
 
-func readNode(data []byte, valSize int) *node {
+// readNode decodes a page into a node, rejecting headers whose entry
+// count cannot fit the page (stale or corrupted data that survived its
+// checksum, e.g. a page recycled from another structure after a crash).
+func readNode(data []byte, valSize int) (*node, error) {
+	if data[0] > 1 {
+		return nil, fmt.Errorf("btree: corrupt page: node type %d", data[0])
+	}
 	n := &node{leaf: data[0] == 1}
 	count := int(binary.LittleEndian.Uint16(data[2:]))
+	entrySize := 12
+	if n.leaf {
+		entrySize = 8 + valSize
+	}
+	if count > (len(data)-headerSize)/entrySize {
+		return nil, fmt.Errorf("btree: corrupt page: %d entries exceed page capacity %d", count, (len(data)-headerSize)/entrySize)
+	}
 	n.keys = make([]uint64, count)
 	if n.leaf {
 		n.next = store.PageID(binary.LittleEndian.Uint32(data[4:]))
@@ -60,7 +74,7 @@ func readNode(data []byte, valSize int) *node {
 				off += valSize
 			}
 		}
-		return n
+		return n, nil
 	}
 	n.children = make([]store.PageID, count+1)
 	n.children[0] = store.PageID(binary.LittleEndian.Uint32(data[4:]))
@@ -70,5 +84,5 @@ func readNode(data []byte, valSize int) *node {
 		n.children[i+1] = store.PageID(binary.LittleEndian.Uint32(data[off+8:]))
 		off += 12
 	}
-	return n
+	return n, nil
 }

@@ -11,11 +11,10 @@ func (t *Tree) SeekLE(k uint64) (uint64, bool, error) {
 }
 
 func (t *Tree) seekLE(id store.PageID, level int, k uint64) (uint64, bool, error) {
-	data, err := t.pool.Get(id)
+	n, _, err := t.getNode(id)
 	if err != nil {
 		return 0, false, err
 	}
-	n := readNode(data, t.valSize)
 	if level == 1 {
 		i := upperBound(n.keys, k)
 		t.pool.Unpin(id, false)

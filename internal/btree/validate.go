@@ -43,11 +43,10 @@ func (t *Tree) Validate() error {
 }
 
 func (t *Tree) validate(id store.PageID, level int, lo, hi uint64, isRoot bool, keysSeen *int, prevLast *uint64, first *bool) error {
-	data, err := t.pool.Get(id)
+	n, _, err := t.getNode(id)
 	if err != nil {
 		return err
 	}
-	n := readNode(data, t.valSize)
 	keys := append([]uint64(nil), n.keys...)
 	children := append([]store.PageID(nil), n.children...)
 	leaf := n.leaf

@@ -63,8 +63,17 @@ type Index interface {
 	// quantity in Table 1 (segment table excluded, as in the paper).
 	SizeBytes() int64
 
-	// DropCache empties the index's buffer pool for a cold restart.
-	DropCache()
+	// Len returns the number of distinct segments currently indexed.
+	Len() int
+
+	// DropCache empties the index's buffer pool for a cold restart,
+	// flushing dirty frames first.
+	DropCache() error
+
+	// Validate checks the index's structural invariants, returning an
+	// error describing the first violation. It is the per-index half of
+	// the database-wide integrity check.
+	Validate() error
 }
 
 // NearestResult describes the outcome of a nearest-line query.

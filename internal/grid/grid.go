@@ -75,8 +75,8 @@ func (g *Grid) NodeComps() uint64 { return g.nodeComps }
 // SizeBytes returns the storage footprint.
 func (g *Grid) SizeBytes() int64 { return g.bt.Pool().Disk().SizeBytes() }
 
-// DropCache cold-starts the buffer pool.
-func (g *Grid) DropCache() { g.bt.Pool().DropAll() }
+// DropCache cold-starts the buffer pool, flushing dirty frames first.
+func (g *Grid) DropCache() error { return g.bt.Pool().DropAll() }
 
 // Len returns the number of distinct indexed segments.
 func (g *Grid) Len() int { return g.count }
@@ -325,8 +325,19 @@ func (g *Grid) PersistMeta() [4]uint64 {
 
 // Restore reattaches a grid to a disk image previously saved with its
 // PersistMeta. The pool must wrap the restored disk; cfg must match the
-// original grid's.
+// original grid's and is re-validated here so a corrupted configuration
+// cannot divide by zero.
 func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*Grid, error) {
+	if cfg.CellsPerSide < 1 || cfg.CellsPerSide > geom.WorldSize {
+		return nil, fmt.Errorf("grid: invalid resolution %d", cfg.CellsPerSide)
+	}
+	if geom.WorldSize%cfg.CellsPerSide != 0 {
+		return nil, fmt.Errorf("grid: resolution %d does not divide the world size", cfg.CellsPerSide)
+	}
+	count := int(meta[3])
+	if count < 0 || count > table.Len() {
+		return nil, fmt.Errorf("grid: segment count %d exceeds table size %d", count, table.Len())
+	}
 	bt, err := btree.Restore(pool, 0, [3]uint64{meta[0], meta[1], meta[2]})
 	if err != nil {
 		return nil, err
@@ -336,6 +347,49 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*G
 		table:    table,
 		n:        cfg.CellsPerSide,
 		cellSize: geom.WorldSize / cfg.CellsPerSide,
-		count:    int(meta[3]),
+		count:    count,
 	}, nil
+}
+
+// Validate checks the grid's structural invariants: the underlying
+// B-tree validates, every key names a cell inside the grid, every
+// (cell, segment) entry points at a stored segment that intersects the
+// cell's rectangle, and the number of distinct segments matches the
+// recorded count.
+func (g *Grid) Validate() error {
+	if err := g.bt.Validate(); err != nil {
+		return err
+	}
+	distinct := make(map[seg.ID]struct{})
+	var verr error
+	err := g.bt.Scan(0, ^uint64(0), func(k uint64) bool {
+		cy := int32(k >> cellKeyShiftY)
+		cx := int32(k>>32) & 0xffff
+		id := seg.ID(k & 0xffffffff)
+		if cx >= g.n || cy >= g.n {
+			verr = fmt.Errorf("grid: entry for cell (%d,%d) outside %dx%d grid", cx, cy, g.n, g.n)
+			return false
+		}
+		s, err := g.table.Get(id)
+		if err != nil {
+			verr = fmt.Errorf("grid: cell (%d,%d): %w", cx, cy, err)
+			return false
+		}
+		if !g.cellRect(cx, cy).IntersectsSegment(s) {
+			verr = fmt.Errorf("grid: segment %d stored in cell (%d,%d) it does not intersect", id, cx, cy)
+			return false
+		}
+		distinct[id] = struct{}{}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if verr != nil {
+		return verr
+	}
+	if len(distinct) != g.count {
+		return fmt.Errorf("grid: %d distinct segments stored, count records %d", len(distinct), g.count)
+	}
+	return nil
 }

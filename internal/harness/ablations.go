@@ -29,7 +29,11 @@ func Ablations(w io.Writer, m *tiger.Map, queries int) error {
 	if err != nil {
 		return err
 	}
-	wl, err := NewWorkload(m, mustPMR(pmrIxBase), queries, m.Spec.Seed+888)
+	pmrIx, err := asPMR(pmrIxBase)
+	if err != nil {
+		return err
+	}
+	wl, err := NewWorkload(m, pmrIx, queries, m.Spec.Seed+888)
 	if err != nil {
 		return err
 	}
@@ -137,10 +141,10 @@ func Ablations(w io.Writer, m *tiger.Map, queries int) error {
 	return nil
 }
 
-func mustPMR(ix interface{ Name() string }) *pmr.Tree {
+func asPMR(ix interface{ Name() string }) (*pmr.Tree, error) {
 	t, ok := ix.(*pmr.Tree)
 	if !ok {
-		panic(fmt.Sprintf("harness: %s is not a PMR quadtree", ix.Name()))
+		return nil, fmt.Errorf("harness: %s is not a PMR quadtree", ix.Name())
 	}
-	return t
+	return t, nil
 }

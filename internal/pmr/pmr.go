@@ -155,8 +155,8 @@ func (t *Tree) NodeComps() uint64 { return t.nodeComps }
 // SizeBytes returns the storage footprint of the B-tree pages.
 func (t *Tree) SizeBytes() int64 { return t.bt.Pool().Disk().SizeBytes() }
 
-// DropCache cold-starts the buffer pool.
-func (t *Tree) DropCache() { t.bt.Pool().DropAll() }
+// DropCache cold-starts the buffer pool, flushing dirty frames first.
+func (t *Tree) DropCache() error { return t.bt.Pool().DropAll() }
 
 // Len returns the number of distinct indexed segments.
 func (t *Tree) Len() int { return t.count }
@@ -632,8 +632,18 @@ func (t *Tree) PersistMeta() [4]uint64 {
 
 // Restore reattaches a PMR quadtree to a disk image previously saved with
 // its PersistMeta. The pool must wrap the restored disk; cfg must match
-// the original tree's.
+// the original tree's and is re-validated here.
 func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*Tree, error) {
+	if cfg.SplittingThreshold < 1 {
+		return nil, fmt.Errorf("pmr: invalid splitting threshold %d", cfg.SplittingThreshold)
+	}
+	if cfg.MaxDepth < 1 || cfg.MaxDepth > geom.MaxDepth {
+		return nil, fmt.Errorf("pmr: invalid max depth %d", cfg.MaxDepth)
+	}
+	count := int(meta[3])
+	if count < 0 || count > table.Len() {
+		return nil, fmt.Errorf("pmr: segment count %d exceeds table size %d", count, table.Len())
+	}
 	valSize := 0
 	if cfg.StoreMBR {
 		valSize = qedgeValSize
@@ -642,5 +652,5 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*T
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{bt: bt, table: table, cfg: cfg, count: int(meta[3])}, nil
+	return &Tree{bt: bt, table: table, cfg: cfg, count: count}, nil
 }

@@ -9,6 +9,7 @@ package rpage
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"segdb/internal/geom"
 )
@@ -55,10 +56,18 @@ func Write(data []byte, n *Node) {
 	}
 }
 
-// Read decodes a page into a Node.
-func Read(data []byte) *Node {
+// Read decodes a page into a Node, rejecting headers whose entry count
+// cannot fit the page (stale or corrupted data that survived its
+// checksum, e.g. a page recycled from another structure after a crash).
+func Read(data []byte) (*Node, error) {
+	if data[0] > 1 {
+		return nil, fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+	}
 	n := &Node{Leaf: data[0] == 1}
 	count := int(binary.LittleEndian.Uint16(data[2:]))
+	if max := Capacity(len(data)); count > max {
+		return nil, fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
+	}
 	n.Entries = make([]Entry, count)
 	off := HeaderSize
 	for i := range n.Entries {
@@ -77,7 +86,7 @@ func Read(data []byte) *Node {
 		}
 		off += EntrySize
 	}
-	return n
+	return n, nil
 }
 
 // MBR returns the minimum bounding rectangle of the node's entries. It

@@ -38,7 +38,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		}
 		data := make([]byte, pageSize)
 		Write(data, n)
-		got := Read(data)
+		got, err := Read(data)
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v", trial, err)
+		}
 		if got.Leaf != n.Leaf || len(got.Entries) != len(n.Entries) {
 			t.Fatalf("trial %d: shape mismatch", trial)
 		}
@@ -62,7 +65,10 @@ func TestRoundTripQuick(t *testing.T) {
 		}
 		data := make([]byte, 512)
 		Write(data, n)
-		got := Read(data)
+		got, err := Read(data)
+		if err != nil {
+			return false
+		}
 		if got.Leaf != leaf || len(got.Entries) != 8 {
 			return false
 		}
@@ -100,7 +106,10 @@ func TestOverwriteSmallerNode(t *testing.T) {
 	Write(data, big)
 	small := &Node{Leaf: false, Entries: []Entry{{Rect: geom.RectOf(3, 3, 4, 4), Ptr: 99}}}
 	Write(data, small)
-	got := Read(data)
+	got, err := Read(data)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
 	if got.Leaf || len(got.Entries) != 1 || got.Entries[0].Ptr != 99 {
 		t.Fatalf("stale data after overwrite: %+v", got)
 	}

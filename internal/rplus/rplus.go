@@ -97,8 +97,9 @@ func (t *Tree) NodeComps() uint64 { return t.nodeComps }
 // SizeBytes returns the storage footprint of the tree pages.
 func (t *Tree) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
 
-// DropCache cold-starts the tree's buffer pool.
-func (t *Tree) DropCache() { t.pool.DropAll() }
+// DropCache cold-starts the tree's buffer pool, flushing dirty frames
+// first.
+func (t *Tree) DropCache() error { return t.pool.DropAll() }
 
 // Len returns the number of distinct indexed segments.
 func (t *Tree) Len() int { return t.count }
@@ -111,9 +112,9 @@ func (t *Tree) readNode(id store.PageID) (*rpage.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := rpage.Read(data)
+	n, err := rpage.Read(data)
 	t.pool.Unpin(id, false)
-	return n, nil
+	return n, err
 }
 
 func (t *Tree) writeNode(id store.PageID, n *rpage.Node) error {
@@ -225,20 +226,35 @@ func (t *Tree) PersistMeta() [3]uint64 {
 	return [3]uint64{uint64(t.root), uint64(t.height), uint64(t.count)}
 }
 
+// maxHeight bounds a plausible tree height: even a binary-fanout tree of
+// this height exceeds any restorable page count.
+const maxHeight = 64
+
 // Restore reattaches a tree to a disk image previously saved with its
 // PersistMeta. The pool must wrap the restored disk; cfg must match the
-// original tree's.
+// original tree's. Unlike earlier versions it does not allocate (and so
+// never grows the restored disk); the metadata is validated before use.
 func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*Tree, error) {
-	t, err := New(pool, table, cfg)
-	if err != nil {
-		return nil, err
+	max := rpage.Capacity(pool.PageSize())
+	if max < 4 {
+		return nil, fmt.Errorf("rplus: page size %d too small", pool.PageSize())
 	}
-	pool.Free(t.root)
-	t.root = store.PageID(meta[0])
-	t.height = int(meta[1])
-	t.count = int(meta[2])
-	if t.height < 1 {
-		return nil, fmt.Errorf("rplus: invalid height %d", t.height)
+	name := "R+-tree"
+	if !cfg.LeafMBR {
+		name = "k-d-B-tree"
 	}
-	return t, nil
+	root := store.PageID(meta[0])
+	height := int(meta[1])
+	count := int(meta[2])
+	if int(root) >= pool.Disk().PageCount() {
+		return nil, fmt.Errorf("rplus: root page %d outside disk (%d pages): %w", root, pool.Disk().PageCount(), store.ErrBadPage)
+	}
+	if height < 1 || height > maxHeight {
+		return nil, fmt.Errorf("rplus: invalid height %d", height)
+	}
+	if count < 0 || count > table.Len() {
+		return nil, fmt.Errorf("rplus: segment count %d exceeds table size %d", count, table.Len())
+	}
+	return &Tree{pool: pool, table: table, cfg: cfg, max: max, name: name,
+		root: root, height: height, count: count}, nil
 }

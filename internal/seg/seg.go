@@ -62,9 +62,16 @@ func (t *Table) Comparisons() uint64 { return t.fetches }
 // SizeBytes returns the storage occupied by the table.
 func (t *Table) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
 
+// Disk exposes the table's underlying disk (integrity checks and fault
+// injection attach here).
+func (t *Table) Disk() *store.Disk { return t.pool.Disk() }
+
 // DropCache empties the table's buffer pool (cold restart between
-// experiment phases).
-func (t *Table) DropCache() { t.pool.DropAll() }
+// experiment phases), flushing dirty frames first.
+func (t *Table) DropCache() error { return t.pool.DropAll() }
+
+// Flush writes the table's buffered dirty pages back to its disk.
+func (t *Table) Flush() error { return t.pool.Flush() }
 
 // Append stores a segment and returns its ID. Appending does not count as
 // a segment comparison.
@@ -115,16 +122,6 @@ func (t *Table) Get(id ID) (geom.Segment, error) {
 	return s, nil
 }
 
-// MustGet is Get for callers that treat table errors as fatal logic errors
-// (the IDs they hold were handed out by Append).
-func (t *Table) MustGet(id ID) geom.Segment {
-	s, err := t.Get(id)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 func encode(b []byte, s geom.Segment) {
 	binary.LittleEndian.PutUint32(b[0:], uint32(s.P1.X))
 	binary.LittleEndian.PutUint32(b[4:], uint32(s.P1.Y))
@@ -148,12 +145,32 @@ func decode(b []byte) geom.Segment {
 // SaveTo serializes the table (record count followed by its disk image)
 // after flushing buffered pages.
 func (t *Table) SaveTo(w io.Writer) error {
-	t.pool.Flush()
+	if err := t.pool.Flush(); err != nil {
+		return err
+	}
+	return t.WriteSnapshot(w)
+}
+
+// WriteSnapshot serializes the table's durable state only — the record
+// count and the disk image as it stands, without flushing the buffer
+// pool. Crash harnesses use it to capture what a halted disk actually
+// holds.
+func (t *Table) WriteSnapshot(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(t.count)); err != nil {
 		return err
 	}
 	_, err := t.pool.Disk().WriteTo(w)
 	return err
+}
+
+// CheckIntegrity cross-checks the record count against the pages the disk
+// actually holds.
+func (t *Table) CheckIntegrity() error {
+	need := (t.count + t.perPage - 1) / t.perPage
+	if t.pool.Disk().PagesInUse() < need {
+		return fmt.Errorf("seg: table holds %d pages, %d records need %d", t.pool.Disk().PagesInUse(), t.count, need)
+	}
+	return nil
 }
 
 // RestoreTable reconstructs a table serialized by SaveTo, fronted by a
@@ -166,6 +183,9 @@ func RestoreTable(r io.Reader, poolPages int) (*Table, error) {
 	disk, err := store.ReadDiskFrom(r)
 	if err != nil {
 		return nil, err
+	}
+	if disk.PageSize() < recordSize {
+		return nil, fmt.Errorf("seg: table image page size %d below record size %d", disk.PageSize(), recordSize)
 	}
 	t := &Table{
 		pool:    store.NewPool(disk, poolPages),

@@ -114,14 +114,11 @@ func TestManySegmentsRoundTripAcrossPages(t *testing.T) {
 	}
 }
 
-func TestMustGetPanicsOnBadID(t *testing.T) {
+func TestGetRejectsBadID(t *testing.T) {
 	tab := NewTable(1024, 4)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	tab.MustGet(7)
+	if _, err := tab.Get(7); err == nil {
+		t.Error("expected error for out-of-range id")
+	}
 }
 
 // Property: any in-world segment round-trips through the on-page record

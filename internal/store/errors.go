@@ -1,0 +1,87 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the storage layer. Wrapping types below carry the
+// details; callers match with errors.Is / errors.As.
+var (
+	// ErrAllPinned is returned when a page must be brought into the pool
+	// but every buffer frame is pinned.
+	ErrAllPinned = errors.New("store: all buffer frames pinned")
+
+	// ErrChecksum is the sentinel wrapped by ChecksumError: a page's
+	// contents do not match its recorded CRC32 (torn write, bit rot, or a
+	// corrupted image).
+	ErrChecksum = errors.New("store: checksum mismatch")
+
+	// ErrInjectedFault is the sentinel wrapped by FaultError: an I/O
+	// operation failed because the active FaultPolicy injected a fault.
+	ErrInjectedFault = errors.New("store: injected fault")
+
+	// ErrBadPage is returned when an I/O operation names a page id outside
+	// the disk (a dangling pointer in a corrupted structure).
+	ErrBadPage = errors.New("store: page id out of range")
+)
+
+// ChecksumError reports a page whose stored CRC32 does not match its
+// contents. It wraps ErrChecksum.
+type ChecksumError struct {
+	Page PageID
+	Want uint32 // checksum recorded for the page
+	Got  uint32 // checksum of the bytes actually present
+}
+
+// Error implements error.
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("store: page %d checksum mismatch (recorded %#08x, computed %#08x)", e.Page, e.Want, e.Got)
+}
+
+// Unwrap makes errors.Is(err, ErrChecksum) true.
+func (e *ChecksumError) Unwrap() error { return ErrChecksum }
+
+// FaultKind classifies an injected fault.
+type FaultKind int
+
+// The fault classes a FaultPolicy can inject.
+const (
+	// FaultRead is a transient read error: the page is intact but the
+	// operation fails.
+	FaultRead FaultKind = iota
+	// FaultWrite is a rejected write: nothing reaches the page.
+	FaultWrite
+	// FaultCrash marks the simulated power loss: the in-flight write is
+	// torn and every later operation on the disk fails with this kind.
+	FaultCrash
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRead:
+		return "read error"
+	case FaultWrite:
+		return "write error"
+	case FaultCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultError reports an operation failed by the active FaultPolicy. It
+// wraps ErrInjectedFault.
+type FaultError struct {
+	Op   string // "read" or "write"
+	Page PageID
+	Kind FaultKind
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("store: injected %v on %s of page %d", e.Kind, e.Op, e.Page)
+}
+
+// Unwrap makes errors.Is(err, ErrInjectedFault) true.
+func (e *FaultError) Unwrap() error { return ErrInjectedFault }

@@ -1,0 +1,120 @@
+package store
+
+import "math/rand"
+
+// FaultConfig describes the fault distribution a FaultPolicy injects.
+// Probabilities are per-operation in [0, 1]; zero disables that fault
+// class. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed makes the injection sequence deterministic: the same seed,
+	// config, and operation sequence reproduce the same faults.
+	Seed int64
+
+	// ReadErrorProb is the probability a read fails with a transient
+	// FaultError (the page itself stays intact).
+	ReadErrorProb float64
+
+	// WriteErrorProb is the probability a write is rejected with a
+	// FaultError before touching the page.
+	WriteErrorProb float64
+
+	// TornWriteProb is the probability a write silently persists only a
+	// random prefix of the page. The page's recorded checksum is that of
+	// the full intended contents, so the tear surfaces as ErrChecksum on
+	// the next read of the page.
+	TornWriteProb float64
+
+	// BitFlipProb is the probability a write lands with one random bit
+	// flipped after checksumming — silent corruption detected as
+	// ErrChecksum on the next read.
+	BitFlipProb float64
+
+	// CrashAfterWrites, when nonzero, halts the disk at the Nth write:
+	// that write is torn and every subsequent read or write fails with a
+	// FaultError of kind FaultCrash. This simulates power loss mid-write;
+	// the buffer pool's unflushed frames are the data the crash loses.
+	CrashAfterWrites uint64
+}
+
+// FaultPolicy injects deterministic faults into every Disk it is attached
+// to (with SetFaultPolicy). Attaching one policy to several disks — e.g.
+// a database's index and segment-table disks — models one physical device:
+// the write countdown and the random sequence are shared. A FaultPolicy is
+// not safe for concurrent use, matching Disk.
+type FaultPolicy struct {
+	cfg     FaultConfig
+	rng     *rand.Rand
+	reads   uint64
+	writes  uint64
+	faults  uint64
+	crashed bool
+}
+
+// NewFaultPolicy creates a policy injecting faults per cfg.
+func NewFaultPolicy(cfg FaultConfig) *FaultPolicy {
+	return &FaultPolicy{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (p *FaultPolicy) Crashed() bool { return p.crashed }
+
+// Injected returns the number of faults injected so far (loud errors and
+// silent corruptions both count).
+func (p *FaultPolicy) Injected() uint64 { return p.faults }
+
+// Writes returns the number of write operations observed, successful or
+// not. Harnesses use a fault-free run's total to pick crash points.
+func (p *FaultPolicy) Writes() uint64 { return p.writes }
+
+// beforeRead decides the fate of a read of page id.
+func (p *FaultPolicy) beforeRead(id PageID) error {
+	p.reads++
+	if p.crashed {
+		return &FaultError{Op: "read", Page: id, Kind: FaultCrash}
+	}
+	if p.cfg.ReadErrorProb > 0 && p.rng.Float64() < p.cfg.ReadErrorProb {
+		p.faults++
+		return &FaultError{Op: "read", Page: id, Kind: FaultRead}
+	}
+	return nil
+}
+
+// writeDecision is the outcome beforeWrite chose for one write.
+type writeDecision struct {
+	err        error // loud failure; nothing persists
+	tornPrefix int   // -1: full write; else only the first n bytes land
+	flipBit    int   // -1: none; else flip this bit offset after checksumming
+	crash      bool  // the disk halts after this (torn) write
+}
+
+// beforeWrite decides the fate of a write of pageSize bytes to page id.
+func (p *FaultPolicy) beforeWrite(id PageID, pageSize int) writeDecision {
+	dec := writeDecision{tornPrefix: -1, flipBit: -1}
+	if p.crashed {
+		dec.err = &FaultError{Op: "write", Page: id, Kind: FaultCrash}
+		return dec
+	}
+	p.writes++
+	if p.cfg.CrashAfterWrites > 0 && p.writes >= p.cfg.CrashAfterWrites {
+		p.crashed = true
+		p.faults++
+		dec.crash = true
+		dec.tornPrefix = p.rng.Intn(pageSize)
+		dec.err = &FaultError{Op: "write", Page: id, Kind: FaultCrash}
+		return dec
+	}
+	if p.cfg.WriteErrorProb > 0 && p.rng.Float64() < p.cfg.WriteErrorProb {
+		p.faults++
+		dec.err = &FaultError{Op: "write", Page: id, Kind: FaultWrite}
+		return dec
+	}
+	if p.cfg.TornWriteProb > 0 && p.rng.Float64() < p.cfg.TornWriteProb {
+		p.faults++
+		dec.tornPrefix = p.rng.Intn(pageSize)
+	}
+	if p.cfg.BitFlipProb > 0 && p.rng.Float64() < p.cfg.BitFlipProb {
+		p.faults++
+		dec.flipBit = p.rng.Intn(pageSize * 8)
+	}
+	return dec
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fillSeq fills buf with a non-zero repeating pattern derived from tag so
+// that any torn prefix of a fresh write differs from the page's previous
+// contents.
+func fillSeq(buf []byte, tag byte) {
+	for i := range buf {
+		buf[i] = tag + byte(i)*3 + 1
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, ReadErrorProb: 0.3, WriteErrorProb: 0.3, TornWriteProb: 0.2, BitFlipProb: 0.2}
+	run := func() []string {
+		d := NewDisk(64)
+		d.SetFaultPolicy(NewFaultPolicy(cfg))
+		var trace []string
+		buf := make([]byte, 64)
+		for i := 0; i < 200; i++ {
+			id := d.allocate()
+			fillSeq(buf, byte(i))
+			if err := d.write(id, buf); err != nil {
+				trace = append(trace, "w:"+err.Error())
+			}
+			if err := d.read(id, buf); err != nil {
+				trace = append(trace, "r:"+err.Error())
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("expected some injected faults")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged: %d vs %d faults", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTornWriteDetectedOnRead(t *testing.T) {
+	d := NewDisk(64)
+	id := d.allocate()
+	d.SetFaultPolicy(NewFaultPolicy(FaultConfig{Seed: 7, TornWriteProb: 1}))
+	buf := make([]byte, 64)
+	fillSeq(buf, 9)
+	if err := d.write(id, buf); err != nil {
+		t.Fatalf("torn write should be silent, got %v", err)
+	}
+	err := d.read(id, buf)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read after torn write = %v, want ErrChecksum", err)
+	}
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.Page != id {
+		t.Fatalf("checksum error names page %v, want %d", ce, id)
+	}
+}
+
+func TestWriteErrorLeavesPageIntact(t *testing.T) {
+	d := NewDisk(64)
+	id := d.allocate()
+	buf := make([]byte, 64)
+	fillSeq(buf, 1)
+	if err := d.write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPolicy(NewFaultPolicy(FaultConfig{Seed: 7, WriteErrorProb: 1}))
+	buf2 := make([]byte, 64)
+	fillSeq(buf2, 200)
+	err := d.write(id, buf2)
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write = %v, want ErrInjectedFault", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != FaultWrite || fe.Page != id {
+		t.Fatalf("fault error = %+v", fe)
+	}
+	d.SetFaultPolicy(nil)
+	got := make([]byte, 64)
+	if err := d.read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("rejected write modified the page")
+	}
+}
+
+func TestCrashAfterWritesHaltsDisk(t *testing.T) {
+	d := NewDisk(64)
+	ids := []PageID{d.allocate(), d.allocate(), d.allocate()}
+	p := NewFaultPolicy(FaultConfig{Seed: 3, CrashAfterWrites: 3})
+	d.SetFaultPolicy(p)
+	buf := make([]byte, 64)
+	for i, id := range ids[:2] {
+		fillSeq(buf, byte(i))
+		if err := d.write(id, buf); err != nil {
+			t.Fatalf("write %d before crash point: %v", i, err)
+		}
+	}
+	fillSeq(buf, 77)
+	err := d.write(ids[2], buf)
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != FaultCrash {
+		t.Fatalf("crash-point write = %v, want FaultCrash", err)
+	}
+	if !p.Crashed() {
+		t.Error("policy not marked crashed")
+	}
+	// Every later operation fails: the disk has halted.
+	if err := d.write(ids[0], buf); !errors.As(err, &fe) || fe.Kind != FaultCrash {
+		t.Fatalf("write after crash = %v", err)
+	}
+	if err := d.read(ids[0], buf); !errors.As(err, &fe) || fe.Kind != FaultCrash {
+		t.Fatalf("read after crash = %v", err)
+	}
+	// Serialization bypasses the fault policy: the durable state of the
+	// halted disk can still be captured, torn page and all.
+	var img bytes.Buffer
+	if _, err := d.WriteTo(&img); err != nil {
+		t.Fatalf("WriteTo of crashed disk: %v", err)
+	}
+	if _, err := ReadDiskFrom(bytes.NewReader(img.Bytes())); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("reload of torn image = %v, want ErrChecksum", err)
+	}
+}
+
+func TestSharedPolicyCountsAcrossDisks(t *testing.T) {
+	p := NewFaultPolicy(FaultConfig{Seed: 1, CrashAfterWrites: 2})
+	d1, d2 := NewDisk(32), NewDisk(32)
+	d1.SetFaultPolicy(p)
+	d2.SetFaultPolicy(p)
+	a, b := d1.allocate(), d2.allocate()
+	buf := make([]byte, 32)
+	if err := d1.write(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	// The second write lands on the other disk: the countdown is shared.
+	if err := d2.write(b, buf); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("second write = %v, want crash", err)
+	}
+	if err := d1.write(a, buf); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("first disk survived a shared crash: %v", err)
+	}
+}
+
+func TestAllPinnedTypedError(t *testing.T) {
+	p := NewPool(NewDisk(8), 2)
+	a, _, _ := p.Allocate()
+	b, _, _ := p.Allocate()
+	if _, _, err := p.Allocate(); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("Allocate with all frames pinned = %v, want ErrAllPinned", err)
+	}
+	p.Unpin(a, true)
+	p.Unpin(b, true)
+	// Evict both by allocating a third page, then pin two frames again and
+	// fault in a non-resident page: Get must surface the same typed error.
+	c, _, _ := p.Allocate()
+	if _, err := p.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(b); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("Get with all frames pinned = %v, want ErrAllPinned", err)
+	}
+	p.Unpin(a, false)
+	p.Unpin(c, true)
+}
+
+func TestFreeDirtyResidentPageSkipsWriteback(t *testing.T) {
+	d := NewDisk(32)
+	p := NewPool(d, 4)
+	id, data, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSeq(data, 5)
+	p.Unpin(id, true) // dirty, resident, unpinned
+	base := d.stats
+	p.Free(id)
+	delta := d.stats.Sub(base)
+	if delta.Writes != 0 {
+		t.Errorf("freeing a dirty page wrote it back (%d writes)", delta.Writes)
+	}
+	if delta.Frees != 1 {
+		t.Errorf("Frees delta = %d, want 1", delta.Frees)
+	}
+	if p.Resident(id) {
+		t.Error("freed page still resident")
+	}
+	if d.PagesInUse() != 0 {
+		t.Errorf("PagesInUse = %d, want 0", d.PagesInUse())
+	}
+}
+
+func TestDropAllStatsInvariants(t *testing.T) {
+	d := NewDisk(32)
+	p := NewPool(d, 8)
+	const n = 5
+	ids := make([]PageID, n)
+	for i := range ids {
+		id, data, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillSeq(data, byte(i))
+		p.Unpin(id, true)
+		ids[i] = id
+	}
+	base := d.stats
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	delta := d.stats.Sub(base)
+	if delta.Writes != n {
+		t.Errorf("DropAll wrote %d pages, want %d (one per dirty frame)", delta.Writes, n)
+	}
+	if delta.Reads != 0 || delta.Allocs != 0 || delta.Frees != 0 {
+		t.Errorf("DropAll perturbed other counters: %+v", delta)
+	}
+	for _, id := range ids {
+		if p.Resident(id) {
+			t.Fatalf("page %d still resident after DropAll", id)
+		}
+	}
+	// A second DropAll is free: nothing resident, nothing dirty.
+	base = d.stats
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if delta := d.stats.Sub(base); delta != (Stats{}) {
+		t.Errorf("idempotent DropAll cost %+v", delta)
+	}
+}
+
+func TestCorruptPageDetected(t *testing.T) {
+	d := NewDisk(64)
+	p := NewPool(d, 2)
+	id, data, _ := p.Allocate()
+	fillSeq(data, 3)
+	p.Unpin(id, true)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CorruptPage(id, 137); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyChecksums(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("VerifyChecksums = %v, want ErrChecksum", err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Get(id)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) || ce.Page != id {
+		t.Fatalf("Get of corrupted page = %v, want ChecksumError{Page:%d}", err, id)
+	}
+}
+
+func TestVerifyChecksumsSkipsFreePages(t *testing.T) {
+	d := NewDisk(32)
+	p := NewPool(d, 2)
+	id, data, _ := p.Allocate()
+	fillSeq(data, 8)
+	p.Unpin(id, true)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.Free(id)
+	if err := d.CorruptPage(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyChecksums(); err != nil {
+		t.Errorf("corruption on a free page reported: %v", err)
+	}
+	if err := d.CheckFreeList(); err != nil {
+		t.Errorf("CheckFreeList: %v", err)
+	}
+}
+
+func TestPoolGetBadPage(t *testing.T) {
+	p := NewPool(NewDisk(16), 2)
+	if _, err := p.Get(5); !errors.Is(err, ErrBadPage) {
+		t.Fatalf("Get(5) on empty disk = %v, want ErrBadPage", err)
+	}
+}

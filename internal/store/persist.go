@@ -3,44 +3,89 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 )
 
-// diskMagic guards the on-file layout of a serialized Disk.
-const diskMagic = 0x5344424b // "SDBK"
+// diskMagic guards the on-file layout of a serialized Disk. Format 2
+// ("SDBL") adds per-page CRC32 checksums and a whole-image footer; images
+// written by format 1 ("SDBK") are no longer accepted.
+const (
+	diskMagic   = 0x5344424c // "SDBL"
+	diskMagicV1 = 0x5344424b // "SDBK", the unchecksummed format
+)
 
-// WriteTo serializes the disk image: page size, page count, free list,
-// and raw pages. Callers must Flush any pools first so the image reflects
-// buffered writes.
+// Allocation bounds enforced before trusting a disk image's header, so a
+// corrupt or malicious file fails fast instead of driving a multi-GB
+// allocation.
+const (
+	// MaxImagePages bounds the page count of a restorable image.
+	MaxImagePages = 1 << 22
+	// MaxImageBytes bounds pageCount x pageSize of a restorable image.
+	MaxImageBytes = int64(1) << 33
+	// maxPageSize mirrors the upper bound on plausible page sizes.
+	maxPageSize = 1 << 20
+	// preallocCap bounds optimistic preallocation from header-declared
+	// counts; beyond it, slices grow as data actually arrives, so a lying
+	// header hits EOF before it hits the allocator.
+	preallocCap = 4096
+)
+
+// WriteTo serializes the disk image: header, free list, each page with
+// its recorded CRC32, and a footer holding the page count and a CRC32 of
+// the entire preceding stream. Callers must Flush any pools first so the
+// image reflects buffered writes. Serialization reads the raw page array
+// directly — it is not simulated I/O, so it neither counts disk accesses
+// nor consults the fault policy (a crash harness can always capture the
+// durable state of a halted disk).
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
+	iw := &imageWriter{w: w, crc: crc32.NewIEEE()}
 	header := []uint32{diskMagic, uint32(d.pageSize), uint32(len(d.pages)), uint32(len(d.free))}
 	for _, v := range header {
-		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
-			return cw.n, err
+		if err := binary.Write(iw, binary.LittleEndian, v); err != nil {
+			return iw.n, err
 		}
 	}
 	for _, id := range d.free {
-		if err := binary.Write(cw, binary.LittleEndian, uint32(id)); err != nil {
-			return cw.n, err
+		if err := binary.Write(iw, binary.LittleEndian, uint32(id)); err != nil {
+			return iw.n, err
 		}
 	}
-	for _, p := range d.pages {
-		if _, err := cw.Write(p); err != nil {
-			return cw.n, err
+	for i, p := range d.pages {
+		if _, err := iw.Write(p); err != nil {
+			return iw.n, err
+		}
+		if err := binary.Write(iw, binary.LittleEndian, d.sums[i]); err != nil {
+			return iw.n, err
 		}
 	}
-	return cw.n, nil
+	footer := []uint32{uint32(len(d.pages)), iw.crc.Sum32()}
+	for _, v := range footer {
+		// The footer is written raw: it is the integrity record for the
+		// bytes before it, not part of them.
+		if err := binary.Write(&rawWriter{iw}, binary.LittleEndian, v); err != nil {
+			return iw.n, err
+		}
+	}
+	return iw.n, nil
 }
 
-// ReadDiskFrom reconstructs a disk image written by WriteTo. The restored
-// disk starts with zeroed statistics.
+// ReadDiskFrom reconstructs a disk image written by WriteTo, verifying
+// every page against its recorded checksum and the whole image against
+// the footer. A page whose bytes do not match its checksum yields a
+// ChecksumError naming the page; a truncated or tampered stream yields a
+// descriptive error. The restored disk starts with zeroed statistics.
 func ReadDiskFrom(r io.Reader) (*Disk, error) {
+	ir := &imageReader{r: r, crc: crc32.NewIEEE()}
 	var header [4]uint32
 	for i := range header {
-		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
+		if err := binary.Read(ir, binary.LittleEndian, &header[i]); err != nil {
 			return nil, fmt.Errorf("store: reading disk header: %w", err)
 		}
+	}
+	if header[0] == diskMagicV1 {
+		return nil, fmt.Errorf("store: disk image uses the old unchecksummed format %#x; re-save with this version", header[0])
 	}
 	if header[0] != diskMagic {
 		return nil, fmt.Errorf("store: bad disk magic %#x", header[0])
@@ -48,41 +93,100 @@ func ReadDiskFrom(r io.Reader) (*Disk, error) {
 	pageSize := int(header[1])
 	pageCount := int(header[2])
 	freeCount := int(header[3])
-	if pageSize <= 0 || pageSize > 1<<20 {
+	if pageSize <= 0 || pageSize > maxPageSize {
 		return nil, fmt.Errorf("store: implausible page size %d", pageSize)
 	}
-	if freeCount > pageCount {
+	if pageCount < 0 || pageCount > MaxImagePages || int64(pageCount)*int64(pageSize) > MaxImageBytes {
+		return nil, fmt.Errorf("store: implausible page count %d (page size %d)", pageCount, pageSize)
+	}
+	if freeCount < 0 || freeCount > pageCount {
 		return nil, fmt.Errorf("store: free list (%d) exceeds page count (%d)", freeCount, pageCount)
 	}
 	d := NewDisk(pageSize)
-	d.free = make([]PageID, freeCount)
-	for i := range d.free {
+	d.free = make([]PageID, 0, min(freeCount, preallocCap))
+	onFree := make(map[PageID]struct{}, min(freeCount, preallocCap))
+	for i := 0; i < freeCount; i++ {
 		var id uint32
-		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
-			return nil, err
+		if err := binary.Read(ir, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("store: reading free list: %w", err)
 		}
 		if int(id) >= pageCount {
 			return nil, fmt.Errorf("store: free page %d out of range", id)
 		}
-		d.free[i] = PageID(id)
+		if _, dup := onFree[PageID(id)]; dup {
+			return nil, fmt.Errorf("store: page %d appears twice in the free list", id)
+		}
+		onFree[PageID(id)] = struct{}{}
+		d.free = append(d.free, PageID(id))
 	}
-	d.pages = make([][]byte, pageCount)
-	for i := range d.pages {
-		d.pages[i] = make([]byte, pageSize)
-		if _, err := io.ReadFull(r, d.pages[i]); err != nil {
+	d.pages = make([][]byte, 0, min(pageCount, preallocCap))
+	d.sums = make([]uint32, 0, min(pageCount, preallocCap))
+	for i := 0; i < pageCount; i++ {
+		page := make([]byte, pageSize)
+		if _, err := io.ReadFull(ir, page); err != nil {
 			return nil, fmt.Errorf("store: reading page %d: %w", i, err)
 		}
+		var sum uint32
+		if err := binary.Read(ir, binary.LittleEndian, &sum); err != nil {
+			return nil, fmt.Errorf("store: reading page %d checksum: %w", i, err)
+		}
+		if _, free := onFree[PageID(i)]; !free {
+			if got := crc32.ChecksumIEEE(page); got != sum {
+				return nil, &ChecksumError{Page: PageID(i), Want: sum, Got: got}
+			}
+		}
+		d.pages = append(d.pages, page)
+		d.sums = append(d.sums, sum)
+	}
+	imageCRC := ir.crc.Sum32()
+	var footer [2]uint32
+	for i := range footer {
+		// Footer bytes are outside the image CRC.
+		if err := binary.Read(r, binary.LittleEndian, &footer[i]); err != nil {
+			return nil, fmt.Errorf("store: reading disk footer: %w", err)
+		}
+	}
+	if int(footer[0]) != pageCount {
+		return nil, fmt.Errorf("store: footer page count %d, header says %d", footer[0], pageCount)
+	}
+	if footer[1] != imageCRC {
+		return nil, fmt.Errorf("store: image CRC %#08x, footer records %#08x: %w", imageCRC, footer[1], ErrChecksum)
 	}
 	return d, nil
 }
 
-type countingWriter struct {
-	w io.Writer
-	n int64
+// imageWriter tees written bytes into a running CRC32 alongside a byte
+// count.
+type imageWriter struct {
+	w   io.Writer
+	n   int64
+	crc hash.Hash32
 }
 
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
+func (iw *imageWriter) Write(p []byte) (int, error) {
+	n, err := iw.w.Write(p)
+	iw.crc.Write(p[:n])
+	iw.n += int64(n)
+	return n, err
+}
+
+// rawWriter bypasses the CRC (but not the byte count) of an imageWriter.
+type rawWriter struct{ iw *imageWriter }
+
+func (rw *rawWriter) Write(p []byte) (int, error) {
+	n, err := rw.iw.w.Write(p)
+	rw.iw.n += int64(n)
+	return n, err
+}
+
+// imageReader tees read bytes into a running CRC32.
+type imageReader struct {
+	r   io.Reader
+	crc hash.Hash32
+}
+
+func (ir *imageReader) Read(p []byte) (int, error) {
+	n, err := ir.r.Read(p)
+	ir.crc.Write(p[:n])
 	return n, err
 }

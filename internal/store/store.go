@@ -7,11 +7,18 @@
 // writing back a dirty page on eviction or flush. The store keeps those
 // counters; higher layers snapshot them around operations to produce the
 // per-query disk-access statistics.
+//
+// Beyond the paper's testbed, the store carries a fault model: every page
+// is checksummed (CRC32) on write and verified on read, disk I/O returns
+// typed errors instead of assuming success, and a deterministic
+// FaultPolicy can inject read/write errors, torn writes, bit flips, and a
+// crash-after-N-writes power loss. See DESIGN.md, "Fault model &
+// recovery".
 package store
 
 import (
-	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Default configuration used throughout the paper's main experiments.
@@ -51,25 +58,40 @@ func (s Stats) Sub(prev Stats) Stats {
 }
 
 // Disk is the simulated backing store: a growable array of fixed-size
-// pages plus a free list. Disk is not safe for concurrent use; each index
-// owns its own Disk, mirroring the single-user testbed of the paper.
+// pages plus a free list. Every page carries a CRC32 of its last complete
+// write; reads verify it, so torn writes and bit rot surface as
+// ChecksumError instead of silently corrupting higher layers. Disk is not
+// safe for concurrent use; each index owns its own Disk, mirroring the
+// single-user testbed of the paper.
 type Disk struct {
 	pageSize int
 	pages    [][]byte
+	sums     []uint32 // per-page CRC32 of the last intended contents
 	free     []PageID
 	stats    Stats
+	faults   *FaultPolicy
+	zeroSum  uint32 // CRC32 of an all-zero page
 }
 
-// NewDisk creates an empty disk with the given page size.
+// NewDisk creates an empty disk with the given page size. It panics on a
+// non-positive page size; that is a programmer error, not an I/O
+// condition (callers restoring untrusted images must validate first).
 func NewDisk(pageSize int) *Disk {
 	if pageSize <= 0 {
 		panic(fmt.Sprintf("store: invalid page size %d", pageSize))
 	}
-	return &Disk{pageSize: pageSize}
+	return &Disk{
+		pageSize: pageSize,
+		zeroSum:  crc32.ChecksumIEEE(make([]byte, pageSize)),
+	}
 }
 
 // PageSize returns the size in bytes of every page.
 func (d *Disk) PageSize() int { return d.pageSize }
+
+// PageCount returns the total number of pages ever allocated, including
+// those currently on the free list.
+func (d *Disk) PageCount() int { return len(d.pages) }
 
 // PagesInUse returns the number of allocated, non-freed pages.
 func (d *Disk) PagesInUse() int { return len(d.pages) - len(d.free) }
@@ -78,6 +100,11 @@ func (d *Disk) PagesInUse() int { return len(d.pages) - len(d.free) }
 // "size (Kbytes)" column of Table 1.
 func (d *Disk) SizeBytes() int64 { return int64(d.PagesInUse()) * int64(d.pageSize) }
 
+// SetFaultPolicy attaches (or, with nil, detaches) a fault-injection
+// policy. The same policy may be shared by several disks to model one
+// physical device.
+func (d *Disk) SetFaultPolicy(p *FaultPolicy) { d.faults = p }
+
 // allocate reserves a zeroed page and returns its id.
 func (d *Disk) allocate() PageID {
 	d.stats.Allocs++
@@ -85,9 +112,11 @@ func (d *Disk) allocate() PageID {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
 		clear(d.pages[id])
+		d.sums[id] = d.zeroSum
 		return id
 	}
 	d.pages = append(d.pages, make([]byte, d.pageSize))
+	d.sums = append(d.sums, d.zeroSum)
 	return PageID(len(d.pages) - 1)
 }
 
@@ -97,19 +126,102 @@ func (d *Disk) release(id PageID) {
 	d.free = append(d.free, id)
 }
 
-// read copies the page contents into buf, counting one disk read.
-func (d *Disk) read(id PageID, buf []byte) {
+// read copies the page contents into buf, counting one disk read. It
+// fails with a typed error on an out-of-range id, an injected fault, or a
+// checksum mismatch (torn write or bit rot detected).
+func (d *Disk) read(id PageID, buf []byte) error {
 	d.stats.Reads++
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("store: read of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
+	}
+	if d.faults != nil {
+		if err := d.faults.beforeRead(id); err != nil {
+			return err
+		}
+	}
+	if got := crc32.ChecksumIEEE(d.pages[id]); got != d.sums[id] {
+		return &ChecksumError{Page: id, Want: d.sums[id], Got: got}
+	}
 	copy(buf, d.pages[id])
+	return nil
 }
 
-// write copies buf onto the page, counting one disk write.
-func (d *Disk) write(id PageID, buf []byte) {
+// write copies buf onto the page, counting one disk write. The page's
+// checksum is recorded from the intended contents before any injected
+// tear or bit flip lands, so silent corruption is caught by the next
+// read.
+func (d *Disk) write(id PageID, buf []byte) error {
 	d.stats.Writes++
-	copy(d.pages[id], buf)
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("store: write of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
+	}
+	if d.faults == nil {
+		copy(d.pages[id], buf)
+		d.sums[id] = crc32.ChecksumIEEE(d.pages[id])
+		return nil
+	}
+	dec := d.faults.beforeWrite(id, d.pageSize)
+	if dec.err != nil && !dec.crash {
+		return dec.err // rejected outright; the page is untouched
+	}
+	d.sums[id] = crc32.ChecksumIEEE(buf[:d.pageSize])
+	if dec.tornPrefix >= 0 {
+		copy(d.pages[id][:dec.tornPrefix], buf)
+	} else {
+		copy(d.pages[id], buf)
+	}
+	if dec.flipBit >= 0 {
+		d.pages[id][dec.flipBit/8] ^= 1 << (dec.flipBit % 8)
+	}
+	return dec.err
 }
 
-var errAllPinned = errors.New("store: all buffer frames pinned")
+// CorruptPage flips one bit of the stored page without updating its
+// checksum — a test hook for at-rest corruption ("cosmic ray").
+func (d *Disk) CorruptPage(id PageID, bit int) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("store: corrupt of page %d beyond disk end: %w", id, ErrBadPage)
+	}
+	bit %= d.pageSize * 8
+	d.pages[id][bit/8] ^= 1 << (bit % 8)
+	return nil
+}
+
+// CheckFreeList verifies the free list references each page at most once
+// and only pages that exist. A duplicate would hand the same page to two
+// owners on reallocation.
+func (d *Disk) CheckFreeList() error {
+	seen := make(map[PageID]struct{}, len(d.free))
+	for _, id := range d.free {
+		if int(id) >= len(d.pages) {
+			return fmt.Errorf("store: free list entry %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("store: page %d appears twice in the free list", id)
+		}
+		seen[id] = struct{}{}
+	}
+	return nil
+}
+
+// VerifyChecksums scans every in-use page and returns a ChecksumError for
+// the first whose contents do not match their recorded CRC32. Free pages
+// are skipped (their contents are dead and may legitimately be torn).
+func (d *Disk) VerifyChecksums() error {
+	onFree := make(map[PageID]struct{}, len(d.free))
+	for _, id := range d.free {
+		onFree[id] = struct{}{}
+	}
+	for i, p := range d.pages {
+		if _, free := onFree[PageID(i)]; free {
+			continue
+		}
+		if got := crc32.ChecksumIEEE(p); got != d.sums[i] {
+			return &ChecksumError{Page: PageID(i), Want: d.sums[i], Got: got}
+		}
+	}
+	return nil
+}
 
 // frame is one buffer-pool slot.
 type frame struct {
@@ -131,7 +243,9 @@ type Pool struct {
 	tail     *frame // least recently used
 }
 
-// NewPool creates a buffer pool with the given number of frames.
+// NewPool creates a buffer pool with the given number of frames. It
+// panics on a non-positive capacity (programmer error; validate untrusted
+// configuration before calling).
 func NewPool(disk *Disk, capacity int) *Pool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("store: invalid pool capacity %d", capacity))
@@ -159,11 +273,13 @@ func (p *Pool) Resident(id PageID) bool {
 }
 
 // Allocate creates a new page and returns it pinned and dirty. The caller
-// must Unpin it when done.
+// must Unpin it when done. On failure (ErrAllPinned, or a write fault
+// evicting a victim) the fresh page is returned to the free list.
 func (p *Pool) Allocate() (PageID, []byte, error) {
 	id := p.disk.allocate()
 	f, err := p.install(id, false)
 	if err != nil {
+		p.disk.release(id)
 		return NilPage, nil, err
 	}
 	f.dirty = true
@@ -176,7 +292,7 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 // Unpin(id, true) (or MarkDirty) to be persisted.
 func (p *Pool) Get(id PageID) ([]byte, error) {
 	if id == NilPage {
-		return nil, errors.New("store: get of nil page")
+		return nil, fmt.Errorf("store: get of nil page: %w", ErrBadPage)
 	}
 	if f, ok := p.frames[id]; ok {
 		p.touch(f)
@@ -192,7 +308,9 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 }
 
 // Unpin releases one pin on the page, marking it dirty if the caller
-// modified it.
+// modified it. Unpinning a page that is not pinned panics: pin balance is
+// a programmer invariant (pins are only handed out by Get/Allocate), not
+// an I/O condition.
 func (p *Pool) Unpin(id PageID, dirty bool) {
 	f, ok := p.frames[id]
 	if !ok || f.pins == 0 {
@@ -204,7 +322,9 @@ func (p *Pool) Unpin(id PageID, dirty bool) {
 	}
 }
 
-// MarkDirty flags a currently pinned page as modified.
+// MarkDirty flags a currently pinned page as modified. Marking a
+// non-resident page panics (programmer error: the caller claims to hold a
+// pin it does not have).
 func (p *Pool) MarkDirty(id PageID) {
 	f, ok := p.frames[id]
 	if !ok {
@@ -213,8 +333,10 @@ func (p *Pool) MarkDirty(id PageID) {
 	f.dirty = true
 }
 
-// Free returns the page to the disk free list. The page must be unpinned;
-// a dirty page being freed is simply dropped (its contents are dead).
+// Free returns the page to the disk free list. The page must be unpinned
+// (freeing a pinned page panics — programmer error); a dirty page being
+// freed is simply dropped without a write-back, since its contents are
+// dead.
 func (p *Pool) Free(id PageID) {
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
@@ -227,20 +349,29 @@ func (p *Pool) Free(id PageID) {
 }
 
 // Flush writes back every dirty frame (without evicting), as done once at
-// the end of a build so that sizes and write counts are comparable.
-func (p *Pool) Flush() {
+// the end of a build so that sizes and write counts are comparable. On a
+// write fault it stops and reports the error; the failed frame and any
+// not yet visited stay dirty.
+func (p *Pool) Flush() error {
 	for _, f := range p.frames {
 		if f.dirty {
-			p.disk.write(f.id, f.data)
+			if err := p.disk.write(f.id, f.data); err != nil {
+				return err
+			}
 			f.dirty = false
 		}
 	}
+	return nil
 }
 
 // DropAll empties the pool, writing back dirty pages. Used between
-// experiment phases to cold-start the cache.
-func (p *Pool) DropAll() {
-	p.Flush()
+// experiment phases to cold-start the cache. Dropping while any page is
+// pinned panics (programmer error). On a write fault the pool is left
+// partially flushed and nothing is dropped.
+func (p *Pool) DropAll() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
 	for id, f := range p.frames {
 		if f.pins > 0 {
 			panic(fmt.Sprintf("store: drop-all with pinned page %d", id))
@@ -248,6 +379,7 @@ func (p *Pool) DropAll() {
 		delete(p.frames, id)
 	}
 	p.head, p.tail = nil, nil
+	return nil
 }
 
 // install brings a page into the pool, evicting if necessary.
@@ -259,7 +391,9 @@ func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
 	}
 	f := &frame{id: id, data: make([]byte, p.disk.pageSize)}
 	if readFromDisk {
-		p.disk.read(id, f.data)
+		if err := p.disk.read(id, f.data); err != nil {
+			return nil, err
+		}
 	}
 	p.frames[id] = f
 	p.pushFront(f)
@@ -273,13 +407,15 @@ func (p *Pool) evictOne() error {
 			continue
 		}
 		if f.dirty {
-			p.disk.write(f.id, f.data)
+			if err := p.disk.write(f.id, f.data); err != nil {
+				return err
+			}
 		}
 		p.unlink(f)
 		delete(p.frames, f.id)
 		return nil
 	}
-	return errAllPinned
+	return ErrAllPinned
 }
 
 func (p *Pool) touch(f *frame) {

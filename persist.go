@@ -1,8 +1,10 @@
 package segdb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"segdb/internal/grid"
@@ -14,7 +16,19 @@ import (
 )
 
 // fileMagic identifies a segdb database file ("SEGDB" + format version).
-var fileMagic = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '1'}
+// Format 002 embeds the checksummed disk-image layout; 001 files (no
+// checksums) are rejected with a descriptive error.
+var (
+	fileMagic   = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '2'}
+	fileMagicV1 = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '1'}
+)
+
+// Load header bounds: a corrupt or hostile file must fail validation
+// before its header fields drive any allocation.
+const (
+	maxPoolPages = 1 << 16
+	maxMetaWords = 64
+)
 
 // Save serializes the whole database — options, index metadata, the
 // segment table's disk image, and the index's disk image — so it can be
@@ -22,11 +36,23 @@ var fileMagic = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '1'}
 // are not persisted (a reopened database starts cold with zeroed
 // statistics, like a fresh process over the same disk).
 func (db *DB) Save(w io.Writer) error {
-	meta, err := db.indexMeta()
-	if err != nil {
+	if err := db.table.Flush(); err != nil {
 		return err
 	}
-	if _, err := w.Write(fileMagic[:]); err != nil {
+	if err := db.pool.Flush(); err != nil {
+		return err
+	}
+	return db.writeSnapshot(w)
+}
+
+// writeSnapshot serializes the database's durable state — header, index
+// metadata, and both disk images exactly as they stand — without flushing
+// either buffer pool. Save flushes and then snapshots; crash harnesses
+// snapshot a halted disk directly (unflushed dirty frames are precisely
+// the data a crash loses).
+func (db *DB) writeSnapshot(w io.Writer) error {
+	meta, err := db.indexMeta()
+	if err != nil {
 		return err
 	}
 	o := db.opts
@@ -39,20 +65,24 @@ func (db *DB) Save(w io.Writer) error {
 		uint32(o.GridCells),
 		uint32(len(meta)),
 	}
+	// The header and metadata get their own CRC32 (the disk images that
+	// follow carry theirs): a bit flip in a config word must not silently
+	// restore a differently-parameterized index.
+	var hdr bytes.Buffer
+	hdr.Write(fileMagic[:])
 	for _, v := range header {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
+		binary.Write(&hdr, binary.LittleEndian, v)
 	}
 	for _, v := range meta {
-		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
-			return err
-		}
+		binary.Write(&hdr, binary.LittleEndian, v)
 	}
-	if err := db.table.SaveTo(w); err != nil {
+	binary.Write(&hdr, binary.LittleEndian, crc32.ChecksumIEEE(hdr.Bytes()))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return err
 	}
-	db.pool.Flush()
+	if err := db.table.WriteSnapshot(w); err != nil {
+		return err
+	}
 	_, err = db.pool.Disk().WriteTo(w)
 	return err
 }
@@ -62,6 +92,9 @@ func Load(r io.Reader) (*DB, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("segdb: reading file magic: %w", err)
+	}
+	if magic == fileMagicV1 {
+		return nil, fmt.Errorf("segdb: file uses the old unchecksummed format %q; re-save with this version", magic[:])
 	}
 	if magic != fileMagic {
 		return nil, fmt.Errorf("segdb: not a segdb file (magic %q)", magic[:])
@@ -80,11 +113,40 @@ func Load(r io.Reader) (*DB, error) {
 		PMRStoreMBR:  header[4] != 0,
 		GridCells:    int32(header[5]),
 	}
+	if opts.PageSize < 64 || opts.PageSize > 1<<20 {
+		return nil, fmt.Errorf("segdb: implausible page size %d", opts.PageSize)
+	}
+	if opts.PoolPages < 1 || opts.PoolPages > maxPoolPages {
+		return nil, fmt.Errorf("segdb: implausible pool size %d", opts.PoolPages)
+	}
+	if header[6] > maxMetaWords {
+		return nil, fmt.Errorf("segdb: implausible index metadata length %d", header[6])
+	}
+	switch kind {
+	case RStarTree, ClassicRTree, RPlusTree, KDBTree, PMRQuadtree, UniformGrid:
+	default:
+		return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
+	}
 	meta := make([]uint64, header[6])
 	for i := range meta {
 		if err := binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("segdb: reading index metadata: %w", err)
 		}
+	}
+	var hdr bytes.Buffer
+	hdr.Write(magic[:])
+	for _, v := range header {
+		binary.Write(&hdr, binary.LittleEndian, v)
+	}
+	for _, v := range meta {
+		binary.Write(&hdr, binary.LittleEndian, v)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("segdb: reading header checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(hdr.Bytes()); got != sum {
+		return nil, fmt.Errorf("segdb: file header checksum mismatch (file %#08x, computed %#08x): %w", sum, got, store.ErrChecksum)
 	}
 	table, err := seg.RestoreTable(r, opts.PoolPages)
 	if err != nil {

@@ -54,6 +54,41 @@ type (
 	Metrics = core.Metrics
 )
 
+// Fault-injection and integrity types, re-exported so facade users can
+// construct policies and match typed errors without reaching into
+// internal packages.
+type (
+	// FaultPolicy injects deterministic faults into a DB's disks; see
+	// SetFaultPolicy.
+	FaultPolicy = store.FaultPolicy
+	// FaultConfig configures the fault distribution of a FaultPolicy.
+	FaultConfig = store.FaultConfig
+	// ChecksumError reports a page whose contents no longer match its
+	// recorded CRC32; it matches ErrChecksum via errors.Is.
+	ChecksumError = store.ChecksumError
+	// FaultError reports an injected read/write/crash fault; it matches
+	// ErrInjectedFault via errors.Is.
+	FaultError = store.FaultError
+)
+
+// Typed error sentinels surfaced by database operations, Load, and
+// CheckIntegrity; match with errors.Is.
+var (
+	// ErrChecksum marks detected page corruption.
+	ErrChecksum = store.ErrChecksum
+	// ErrInjectedFault marks an error produced by a FaultPolicy.
+	ErrInjectedFault = store.ErrInjectedFault
+	// ErrAllPinned marks a buffer pool with no evictable frame.
+	ErrAllPinned = store.ErrAllPinned
+	// ErrBadPage marks an out-of-range page reference in a restored
+	// image.
+	ErrBadPage = store.ErrBadPage
+)
+
+// NewFaultPolicy creates a fault-injection policy; attach it with
+// SetFaultPolicy.
+func NewFaultPolicy(cfg FaultConfig) *FaultPolicy { return store.NewFaultPolicy(cfg) }
+
 // WorldSize is the side length of the coordinate space.
 const WorldSize = geom.WorldSize
 
@@ -276,9 +311,21 @@ func (db *DB) IndexSizeBytes() int64 { return db.index.SizeBytes() }
 func (db *DB) TableSizeBytes() int64 { return db.table.SizeBytes() }
 
 // DropCaches empties both buffer pools, simulating a cold restart.
-func (db *DB) DropCaches() {
-	db.index.DropCache()
-	db.table.DropCache()
+// Dirty frames are flushed first; with an active fault policy the flush
+// can fail, leaving the caches partially dropped.
+func (db *DB) DropCaches() error {
+	if err := db.index.DropCache(); err != nil {
+		return err
+	}
+	return db.table.DropCache()
+}
+
+// SetFaultPolicy attaches a fault-injection policy to both of the
+// database's simulated disks (index and segment table), modelling a
+// single failing device. Pass nil to detach.
+func (db *DB) SetFaultPolicy(p *store.FaultPolicy) {
+	db.pool.Disk().SetFaultPolicy(p)
+	db.table.Disk().SetFaultPolicy(p)
 }
 
 // Index exposes the underlying core.Index for advanced use (experiment
