@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race fuzz-smoke
+.PHONY: check build test vet race fuzz-smoke bench
 
 # check is the full local gate: what CI runs.
 check: vet build race fuzz-smoke
@@ -22,3 +22,10 @@ race:
 fuzz-smoke:
 	$(GO) test -run=FuzzReadDiskFrom -fuzz=FuzzReadDiskFrom -fuzztime=10s ./internal/store
 	$(GO) test -run=FuzzLoad -fuzz=FuzzLoad -fuzztime=10s .
+
+# bench regenerates the BENCH_queries.json perf artifact: the scaling
+# benchmarks first (their speedup metric prints to stdout), then the
+# per-index-kind query throughput/disk-access/hit-ratio measurements.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkWindowBatch|BenchmarkOverlayParallelJoin' -benchtime 3x .
+	$(GO) run ./cmd/bench -o BENCH_queries.json

@@ -8,8 +8,13 @@ package segdb
 // full-size runs that EXPERIMENTS.md records come from cmd/experiments.
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
@@ -448,4 +453,138 @@ func BenchmarkOverlayJoin(b *testing.B) {
 		}
 	})
 	_ = m
+}
+
+// windowBatchState is the shared fixture of BenchmarkWindowBatch: a
+// ~50k-segment county in a packed R*-tree over a pool large enough to
+// keep the working set resident, so the benchmark measures query
+// execution rather than cold-cache page faults.
+var (
+	windowBatchOnce sync.Once
+	windowBatchDB   *DB
+	windowBatchRect []Rect
+	windowBatchErr  error
+)
+
+func windowBatchSetup(b *testing.B) (*DB, []Rect) {
+	b.Helper()
+	windowBatchOnce.Do(func() {
+		var m *MapData
+		m, windowBatchErr = GenerateCounty("Charles")
+		if windowBatchErr != nil {
+			return
+		}
+		windowBatchDB, windowBatchErr = Open(RStarTree, &Options{PoolPages: 4096})
+		if windowBatchErr != nil {
+			return
+		}
+		if _, err := windowBatchDB.LoadPacked(m); err != nil {
+			windowBatchErr = err
+			return
+		}
+		rng := rand.New(rand.NewSource(20260805))
+		for i := 0; i < 256; i++ {
+			x := rng.Int31n(geom.WorldSize - 512)
+			y := rng.Int31n(geom.WorldSize - 512)
+			w := rng.Int31n(768) + 256
+			windowBatchRect = append(windowBatchRect,
+				geom.RectOf(x, y, minInt32(x+w, geom.WorldSize-1), minInt32(y+w, geom.WorldSize-1)))
+		}
+		// Warm the pool so both variants start from the same cache state.
+		windowBatchErr = windowBatchDB.WindowBatch(windowBatchRect, 1,
+			func(int, SegmentID, Segment) bool { return true })
+	})
+	if windowBatchErr != nil {
+		b.Fatal(windowBatchErr)
+	}
+	return windowBatchDB, windowBatchRect
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkWindowBatch contrasts sequential and parallel execution of a
+// 256-window batch over a ~50k-segment county. The parallel sub-benchmark
+// reports a "speedup" metric (sequential batch time / parallel batch
+// time, measured in the same process) so the scaling with GOMAXPROCS is
+// visible directly in the benchmark output and the bench trajectory.
+func BenchmarkWindowBatch(b *testing.B) {
+	db, rects := windowBatchSetup(b)
+	var hits atomic.Uint64
+	sink := func(int, SegmentID, Segment) bool { hits.Add(1); return true }
+	workers := runtime.GOMAXPROCS(0)
+
+	var seqBatchNs float64
+	b.Run("sequential", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := db.WindowBatch(rects, 1, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		seqBatchNs = float64(elapsed.Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(len(rects))*float64(b.N)/elapsed.Seconds(), "queries/s")
+	})
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := db.WindowBatch(rects, workers, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		parBatchNs := float64(elapsed.Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(len(rects))*float64(b.N)/elapsed.Seconds(), "queries/s")
+		if seqBatchNs > 0 && parBatchNs > 0 {
+			b.ReportMetric(seqBatchNs/parBatchNs, "speedup")
+		}
+	})
+}
+
+// BenchmarkOverlayParallelJoin contrasts the sequential nested-loop join
+// with the fanned-out OverlayParallel on R*-tree-backed databases.
+func BenchmarkOverlayParallelJoin(b *testing.B) {
+	mA, err := tiger.Generate(benchSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mB, err := tiger.Generate(tiger.Spec{
+		Name: "bench-join-b", Kind: tiger.Suburban, Seed: 777,
+		Lattice: 24, SubdivMin: 2, SubdivMax: 4, DeleteFrac: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	open := func(m *tiger.Map) *DB {
+		db, err := Open(RStarTree, &Options{PoolPages: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.LoadPacked(&MapData{Name: "j", Class: "bench", Segments: m.Segments}); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	dbA, dbB := open(mA), open(mB)
+	sink := func(SegmentID, SegmentID, Segment, Segment) bool { return true }
+	workers := runtime.GOMAXPROCS(0)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dbA.OverlayParallel(dbB, 1, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dbA.OverlayParallel(dbB, workers, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

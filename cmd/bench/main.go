@@ -1,0 +1,239 @@
+// Command bench measures query throughput for every index kind and
+// writes the results to BENCH_queries.json, giving the repository a
+// perf trajectory: each PR can rerun `make bench` and diff against the
+// committed artifact.
+//
+// Two experiments run:
+//
+//   - per-kind query stats: a fixed 512-window workload over a mid-size
+//     (~12k segment) county, reporting ops/sec, disk accesses per query,
+//     and the buffer pool hit ratio for each of the six index kinds;
+//   - batch scaling: the 256-window WindowBatch over a ~50k-segment
+//     county in a packed R*-tree, sequential versus GOMAXPROCS-parallel,
+//     reporting the speedup.
+//
+// Usage:
+//
+//	bench [-o BENCH_queries.json] [-windows 512] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"segdb"
+)
+
+// kindResult is the per-index-kind row of the artifact.
+type kindResult struct {
+	Kind             string  `json:"kind"`
+	Segments         int     `json:"segments"`
+	Windows          int     `json:"windows"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	DiskAccPerQuery  float64 `json:"disk_accesses_per_query"`
+	SegCompsPerQuery float64 `json:"seg_comps_per_query"`
+	PoolHitRatio     float64 `json:"pool_hit_ratio"`
+}
+
+// batchResult records the WindowBatch scaling experiment.
+type batchResult struct {
+	Segments       int     `json:"segments"`
+	Windows        int     `json:"windows"`
+	Parallelism    int     `json:"parallelism"`
+	SeqOpsPerSec   float64 `json:"sequential_ops_per_sec"`
+	ParOpsPerSec   float64 `json:"parallel_ops_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	PoolHitRatio   float64 `json:"pool_hit_ratio"`
+	DiskAccPerQry  float64 `json:"disk_accesses_per_query"`
+	GOMAXPROCSUsed int     `json:"gomaxprocs"`
+}
+
+type artifact struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	Kinds       []kindResult `json:"query_stats"`
+	WindowBatch *batchResult `json:"window_batch"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_queries.json", "output artifact path")
+	windows := flag.Int("windows", 512, "windows per query workload")
+	quick := flag.Bool("quick", false, "smaller maps and workloads (CI smoke)")
+	flag.Parse()
+	if err := run(*out, *windows, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func allKinds() []segdb.Kind {
+	return []segdb.Kind{
+		segdb.RStarTree, segdb.ClassicRTree, segdb.RPlusTree,
+		segdb.KDBTree, segdb.PMRQuadtree, segdb.UniformGrid,
+	}
+}
+
+// makeWindows generates n deterministic square query windows, each about
+// frac of the world per side.
+func makeWindows(n int, seed int64) []segdb.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	rects := make([]segdb.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Int31n(segdb.WorldSize - 512)
+		y := rng.Int31n(segdb.WorldSize - 512)
+		w := rng.Int31n(768) + 256
+		x2, y2 := x+w, y+w
+		if x2 >= segdb.WorldSize {
+			x2 = segdb.WorldSize - 1
+		}
+		if y2 >= segdb.WorldSize {
+			y2 = segdb.WorldSize - 1
+		}
+		rects = append(rects, segdb.RectOf(x, y, x2, y2))
+	}
+	return rects
+}
+
+// subsample keeps every len/n-th segment so -quick runs stay fast while
+// preserving the map's spatial distribution.
+func subsample(m *segdb.MapData, n int) *segdb.MapData {
+	if len(m.Segments) <= n {
+		return m
+	}
+	step := len(m.Segments) / n
+	kept := make([]segdb.Segment, 0, n)
+	for i := 0; i < len(m.Segments); i += step {
+		kept = append(kept, m.Segments[i])
+	}
+	return &segdb.MapData{Name: m.Name, Class: m.Class, Segments: kept}
+}
+
+func run(out string, windows int, quick bool) error {
+	county, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		return err
+	}
+	perKind := subsample(county, 12000)
+	batchMap := county
+	if quick {
+		perKind = subsample(county, 2000)
+		batchMap = subsample(county, 8000)
+		if windows > 128 {
+			windows = 128
+		}
+	}
+
+	art := &artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+
+	rects := makeWindows(windows, 1992)
+	for _, k := range allKinds() {
+		db, err := segdb.Open(k, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := db.LoadPacked(perKind); err != nil {
+			return fmt.Errorf("%v: %w", k, err)
+		}
+		// One warm pass so every kind starts from a comparably warm pool,
+		// then the measured pass.
+		sink := func(segdb.SegmentID, segdb.Segment) bool { return true }
+		for _, r := range rects[:min(32, len(rects))] {
+			if err := db.Window(r, sink); err != nil {
+				return err
+			}
+		}
+		base := db.Metrics()
+		start := time.Now()
+		for _, r := range rects {
+			if err := db.Window(r, sink); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		delta := db.Metrics().Sub(base)
+		n := float64(len(rects))
+		art.Kinds = append(art.Kinds, kindResult{
+			Kind:             k.String(),
+			Segments:         db.Len(),
+			Windows:          len(rects),
+			OpsPerSec:        n / elapsed.Seconds(),
+			DiskAccPerQuery:  float64(delta.DiskAccesses) / n,
+			SegCompsPerQuery: float64(delta.SegComps) / n,
+			PoolHitRatio:     delta.HitRatio(),
+		})
+		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio\n",
+			k, n/elapsed.Seconds(), float64(delta.DiskAccesses)/n, 100*delta.HitRatio())
+	}
+
+	// WindowBatch scaling on the full county in a packed R*-tree with a
+	// pool big enough to hold the working set.
+	db, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	if err != nil {
+		return err
+	}
+	if _, err := db.LoadPacked(batchMap); err != nil {
+		return err
+	}
+	batchRects := makeWindows(256, 20260805)
+	if quick {
+		batchRects = batchRects[:64]
+	}
+	bsink := func(int, segdb.SegmentID, segdb.Segment) bool { return true }
+	// Warm pass.
+	if err := db.WindowBatch(batchRects, 1, bsink); err != nil {
+		return err
+	}
+	base := db.Metrics()
+	seqStart := time.Now()
+	if err := db.WindowBatch(batchRects, 1, bsink); err != nil {
+		return err
+	}
+	seqElapsed := time.Since(seqStart)
+	delta := db.Metrics().Sub(base)
+	workers := runtime.GOMAXPROCS(0)
+	parStart := time.Now()
+	if err := db.WindowBatch(batchRects, workers, bsink); err != nil {
+		return err
+	}
+	parElapsed := time.Since(parStart)
+	n := float64(len(batchRects))
+	art.WindowBatch = &batchResult{
+		Segments:       db.Len(),
+		Windows:        len(batchRects),
+		Parallelism:    workers,
+		SeqOpsPerSec:   n / seqElapsed.Seconds(),
+		ParOpsPerSec:   n / parElapsed.Seconds(),
+		Speedup:        seqElapsed.Seconds() / parElapsed.Seconds(),
+		PoolHitRatio:   delta.HitRatio(),
+		DiskAccPerQry:  float64(delta.DiskAccesses) / n,
+		GOMAXPROCSUsed: workers,
+	}
+	fmt.Printf("WindowBatch    %9.0f ops/s seq, %9.0f ops/s x%d (%.2fx speedup)\n",
+		art.WindowBatch.SeqOpsPerSec, art.WindowBatch.ParOpsPerSec, workers, art.WindowBatch.Speedup)
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

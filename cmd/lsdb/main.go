@@ -108,7 +108,8 @@ func build(args []string) error {
 	fmt.Printf("index size: %d KB, segment table: %d KB\n",
 		db.IndexSizeBytes()/1024, db.TableSizeBytes()/1024)
 	m := db.Metrics()
-	fmt.Printf("build cost: %d disk accesses, %d segment fetches\n", m.DiskAccesses, m.SegComps)
+	fmt.Printf("build cost: %d disk accesses, %d segment fetches, %.1f%% pool hit ratio\n",
+		m.DiskAccesses, m.SegComps, 100*m.HitRatio())
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {

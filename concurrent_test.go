@@ -1,0 +1,376 @@
+package segdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"segdb/internal/tiger"
+)
+
+// stressSpec is a small county (~1k segments): large enough that every
+// structure has real depth, small enough that six kinds × two replicas
+// build quickly under the race detector.
+var stressSpec = tiger.Spec{
+	Name: "stress", Kind: tiger.Rural, Seed: 777,
+	Lattice: 8, SubdivMin: 4, SubdivMax: 8, DeleteFrac: 0.1,
+}
+
+func stressMap(t testing.TB) *MapData {
+	t.Helper()
+	m, err := tiger.Generate(stressSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &MapData{Name: stressSpec.Name, Class: "rural", Segments: m.Segments}
+}
+
+// stressOp is one query of the mixed workload. kind: 0 window, 1 nearest,
+// 2 enclosing polygon.
+type stressOp struct {
+	kind int
+	rect Rect
+	pt   Point
+}
+
+func stressOps(n int, seed int64) []stressOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]stressOp, n)
+	for i := range ops {
+		p := Pt(rng.Int31n(WorldSize), rng.Int31n(WorldSize))
+		switch i % 3 {
+		case 0:
+			w := rng.Int31n(WorldSize/8) + 16
+			ops[i] = stressOp{kind: 0, rect: RectOf(p.X, p.Y, min32(p.X+w, WorldSize-1), min32(p.Y+w, WorldSize-1))}
+		case 1:
+			ops[i] = stressOp{kind: 1, pt: p}
+		case 2:
+			ops[i] = stressOp{kind: 2, pt: p}
+		}
+	}
+	return ops
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runStressOp executes one op and summarizes its result as a string, so
+// concurrent and sequential runs can be compared op-for-op.
+func runStressOp(db *DB, op stressOp) (string, error) {
+	switch op.kind {
+	case 0:
+		var ids []SegmentID
+		err := db.Window(op.rect, func(id SegmentID, _ Segment) bool {
+			ids = append(ids, id)
+			return true
+		})
+		if err != nil {
+			return "", err
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return fmt.Sprintf("window:%v", ids), nil
+	case 1:
+		res, err := db.Nearest(op.pt)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("nearest:%v/%v/%v", res.Found, res.ID, res.DistSq), nil
+	default:
+		poly, err := db.EnclosingPolygon(op.pt)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("polygon:%d", poly.Size()), nil
+	}
+}
+
+// TestConcurrentQueryStress runs a mixed Window/Nearest/EnclosingPolygon
+// workload from 8 goroutines against each index kind and checks that (a)
+// every query returns exactly the sequential answer and (b) the
+// interleaving-independent totals — segment comparisons, bounding box
+// computations, and buffer-pool page requests — match a sequential replay
+// on an identically built database. (The hit/miss split of those page
+// requests legitimately depends on scheduling and is not compared.)
+func TestConcurrentQueryStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	m := stressMap(t)
+	ops := stressOps(96, 4321)
+	const workers = 8
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			seqDB, err := Open(k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			conDB, err := Open(k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seqDB.Load(m); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conDB.Load(m); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sequential replay.
+			seqBase := seqDB.Metrics()
+			want := make([]string, len(ops))
+			for i, op := range ops {
+				want[i], err = runStressOp(seqDB, op)
+				if err != nil {
+					t.Fatalf("sequential op %d: %v", i, err)
+				}
+			}
+			seqDelta := seqDB.Metrics().Sub(seqBase)
+
+			// Concurrent run: 8 goroutines claim ops from a shared cursor.
+			conBase := conDB.Metrics()
+			got := make([]string, len(ops))
+			var (
+				next atomic.Int64
+				wg   sync.WaitGroup
+			)
+			errs := make([]error, workers)
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(ops) {
+							return
+						}
+						s, err := runStressOp(conDB, ops[i])
+						if err != nil {
+							errs[w] = fmt.Errorf("op %d: %w", i, err)
+							return
+						}
+						got[i] = s
+					}
+				}()
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			conDelta := conDB.Metrics().Sub(conBase)
+
+			for i := range ops {
+				if got[i] != want[i] {
+					t.Errorf("op %d: concurrent %q, sequential %q", i, got[i], want[i])
+				}
+			}
+			if conDelta.SegComps != seqDelta.SegComps {
+				t.Errorf("segment comparisons: concurrent %d, sequential %d",
+					conDelta.SegComps, seqDelta.SegComps)
+			}
+			if conDelta.NodeComps != seqDelta.NodeComps {
+				t.Errorf("bbox computations: concurrent %d, sequential %d",
+					conDelta.NodeComps, seqDelta.NodeComps)
+			}
+			if conDelta.PoolRequests != seqDelta.PoolRequests {
+				t.Errorf("pool requests: concurrent %d, sequential %d",
+					conDelta.PoolRequests, seqDelta.PoolRequests)
+			}
+		})
+	}
+}
+
+// TestWindowBatch checks the parallel batch executor returns exactly the
+// union of per-rectangle sequential window results, at several
+// parallelism settings, and that cancellation stops the batch.
+func TestWindowBatch(t *testing.T) {
+	m := stressMap(t)
+	db, err := Open(RStarTree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadPacked(m); err != nil {
+		t.Fatal(err)
+	}
+	ops := stressOps(30, 99)
+	var rects []Rect
+	for _, op := range ops {
+		if op.kind == 0 {
+			rects = append(rects, op.rect)
+		}
+	}
+
+	want := make([][]SegmentID, len(rects))
+	for q, r := range rects {
+		db.Window(r, func(id SegmentID, _ Segment) bool {
+			want[q] = append(want[q], id)
+			return true
+		})
+		sort.Slice(want[q], func(i, j int) bool { return want[q][i] < want[q][j] })
+	}
+
+	for _, par := range []int{0, 1, 3, 8} {
+		got := make([][]SegmentID, len(rects))
+		var mu sync.Mutex
+		err := db.WindowBatch(rects, par, func(q int, id SegmentID, _ Segment) bool {
+			mu.Lock()
+			got[q] = append(got[q], id)
+			mu.Unlock()
+			return true
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for q := range rects {
+			sort.Slice(got[q], func(i, j int) bool { return got[q][i] < got[q][j] })
+			if fmt.Sprint(got[q]) != fmt.Sprint(want[q]) {
+				t.Fatalf("parallelism %d, query %d: got %v, want %v", par, q, got[q], want[q])
+			}
+		}
+	}
+
+	// Cancellation: stop after the first visit; the batch must end
+	// without error and without visiting everything.
+	var visited atomic.Int64
+	if err := db.WindowBatch(rects, 4, func(int, SegmentID, Segment) bool {
+		visited.Add(1)
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, w := range want {
+		total += len(w)
+	}
+	if n := int(visited.Load()); n >= total {
+		t.Fatalf("cancelled batch visited all %d results", n)
+	}
+
+	// An empty batch is a no-op.
+	if err := db.WindowBatch(nil, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlayParallel checks the fanned-out join finds exactly the pairs
+// of the sequential Overlay, for both the nested-loop path and (at
+// parallelism 1) the PMR merge path, and that cancellation works.
+func TestOverlayParallel(t *testing.T) {
+	m := stressMap(t)
+	// A second map shifted so the two genuinely intersect.
+	m2 := stressMap(t)
+	half := len(m2.Segments) / 2
+	m2 = &MapData{Name: "stress-b", Class: "rural", Segments: m2.Segments[half:]}
+
+	for _, kinds := range [][2]Kind{{RStarTree, UniformGrid}, {PMRQuadtree, PMRQuadtree}} {
+		a, err := Open(kinds[0], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Open(kinds[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Load(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Load(m2); err != nil {
+			t.Fatal(err)
+		}
+
+		pairKey := func(idA, idB SegmentID) string { return fmt.Sprintf("%v-%v", idA, idB) }
+		want := map[string]bool{}
+		if err := a.Overlay(b, func(idA, idB SegmentID, _, _ Segment) bool {
+			want[pairKey(idA, idB)] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("%v/%v: overlay found no pairs; bad fixture", kinds[0], kinds[1])
+		}
+
+		for _, par := range []int{1, 4} {
+			got := map[string]bool{}
+			var mu sync.Mutex
+			err := a.OverlayParallel(b, par, func(idA, idB SegmentID, _, _ Segment) bool {
+				mu.Lock()
+				got[pairKey(idA, idB)] = true
+				mu.Unlock()
+				return true
+			})
+			if err != nil {
+				t.Fatalf("%v/%v parallelism %d: %v", kinds[0], kinds[1], par, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v/%v parallelism %d: %d pairs, want %d",
+					kinds[0], kinds[1], par, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("%v/%v parallelism %d: missing pair %s", kinds[0], kinds[1], par, k)
+				}
+			}
+		}
+
+		// Cancellation propagates as a clean stop, not an error.
+		calls := 0
+		var mu sync.Mutex
+		if err := a.OverlayParallel(b, 4, func(SegmentID, SegmentID, Segment, Segment) bool {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return false
+		}); err != nil {
+			t.Fatalf("cancelled overlay: %v", err)
+		}
+		if calls >= len(want) && len(want) > 4 {
+			t.Fatalf("cancelled overlay still visited %d of %d pairs", calls, len(want))
+		}
+	}
+}
+
+// TestConcurrentMetricsReaders checks Metrics() can be called while
+// queries are in flight (the counters are atomic), without tripping the
+// race detector.
+func TestConcurrentMetricsReaders(t *testing.T) {
+	m := stressMap(t)
+	db, err := Open(PMRQuadtree, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = db.Metrics()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := db.Nearest(Pt(int32(i*700%WorldSize), 5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	mtr := db.Metrics()
+	if mtr.PoolRequests < mtr.PoolHits {
+		t.Fatalf("requests %d < hits %d", mtr.PoolRequests, mtr.PoolHits)
+	}
+	if mtr.HitRatio() < 0 || mtr.HitRatio() > 1 {
+		t.Fatalf("hit ratio %v out of range", mtr.HitRatio())
+	}
+}

@@ -1,0 +1,136 @@
+package segdb
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// normalizeParallelism clamps a requested worker count: zero or negative
+// means "one worker per available CPU".
+func normalizeParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// WindowBatch runs one window query per rectangle, fanning the queries
+// across a worker pool. visit is called as visit(query, id, s) for every
+// segment s intersecting rects[query]; it may be invoked from several
+// goroutines at once (synchronize any shared state it touches) and
+// returning false cancels the whole batch. parallelism <= 0 uses
+// GOMAXPROCS workers.
+//
+// The batch holds the database's reader lock, so it runs concurrently
+// with other queries but never with writes. Per-query result sets are
+// identical to sequential execution; the paper's counters (disk page
+// requests, segment comparisons, bounding box computations) total exactly
+// the same as a sequential replay, though the split of page requests into
+// pool hits versus misses depends on how the workers interleave.
+func (db *DB) WindowBatch(rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(rects) == 0 {
+		return nil
+	}
+	workers := normalizeParallelism(parallelism)
+	if workers > len(rects) {
+		workers = len(rects)
+	}
+	if workers == 1 {
+		for q, r := range rects {
+			stop := false
+			err := db.index.Window(r, func(id SegmentID, s Segment) bool {
+				if !visit(q, id, s) {
+					stop = true
+					return false
+				}
+				return true
+			})
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64 // next unclaimed rectangle
+		stop     atomic.Bool  // a worker failed or visit said stop
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				q := int(next.Add(1)) - 1
+				if q >= len(rects) {
+					return
+				}
+				err := db.index.Window(rects[q], func(id SegmentID, s Segment) bool {
+					if stop.Load() {
+						return false
+					}
+					if !visit(q, id, s) {
+						stop.Store(true)
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallelRange fans the half-open range [0, n) across a worker pool,
+// calling work(i) for each index. The first error cancels the remaining
+// range (in-flight calls still finish) and is returned.
+func parallelRange(n, workers int, work func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := work(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := work(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

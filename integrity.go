@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"segdb/internal/core"
 )
 
 // IntegrityReport is the outcome of DB.CheckIntegrity: a few size facts
@@ -17,6 +19,12 @@ type IntegrityReport struct {
 	// IndexPages and TablePages are the page counts of the two disks.
 	IndexPages int
 	TablePages int
+	// PoolHits and PoolRequests snapshot the buffer pools' lifetime cache
+	// behaviour (both disks combined) as of the check; PoolHitRatio is
+	// hits/requests, 0 for an untouched database.
+	PoolHits     uint64
+	PoolRequests uint64
+	PoolHitRatio float64
 	// Problems describes each violation found, in check order.
 	Problems []string
 
@@ -63,12 +71,22 @@ func (r *IntegrityReport) add(err error) {
 // Checking reads pages and therefore perturbs the paper's disk-access and
 // comparison counters; run it outside measured phases. With an active
 // FaultPolicy the injected faults surface as problems like any real ones.
+//
+// CheckIntegrity takes the writer lock: it must not (and, enforced here,
+// cannot) run concurrently with queries, whose in-flight pins and page
+// traffic would make the structural checks race.
 func (db *DB) CheckIntegrity() *IntegrityReport {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pre := core.Snapshot(db.index)
 	r := &IntegrityReport{
-		Kind:       db.kind,
-		Segments:   db.table.Len(),
-		IndexPages: db.pool.Disk().PageCount(),
-		TablePages: db.table.Disk().PageCount(),
+		Kind:         db.kind,
+		Segments:     db.table.Len(),
+		IndexPages:   db.pool.Disk().PageCount(),
+		TablePages:   db.table.Disk().PageCount(),
+		PoolHits:     pre.PoolHits,
+		PoolRequests: pre.PoolRequests,
+		PoolHitRatio: pre.HitRatio(),
 	}
 	if err := db.pool.Disk().CheckFreeList(); err != nil {
 		r.add(fmt.Errorf("index disk: %w", err))

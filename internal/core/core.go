@@ -93,21 +93,38 @@ func FirstNearest(ix Index, p geom.Point) (NearestResult, error) {
 	return res[0], nil
 }
 
-// Metrics is a snapshot of the three counters of the study.
+// Metrics is a snapshot of the three counters of the study, plus the
+// buffer-pool effectiveness counters (hits and total page requests across
+// the index and segment-table pools). Hits are free in the paper's
+// disk-access currency; Requests = Hits + misses, a total that does not
+// depend on how concurrent queries interleave in the caches.
 type Metrics struct {
 	DiskAccesses uint64
 	SegComps     uint64
 	NodeComps    uint64
+	PoolHits     uint64
+	PoolRequests uint64
+}
+
+// HitRatio returns the fraction of page requests served from the buffer
+// pools without a disk access, or 0 when nothing has been requested.
+func (m Metrics) HitRatio() float64 {
+	if m.PoolRequests == 0 {
+		return 0
+	}
+	return float64(m.PoolHits) / float64(m.PoolRequests)
 }
 
 // Snapshot captures the current cumulative counters of an index and its
 // segment table.
 func Snapshot(ix Index) Metrics {
-	t := ix.Table()
+	ixStats, tabStats := ix.DiskStats(), ix.Table().DiskStats()
 	return Metrics{
-		DiskAccesses: ix.DiskStats().Accesses() + t.DiskStats().Accesses(),
-		SegComps:     t.Comparisons(),
+		DiskAccesses: ixStats.Accesses() + tabStats.Accesses(),
+		SegComps:     ix.Table().Comparisons(),
 		NodeComps:    ix.NodeComps(),
+		PoolHits:     ixStats.Hits + tabStats.Hits,
+		PoolRequests: ixStats.Requests() + tabStats.Requests(),
 	}
 }
 
@@ -117,6 +134,8 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		DiskAccesses: m.DiskAccesses - prev.DiskAccesses,
 		SegComps:     m.SegComps - prev.SegComps,
 		NodeComps:    m.NodeComps - prev.NodeComps,
+		PoolHits:     m.PoolHits - prev.PoolHits,
+		PoolRequests: m.PoolRequests - prev.PoolRequests,
 	}
 }
 
@@ -126,10 +145,15 @@ func (m Metrics) Add(o Metrics) Metrics {
 		DiskAccesses: m.DiskAccesses + o.DiskAccesses,
 		SegComps:     m.SegComps + o.SegComps,
 		NodeComps:    m.NodeComps + o.NodeComps,
+		PoolHits:     m.PoolHits + o.PoolHits,
+		PoolRequests: m.PoolRequests + o.PoolRequests,
 	}
 }
 
-// Measure runs f and returns the metric deltas it caused on ix.
+// Measure runs f and returns the metric deltas it caused on ix. All
+// counters are atomic, so f may fan work across goroutines; the deltas
+// are exact provided every goroutine f started has finished when f
+// returns.
 func Measure(ix Index, f func() error) (Metrics, error) {
 	before := Snapshot(ix)
 	err := f()

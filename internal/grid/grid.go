@@ -13,6 +13,7 @@ package grid
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"segdb/internal/btree"
 	"segdb/internal/core"
@@ -37,7 +38,7 @@ type Grid struct {
 	n         int32 // cells per side
 	cellSize  int32
 	count     int
-	nodeComps uint64
+	nodeComps atomic.Uint64
 }
 
 // New creates an empty grid.
@@ -70,7 +71,7 @@ func (g *Grid) Table() *seg.Table { return g.table }
 func (g *Grid) DiskStats() store.Stats { return g.bt.Pool().Stats() }
 
 // NodeComps returns the cumulative cell computation count.
-func (g *Grid) NodeComps() uint64 { return g.nodeComps }
+func (g *Grid) NodeComps() uint64 { return g.nodeComps.Load() }
 
 // SizeBytes returns the storage footprint.
 func (g *Grid) SizeBytes() int64 { return g.bt.Pool().Disk().SizeBytes() }
@@ -110,7 +111,7 @@ func (g *Grid) cellsFor(s geom.Segment, visit func(cx, cy int32) error) error {
 	cx1, cy1 := g.cellOf(b.Max)
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			g.nodeComps++
+			g.nodeComps.Add(1)
 			if g.cellRect(cx, cy).IntersectsSegment(s) {
 				if err := visit(cx, cy); err != nil {
 					return err
@@ -182,7 +183,7 @@ func (g *Grid) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 	seen := make(map[seg.ID]struct{})
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			g.nodeComps++
+			g.nodeComps.Add(1)
 			members, err := g.cellMembers(cx, cy)
 			if err != nil {
 				return err
@@ -248,7 +249,7 @@ func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 		if cx < 0 || cy < 0 || cx >= g.n || cy >= g.n {
 			return nil
 		}
-		g.nodeComps++
+		g.nodeComps.Add(1)
 		members, err := g.cellMembers(cx, cy)
 		if err != nil {
 			return err

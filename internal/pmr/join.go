@@ -64,7 +64,7 @@ func Join(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) err
 				if _, dup := reported[pk]; dup {
 					continue
 				}
-				a.nodeComps++
+				a.nodeComps.Add(1)
 				if !geom.SegmentsIntersect(ga, gb) {
 					continue
 				}
@@ -107,7 +107,7 @@ func Join(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) err
 		for _, st := range []*[]activeBlock{own, other} {
 			for len(*st) > 0 {
 				top := (*st)[len(*st)-1]
-				a.nodeComps++
+				a.nodeComps.Add(1)
 				if top.code.Contains(code) {
 					break
 				}

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"segdb/internal/btree"
 	"segdb/internal/core"
@@ -57,7 +58,7 @@ type Tree struct {
 	table     *seg.Table
 	cfg       Config
 	count     int
-	nodeComps uint64
+	nodeComps atomic.Uint64
 }
 
 // New creates an empty PMR quadtree whose linear representation lives on
@@ -150,7 +151,7 @@ func (t *Tree) Table() *seg.Table { return t.table }
 func (t *Tree) DiskStats() store.Stats { return t.bt.Pool().Stats() }
 
 // NodeComps returns the cumulative bounding bucket computation count.
-func (t *Tree) NodeComps() uint64 { return t.nodeComps }
+func (t *Tree) NodeComps() uint64 { return t.nodeComps.Load() }
 
 // SizeBytes returns the storage footprint of the B-tree pages.
 func (t *Tree) SizeBytes() int64 { return t.bt.Pool().Disk().SizeBytes() }
@@ -253,7 +254,7 @@ func (t *Tree) blockState(c geom.Code) (split bool, err error) {
 // larger than a cover block are found via predecessor/successor key
 // probes, which land on the same B-tree pages the scans touch.
 func (t *Tree) leavesFor(s geom.Segment) ([]geom.Code, error) {
-	t.nodeComps++
+	t.nodeComps.Add(1)
 	if !geom.World().IntersectsSegment(s) {
 		return nil, fmt.Errorf("pmr: segment %v outside the world", s)
 	}
@@ -288,7 +289,7 @@ func (t *Tree) leavesFor(s geom.Segment) ([]geom.Code, error) {
 			continue
 		}
 		covered[cover] = struct{}{}
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !touches(cover, s) {
 			continue
 		}
@@ -311,7 +312,7 @@ func (t *Tree) leavesFor(s geom.Segment) ([]geom.Code, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if touches(leaf, s) {
 				emit(leaf)
 			}
@@ -322,7 +323,7 @@ func (t *Tree) leavesFor(s geom.Segment) ([]geom.Code, error) {
 		// base, smaller depth). By the antichain invariant it is then the
 		// only code present, and the whole cover lies inside it.
 		if enc := occupied[0]; enc.Depth() < depth && enc.Contains(cover) {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if touches(enc, s) {
 				emit(enc)
 			}
@@ -345,7 +346,7 @@ func (t *Tree) leavesFor(s geom.Segment) ([]geom.Code, error) {
 			}
 			for q := 0; q < 4; q++ {
 				child := c.Child(q)
-				t.nodeComps++
+				t.nodeComps.Add(1)
 				if touches(child, s) {
 					walk(child)
 				}
@@ -522,7 +523,7 @@ func (t *Tree) splitBlock(c geom.Code) error {
 		}
 		for q := 0; q < 4; q++ {
 			child := c.Child(q)
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if touches(child, s) {
 				if err := t.insertQEdge(child, id, s); err != nil {
 					return err

@@ -86,7 +86,7 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		bc := keyCode(k)
 		if !haveBlock || bc != lastBlock {
 			lastBlock, haveBlock = bc, true
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			blockHits = bc.Block().Intersects(r)
 		}
 		if !blockHits {
@@ -95,7 +95,7 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		// In the StoreMBR variant the stored q-edge rectangle rejects
 		// candidates without a segment-table fetch.
 		if qr, ok := decodeQEdgeRect(bc, v); ok {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if !qr.Intersects(r) {
 				return true
 			}
@@ -139,7 +139,7 @@ func (t *Tree) Locate(p geom.Point) (geom.Code, bool, error) {
 	// One bounding bucket computation: does the predecessor's block
 	// contain the point? (Occupied blocks form an antichain, so if any
 	// occupied block contains p it is the predecessor's.)
-	t.nodeComps++
+	t.nodeComps.Add(1)
 	if !c.Block().ContainsPoint(p) {
 		return 0, false, nil
 	}
@@ -155,7 +155,7 @@ func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool) e
 	var members []seg.ID
 	if err := t.bt.ScanValues(exLo, exHi, func(k uint64, v []byte) bool {
 		if qr, ok := decodeQEdgeRect(c, v); ok {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if !qr.ContainsPoint(p) {
 				return true
 			}
@@ -264,7 +264,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 				if sib == c {
 					continue
 				}
-				t.nodeComps++
+				t.nodeComps.Add(1)
 				heap.Push(q, pqItem{distSq: sib.Block().DistSqToPoint(p), kind: pqRegion, code: sib})
 			}
 		}
@@ -307,7 +307,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 					if _, dup := seen[ref.id]; dup {
 						continue
 					}
-					t.nodeComps++
+					t.nodeComps.Add(1)
 					heap.Push(q, pqItem{
 						distSq: ref.rect.DistSqToPoint(p),
 						kind:   pqEdge,
@@ -380,7 +380,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			if count > limit {
 				for qd := 0; qd < 4; qd++ {
 					child := it.code.Child(qd)
-					t.nodeComps++
+					t.nodeComps.Add(1)
 					heap.Push(q, pqItem{distSq: child.Block().DistSqToPoint(p), kind: pqRegion, code: child})
 				}
 				continue
@@ -388,7 +388,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			// Defer each leaf block as a bucket ordered by its distance;
 			// its segments are fetched only if the bucket is reached.
 			for _, g := range groups {
-				t.nodeComps++
+				t.nodeComps.Add(1)
 				heap.Push(q, pqItem{
 					distSq:  g.code.Block().DistSqToPoint(p),
 					kind:    pqBucket,

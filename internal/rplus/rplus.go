@@ -19,6 +19,7 @@ package rplus
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"segdb/internal/geom"
 	"segdb/internal/rpage"
@@ -56,7 +57,7 @@ type Tree struct {
 	height    int // 1 = root is a leaf
 	max       int // M: page capacity in entries
 	count     int // distinct segments indexed
-	nodeComps uint64
+	nodeComps atomic.Uint64
 	name      string
 }
 
@@ -92,7 +93,7 @@ func (t *Tree) Table() *seg.Table { return t.table }
 func (t *Tree) DiskStats() store.Stats { return t.pool.Stats() }
 
 // NodeComps returns the cumulative bounding box computation count.
-func (t *Tree) NodeComps() uint64 { return t.nodeComps }
+func (t *Tree) NodeComps() uint64 { return t.nodeComps.Load() }
 
 // SizeBytes returns the storage footprint of the tree pages.
 func (t *Tree) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
@@ -190,7 +191,7 @@ func (t *Tree) insertRec(id store.PageID, region geom.Rect, s geom.Segment, sid 
 	}
 	var out []rpage.Entry
 	for _, e := range n.Entries {
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !e.Rect.IntersectsSegment(s) {
 			out = append(out, e)
 			continue

@@ -24,7 +24,7 @@ func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, vi
 		return false, err
 	}
 	for _, e := range n.Entries {
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !e.Rect.Intersects(r) {
 			continue
 		}
@@ -104,7 +104,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			return nil, err
 		}
 		for _, e := range n.Entries {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if n.Leaf {
 				sid := seg.ID(e.Ptr)
 				if _, dup := seen[sid]; dup {
@@ -171,7 +171,7 @@ func (t *Tree) deleteRec(id store.PageID, s geom.Segment, sid seg.ID) (int, erro
 	}
 	total := 0
 	for _, e := range n.Entries {
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !e.Rect.IntersectsSegment(s) {
 			continue
 		}

@@ -13,6 +13,7 @@ package rstar
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"segdb/internal/geom"
 	"segdb/internal/rpage"
@@ -70,7 +71,7 @@ type Tree struct {
 	max       int // M
 	min       int // m
 	count     int
-	nodeComps uint64
+	nodeComps atomic.Uint64
 }
 
 // New creates an empty R*-tree whose nodes live on pages of pool and whose
@@ -114,7 +115,7 @@ func (t *Tree) Table() *seg.Table { return t.table }
 func (t *Tree) DiskStats() store.Stats { return t.pool.Stats() }
 
 // NodeComps returns the cumulative bounding box computation count.
-func (t *Tree) NodeComps() uint64 { return t.nodeComps }
+func (t *Tree) NodeComps() uint64 { return t.nodeComps.Load() }
 
 // SizeBytes returns the storage footprint of the tree pages.
 func (t *Tree) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
@@ -284,13 +285,13 @@ func (t *Tree) chooseSubtree(n *rpage.Node, r geom.Rect, childrenAreTarget bool)
 		bestOverlap, bestEnlarge, bestArea := int64(-1), int64(0), int64(0)
 		for i, e := range n.Entries {
 			enlarged := e.Rect.Union(r)
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			var dOverlap int64
 			for j, o := range n.Entries {
 				if j == i {
 					continue
 				}
-				t.nodeComps++
+				t.nodeComps.Add(1)
 				dOverlap += enlarged.OverlapArea(o.Rect) - e.Rect.OverlapArea(o.Rect)
 			}
 			dEnlarge := enlarged.Area() - e.Rect.Area()
@@ -305,7 +306,7 @@ func (t *Tree) chooseSubtree(n *rpage.Node, r geom.Rect, childrenAreTarget bool)
 	}
 	bestEnlarge, bestArea := int64(-1), int64(0)
 	for i, e := range n.Entries {
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		dEnlarge := e.Rect.Enlargement(r)
 		area := e.Rect.Area()
 		if bestEnlarge < 0 || dEnlarge < bestEnlarge ||
@@ -339,7 +340,7 @@ func (t *Tree) pickReinsert(entries []rpage.Entry) (kept, removed []rpage.Entry)
 		dx := float64(ec.X - c.X)
 		dy := float64(ec.Y - c.Y)
 		ds[i] = distEntry{d: dx*dx + dy*dy, e: e}
-		t.nodeComps++
+		t.nodeComps.Add(1)
 	}
 	// Sort ascending by distance; the tail is reinserted.
 	sortSlice(ds, func(a, b distEntry) bool { return a.d < b.d })

@@ -23,7 +23,7 @@ func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID
 		return false, err
 	}
 	for _, e := range n.Entries {
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !e.Rect.Intersects(r) {
 			continue
 		}
@@ -100,7 +100,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			return nil, err
 		}
 		for _, e := range n.Entries {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			d := e.Rect.DistSqToPoint(p)
 			if n.Leaf {
 				s, err := t.table.Get(seg.ID(e.Ptr))
@@ -171,7 +171,7 @@ func (t *Tree) deleteRec(id store.PageID, level int, target seg.ID, r geom.Rect,
 	}
 	if n.Leaf {
 		for i, e := range n.Entries {
-			t.nodeComps++
+			t.nodeComps.Add(1)
 			if seg.ID(e.Ptr) != target {
 				continue
 			}
@@ -189,7 +189,7 @@ func (t *Tree) deleteRec(id store.PageID, level int, target seg.ID, r geom.Rect,
 	}
 	for i := 0; i < len(n.Entries); i++ {
 		e := n.Entries[i]
-		t.nodeComps++
+		t.nodeComps.Add(1)
 		if !e.Rect.ContainsRect(r) {
 			continue
 		}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"segdb/internal/geom"
 	"segdb/internal/store"
@@ -34,11 +35,16 @@ const NilID = ^ID(0)
 const recordSize = 16
 
 // Table is the append-only, disk-resident table of line segments.
+//
+// Concurrency: Get may be called from any number of goroutines (the pool
+// underneath is latched and the comparison counter is atomic). Append is
+// a structural write and must be serialized with all other operations by
+// the caller (the facade's writer lock).
 type Table struct {
 	pool    *store.Pool
 	perPage int
 	count   int
-	fetches uint64
+	fetches atomic.Uint64
 }
 
 // NewTable creates a segment table over its own simulated disk.
@@ -57,7 +63,7 @@ func (t *Table) DiskStats() store.Stats { return t.pool.Stats() }
 
 // Comparisons returns the cumulative number of segment fetches — the
 // paper's "segment comparisons" counter.
-func (t *Table) Comparisons() uint64 { return t.fetches }
+func (t *Table) Comparisons() uint64 { return t.fetches.Load() }
 
 // SizeBytes returns the storage occupied by the table.
 func (t *Table) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
@@ -110,7 +116,7 @@ func (t *Table) Get(id ID) (geom.Segment, error) {
 	if int(id) >= t.count {
 		return geom.Segment{}, fmt.Errorf("seg: id %d out of range (%d segments)", id, t.count)
 	}
-	t.fetches++
+	t.fetches.Add(1)
 	pid := store.PageID(int(id) / t.perPage)
 	slot := int(id) % t.perPage
 	data, err := t.pool.Get(pid)

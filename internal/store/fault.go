@@ -1,6 +1,9 @@
 package store
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // FaultConfig describes the fault distribution a FaultPolicy injects.
 // Probabilities are per-operation in [0, 1]; zero disables that fault
@@ -40,8 +43,11 @@ type FaultConfig struct {
 // to (with SetFaultPolicy). Attaching one policy to several disks — e.g.
 // a database's index and segment-table disks — models one physical device:
 // the write countdown and the random sequence are shared. A FaultPolicy is
-// not safe for concurrent use, matching Disk.
+// latched so concurrent readers on different disks do not race, but the
+// *sequence* of injected faults is only deterministic when operations
+// arrive in a deterministic order (i.e. single-threaded use).
 type FaultPolicy struct {
+	mu      sync.Mutex
 	cfg     FaultConfig
 	rng     *rand.Rand
 	reads   uint64
@@ -56,18 +62,32 @@ func NewFaultPolicy(cfg FaultConfig) *FaultPolicy {
 }
 
 // Crashed reports whether the simulated crash has fired.
-func (p *FaultPolicy) Crashed() bool { return p.crashed }
+func (p *FaultPolicy) Crashed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed
+}
 
 // Injected returns the number of faults injected so far (loud errors and
 // silent corruptions both count).
-func (p *FaultPolicy) Injected() uint64 { return p.faults }
+func (p *FaultPolicy) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
 
 // Writes returns the number of write operations observed, successful or
 // not. Harnesses use a fault-free run's total to pick crash points.
-func (p *FaultPolicy) Writes() uint64 { return p.writes }
+func (p *FaultPolicy) Writes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writes
+}
 
 // beforeRead decides the fate of a read of page id.
 func (p *FaultPolicy) beforeRead(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.reads++
 	if p.crashed {
 		return &FaultError{Op: "read", Page: id, Kind: FaultCrash}
@@ -89,6 +109,8 @@ type writeDecision struct {
 
 // beforeWrite decides the fate of a write of pageSize bytes to page id.
 func (p *FaultPolicy) beforeWrite(id PageID, pageSize int) writeDecision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	dec := writeDecision{tornPrefix: -1, flipBit: -1}
 	if p.crashed {
 		dec.err = &FaultError{Op: "write", Page: id, Kind: FaultCrash}

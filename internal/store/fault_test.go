@@ -185,9 +185,9 @@ func TestFreeDirtyResidentPageSkipsWriteback(t *testing.T) {
 	}
 	fillSeq(data, 5)
 	p.Unpin(id, true) // dirty, resident, unpinned
-	base := d.stats
+	base := d.Stats()
 	p.Free(id)
-	delta := d.stats.Sub(base)
+	delta := d.Stats().Sub(base)
 	if delta.Writes != 0 {
 		t.Errorf("freeing a dirty page wrote it back (%d writes)", delta.Writes)
 	}
@@ -216,11 +216,11 @@ func TestDropAllStatsInvariants(t *testing.T) {
 		p.Unpin(id, true)
 		ids[i] = id
 	}
-	base := d.stats
+	base := d.Stats()
 	if err := p.DropAll(); err != nil {
 		t.Fatal(err)
 	}
-	delta := d.stats.Sub(base)
+	delta := d.Stats().Sub(base)
 	if delta.Writes != n {
 		t.Errorf("DropAll wrote %d pages, want %d (one per dirty frame)", delta.Writes, n)
 	}
@@ -233,11 +233,11 @@ func TestDropAllStatsInvariants(t *testing.T) {
 		}
 	}
 	// A second DropAll is free: nothing resident, nothing dirty.
-	base = d.stats
+	base = d.Stats()
 	if err := p.DropAll(); err != nil {
 		t.Fatal(err)
 	}
-	if delta := d.stats.Sub(base); delta != (Stats{}) {
+	if delta := d.Stats().Sub(base); delta != (Stats{}) {
 		t.Errorf("idempotent DropAll cost %+v", delta)
 	}
 }

@@ -40,6 +40,8 @@ const (
 // nor consults the fault policy (a crash harness can always capture the
 // durable state of a halted disk).
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	iw := &imageWriter{w: w, crc: crc32.NewIEEE()}
 	header := []uint32{diskMagic, uint32(d.pageSize), uint32(len(d.pages)), uint32(len(d.free))}
 	for _, v := range header {

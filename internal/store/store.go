@@ -6,7 +6,8 @@
 // touches the disk: fetching a page that is not resident in the pool, or
 // writing back a dirty page on eviction or flush. The store keeps those
 // counters; higher layers snapshot them around operations to produce the
-// per-query disk-access statistics.
+// per-query disk-access statistics. Requests satisfied from the pool are
+// counted separately as hits, so cache effectiveness is observable.
 //
 // Beyond the paper's testbed, the store carries a fault model: every page
 // is checksummed (CRC32) on write and verified on read, disk I/O returns
@@ -14,11 +15,20 @@
 // FaultPolicy can inject read/write errors, torn writes, bit flips, and a
 // crash-after-N-writes power loss. See DESIGN.md, "Fault model &
 // recovery".
+//
+// Concurrency: Disk and Pool are latched (a short-held mutex around the
+// page array and the frame table respectively) and all statistics are
+// atomic, so any number of goroutines may read pages through one Pool
+// concurrently. Structural writers at higher layers (index insert/delete)
+// must still be externally serialized — the latches protect the store's
+// own invariants, not the page *contents* two writers might both edit.
 package store
 
 import (
 	"fmt"
 	"hash/crc32"
+	"sync"
+	"sync/atomic"
 )
 
 // Default configuration used throughout the paper's main experiments.
@@ -35,17 +45,33 @@ type PageID uint32
 // NilPage is the sentinel for a missing page reference.
 const NilPage = invalidPage
 
-// Stats counts potential disk activity.
+// Stats is a point-in-time snapshot of potential disk activity.
 type Stats struct {
 	Reads  uint64 // pages fetched into the pool (buffer-pool misses)
 	Writes uint64 // dirty pages written back (eviction or flush)
 	Allocs uint64 // pages ever allocated
 	Frees  uint64 // pages returned to the free list
+	Hits   uint64 // pool requests satisfied without touching the disk
 }
 
 // Accesses returns the total number of potential disk accesses, the
-// quantity tabulated in Table 1 and Figure 6 of the paper.
+// quantity tabulated in Table 1 and Figure 6 of the paper. Pool hits are
+// free and do not count.
 func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Requests returns the total number of page requests the buffer pool
+// served: hits plus misses (Reads). Unlike Reads alone, this total does
+// not depend on the interleaving of concurrent queries.
+func (s Stats) Requests() uint64 { return s.Hits + s.Reads }
+
+// HitRatio returns the fraction of page requests served from the pool,
+// or 0 when no requests have been made.
+func (s Stats) HitRatio() float64 {
+	if req := s.Requests(); req > 0 {
+		return float64(s.Hits) / float64(req)
+	}
+	return 0
+}
 
 // Sub returns the counter deltas since an earlier snapshot.
 func (s Stats) Sub(prev Stats) Stats {
@@ -54,21 +80,44 @@ func (s Stats) Sub(prev Stats) Stats {
 		Writes: s.Writes - prev.Writes,
 		Allocs: s.Allocs - prev.Allocs,
 		Frees:  s.Frees - prev.Frees,
+		Hits:   s.Hits - prev.Hits,
+	}
+}
+
+// counters is the live, concurrency-safe form of Stats. Individual
+// increments are atomic; a snapshot taken while operations are in flight
+// is a consistent total only once those operations complete (Measure and
+// the harness snapshot around quiesced phases).
+type counters struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
 	}
 }
 
 // Disk is the simulated backing store: a growable array of fixed-size
 // pages plus a free list. Every page carries a CRC32 of its last complete
 // write; reads verify it, so torn writes and bit rot surface as
-// ChecksumError instead of silently corrupting higher layers. Disk is not
-// safe for concurrent use; each index owns its own Disk, mirroring the
-// single-user testbed of the paper.
+// ChecksumError instead of silently corrupting higher layers. A latch
+// serializes access to the page array, so a Disk may be shared by
+// concurrent readers; writers of the same page must still be externally
+// coordinated (the buffer pool above provides that).
 type Disk struct {
+	mu       sync.Mutex // guards pages, sums, free
 	pageSize int
 	pages    [][]byte
 	sums     []uint32 // per-page CRC32 of the last intended contents
 	free     []PageID
-	stats    Stats
+	stats    counters
 	faults   *FaultPolicy
 	zeroSum  uint32 // CRC32 of an all-zero page
 }
@@ -91,23 +140,42 @@ func (d *Disk) PageSize() int { return d.pageSize }
 
 // PageCount returns the total number of pages ever allocated, including
 // those currently on the free list.
-func (d *Disk) PageCount() int { return len(d.pages) }
+func (d *Disk) PageCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}
 
 // PagesInUse returns the number of allocated, non-freed pages.
-func (d *Disk) PagesInUse() int { return len(d.pages) - len(d.free) }
+func (d *Disk) PagesInUse() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages) - len(d.free)
+}
 
 // SizeBytes returns the total storage occupied by live pages. This is the
 // "size (Kbytes)" column of Table 1.
 func (d *Disk) SizeBytes() int64 { return int64(d.PagesInUse()) * int64(d.pageSize) }
 
+// Stats returns a snapshot of the disk's accumulated activity counters.
+// The Hits field is always zero here: hits are a buffer-pool concept,
+// filled in by Pool.Stats.
+func (d *Disk) Stats() Stats { return d.stats.snapshot() }
+
 // SetFaultPolicy attaches (or, with nil, detaches) a fault-injection
 // policy. The same policy may be shared by several disks to model one
 // physical device.
-func (d *Disk) SetFaultPolicy(p *FaultPolicy) { d.faults = p }
+func (d *Disk) SetFaultPolicy(p *FaultPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = p
+}
 
 // allocate reserves a zeroed page and returns its id.
 func (d *Disk) allocate() PageID {
-	d.stats.Allocs++
+	d.stats.allocs.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
@@ -122,7 +190,9 @@ func (d *Disk) allocate() PageID {
 
 // release returns a page to the free list.
 func (d *Disk) release(id PageID) {
-	d.stats.Frees++
+	d.stats.frees.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.free = append(d.free, id)
 }
 
@@ -130,7 +200,9 @@ func (d *Disk) release(id PageID) {
 // fails with a typed error on an out-of-range id, an injected fault, or a
 // checksum mismatch (torn write or bit rot detected).
 func (d *Disk) read(id PageID, buf []byte) error {
-	d.stats.Reads++
+	d.stats.reads.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("store: read of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
 	}
@@ -151,7 +223,9 @@ func (d *Disk) read(id PageID, buf []byte) error {
 // tear or bit flip lands, so silent corruption is caught by the next
 // read.
 func (d *Disk) write(id PageID, buf []byte) error {
-	d.stats.Writes++
+	d.stats.writes.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("store: write of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
 	}
@@ -179,6 +253,8 @@ func (d *Disk) write(id PageID, buf []byte) error {
 // CorruptPage flips one bit of the stored page without updating its
 // checksum — a test hook for at-rest corruption ("cosmic ray").
 func (d *Disk) CorruptPage(id PageID, bit int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("store: corrupt of page %d beyond disk end: %w", id, ErrBadPage)
 	}
@@ -191,6 +267,8 @@ func (d *Disk) CorruptPage(id PageID, bit int) error {
 // and only pages that exist. A duplicate would hand the same page to two
 // owners on reallocation.
 func (d *Disk) CheckFreeList() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	seen := make(map[PageID]struct{}, len(d.free))
 	for _, id := range d.free {
 		if int(id) >= len(d.pages) {
@@ -208,6 +286,8 @@ func (d *Disk) CheckFreeList() error {
 // the first whose contents do not match their recorded CRC32. Free pages
 // are skipped (their contents are dead and may legitimately be torn).
 func (d *Disk) VerifyChecksums() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	onFree := make(map[PageID]struct{}, len(d.free))
 	for _, id := range d.free {
 		onFree[id] = struct{}{}
@@ -233,14 +313,24 @@ type frame struct {
 }
 
 // Pool is an LRU buffer pool over a Disk. Fetching a page that is resident
-// costs nothing; a miss evicts the least recently used unpinned frame
-// (writing it back if dirty) and reads the page from disk.
+// costs nothing (a hit); a miss evicts the least recently used unpinned
+// frame (writing it back if dirty) and reads the page from disk.
+//
+// The pool is latched: frame lookup, pinning, LRU maintenance, and
+// eviction are serialized by a mutex held only for those bookkeeping
+// steps, so concurrent readers scale. The page bytes returned by Get alias
+// the frame and are protected by the pin, not the latch — they stay valid
+// until Unpin. Callers that *modify* page contents must be externally
+// serialized (one writer at a time), as two concurrent writers to the
+// same frame would race on the bytes themselves.
 type Pool struct {
+	mu       sync.Mutex
 	disk     *Disk
 	capacity int
 	frames   map[PageID]*frame
 	head     *frame // most recently used
 	tail     *frame // least recently used
+	hits     atomic.Uint64
 }
 
 // NewPool creates a buffer pool with the given number of frames. It
@@ -263,11 +353,18 @@ func (p *Pool) Disk() *Disk { return p.disk }
 // PageSize returns the size of pages managed by this pool.
 func (p *Pool) PageSize() int { return p.disk.pageSize }
 
-// Stats returns the accumulated disk statistics.
-func (p *Pool) Stats() Stats { return p.disk.stats }
+// Stats returns the accumulated disk statistics plus the pool's hit
+// count.
+func (p *Pool) Stats() Stats {
+	s := p.disk.stats.snapshot()
+	s.Hits = p.hits.Load()
+	return s
+}
 
 // Resident reports whether the page is currently in the pool (test hook).
 func (p *Pool) Resident(id PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	_, ok := p.frames[id]
 	return ok
 }
@@ -277,6 +374,8 @@ func (p *Pool) Resident(id PageID) bool {
 // evicting a victim) the fresh page is returned to the free list.
 func (p *Pool) Allocate() (PageID, []byte, error) {
 	id := p.disk.allocate()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, err := p.install(id, false)
 	if err != nil {
 		p.disk.release(id)
@@ -294,7 +393,10 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 	if id == NilPage {
 		return nil, fmt.Errorf("store: get of nil page: %w", ErrBadPage)
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
+		p.hits.Add(1)
 		p.touch(f)
 		f.pins++
 		return f.data, nil
@@ -312,6 +414,8 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 // a programmer invariant (pins are only handed out by Get/Allocate), not
 // an I/O condition.
 func (p *Pool) Unpin(id PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok || f.pins == 0 {
 		panic(fmt.Sprintf("store: unpin of unpinned page %d", id))
@@ -326,6 +430,8 @@ func (p *Pool) Unpin(id PageID, dirty bool) {
 // non-resident page panics (programmer error: the caller claims to hold a
 // pin it does not have).
 func (p *Pool) MarkDirty(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	f, ok := p.frames[id]
 	if !ok {
 		panic(fmt.Sprintf("store: mark dirty of non-resident page %d", id))
@@ -338,13 +444,16 @@ func (p *Pool) MarkDirty(id PageID) {
 // freed is simply dropped without a write-back, since its contents are
 // dead.
 func (p *Pool) Free(id PageID) {
+	p.mu.Lock()
 	if f, ok := p.frames[id]; ok {
 		if f.pins > 0 {
+			p.mu.Unlock()
 			panic(fmt.Sprintf("store: free of pinned page %d", id))
 		}
 		p.unlink(f)
 		delete(p.frames, id)
 	}
+	p.mu.Unlock()
 	p.disk.release(id)
 }
 
@@ -353,6 +462,12 @@ func (p *Pool) Free(id PageID) {
 // write fault it stops and reports the error; the failed frame and any
 // not yet visited stay dirty.
 func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pool) flushLocked() error {
 	for _, f := range p.frames {
 		if f.dirty {
 			if err := p.disk.write(f.id, f.data); err != nil {
@@ -366,10 +481,13 @@ func (p *Pool) Flush() error {
 
 // DropAll empties the pool, writing back dirty pages. Used between
 // experiment phases to cold-start the cache. Dropping while any page is
-// pinned panics (programmer error). On a write fault the pool is left
-// partially flushed and nothing is dropped.
+// pinned panics (programmer error) — in particular, it must not run
+// concurrently with queries, which hold pins while they read. On a write
+// fault the pool is left partially flushed and nothing is dropped.
 func (p *Pool) DropAll() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	for id, f := range p.frames {
@@ -382,7 +500,8 @@ func (p *Pool) DropAll() error {
 	return nil
 }
 
-// install brings a page into the pool, evicting if necessary.
+// install brings a page into the pool, evicting if necessary. The pool
+// latch must be held.
 func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
 	if len(p.frames) >= p.capacity {
 		if err := p.evictOne(); err != nil {
@@ -400,7 +519,8 @@ func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
 	return f, nil
 }
 
-// evictOne removes the least recently used unpinned frame.
+// evictOne removes the least recently used unpinned frame. The pool latch
+// must be held.
 func (p *Pool) evictOne() error {
 	for f := p.tail; f != nil; f = f.prev {
 		if f.pins > 0 {

@@ -2,8 +2,31 @@ package segdb
 
 import (
 	"segdb/internal/core"
+	"segdb/internal/geom"
 	"segdb/internal/pmr"
+	"segdb/internal/seg"
 )
+
+// rlockPair acquires the reader locks of both databases in allocation
+// order (each DB carries a unique sequence number), so two goroutines
+// overlaying the same pair in opposite directions cannot deadlock. The
+// returned function releases both. A self-overlay locks once.
+func rlockPair(a, b *DB) func() {
+	if a == b {
+		a.mu.RLock()
+		return a.mu.RUnlock
+	}
+	first, second := a, b
+	if second.seq < first.seq {
+		first, second = second, first
+	}
+	first.mu.RLock()
+	second.mu.RLock()
+	return func() {
+		second.mu.RUnlock()
+		first.mu.RUnlock()
+	}
+}
 
 // Overlay finds every pair of intersecting segments between two databases
 // — the map-overlay composition that §7 of the paper singles out as the
@@ -15,8 +38,11 @@ import (
 //
 // visit receives the two segment IDs (first from db, second from other)
 // and their geometries, once per unordered intersecting pair; returning
-// false stops the overlay early.
+// false stops the overlay early. Overlay holds both databases' reader
+// locks, so it runs concurrently with queries but never with writes.
 func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+	unlock := rlockPair(db, other)
+	defer unlock()
 	if a, ok := db.index.(*pmr.Tree); ok {
 		if b, ok := other.index.(*pmr.Tree); ok {
 			return pmr.Join(a, b, visit)
@@ -24,3 +50,72 @@ func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) 
 	}
 	return core.JoinNestedLoop(db.index, other.index, visit)
 }
+
+// OverlayParallel is Overlay with the nested-loop join's outer segments
+// fanned across a worker pool: each worker claims outer segments of db
+// and probes other's index with a window query, so the join's wall-clock
+// cost drops near-linearly with parallelism on multi-core hosts while
+// the counter totals stay those of a sequential join.
+//
+// visit may be invoked from several goroutines at once (synchronize any
+// shared state it touches); pairs arrive in no particular order, and
+// returning false cancels the join. parallelism <= 0 uses GOMAXPROCS
+// workers. When both databases are PMR quadtrees and parallelism is 1
+// the synchronized linear-quadtree merge is used instead, as in Overlay
+// — the merge is inherently sequential, so parallel requests always take
+// the fan-out path.
+func (db *DB) OverlayParallel(other *DB, parallelism int, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+	unlock := rlockPair(db, other)
+	defer unlock()
+	workers := normalizeParallelism(parallelism)
+	if workers == 1 {
+		if a, ok := db.index.(*pmr.Tree); ok {
+			if b, ok := other.index.(*pmr.Tree); ok {
+				return pmr.Join(a, b, visit)
+			}
+		}
+		return core.JoinNestedLoop(db.index, other.index, visit)
+	}
+	outer := db.index.Table()
+	inner := other.index
+	err := parallelRange(outer.Len(), workers, func(i int) error {
+		idA := seg.ID(i)
+		sA, err := outer.Get(idA)
+		if err != nil {
+			return err
+		}
+		canceled := false
+		err = inner.Window(sA.Bounds(), func(idB SegmentID, sB Segment) bool {
+			// Window guarantees sB intersects sA's bounding box; confirm
+			// the segments themselves intersect.
+			if !geom.SegmentsIntersect(sA, sB) {
+				return true
+			}
+			if !visit(idA, idB, sA, sB) {
+				canceled = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if canceled {
+			return errJoinCanceled
+		}
+		return nil
+	})
+	if err == errJoinCanceled {
+		// The visitor stopped the join; that is not a failure.
+		return nil
+	}
+	return err
+}
+
+// errJoinCanceled threads "visit returned false" through parallelRange's
+// error channel; OverlayParallel translates it back to a nil return.
+var errJoinCanceled = canceledError{}
+
+type canceledError struct{}
+
+func (canceledError) Error() string { return "segdb: join canceled by visitor" }

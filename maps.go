@@ -47,11 +47,18 @@ func GenerateCounty(name string) (*MapData, error) {
 }
 
 // Load adds every segment of the map to the database, returning the
-// assigned IDs (in input order).
+// assigned IDs (in input order). It holds the writer lock for the whole
+// bulk load, so queries never observe a half-loaded map.
 func (db *DB) Load(m *MapData) ([]SegmentID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.loadLocked(m)
+}
+
+func (db *DB) loadLocked(m *MapData) ([]SegmentID, error) {
 	ids := make([]SegmentID, 0, len(m.Segments))
 	for _, s := range m.Segments {
-		id, err := db.Add(s)
+		id, err := db.addLocked(s)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +94,10 @@ func ParseTIGER(r io.Reader, cfccPrefixes ...string) (*MapData, error) {
 // index kinds fall back to Load (their structures are built
 // incrementally, as in the paper).
 func (db *DB) LoadPacked(m *MapData) ([]SegmentID, error) {
-	if db.Len() != 0 {
-		return nil, fmt.Errorf("segdb: LoadPacked requires an empty database (have %d segments)", db.Len())
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n := db.index.Table().Len(); n != 0 {
+		return nil, fmt.Errorf("segdb: LoadPacked requires an empty database (have %d segments)", n)
 	}
 	var cfg rstar.Config
 	switch db.kind {
@@ -97,7 +106,7 @@ func (db *DB) LoadPacked(m *MapData) ([]SegmentID, error) {
 	case ClassicRTree:
 		cfg = rstar.GuttmanConfig()
 	default:
-		return db.Load(m)
+		return db.loadLocked(m)
 	}
 	ids := make([]SegmentID, 0, len(m.Segments))
 	for _, s := range m.Segments {

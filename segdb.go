@@ -23,6 +23,8 @@ package segdb
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
@@ -186,14 +188,35 @@ func (o *Options) withDefaults() Options {
 }
 
 // DB is a line segment database: a disk-resident segment table plus one
-// spatial index over it. DB is not safe for concurrent use.
+// spatial index over it.
+//
+// # Concurrency model
+//
+// The read path is fully concurrent: any number of goroutines may run
+// Window, Nearest, NearestK, IncidentAt, OtherEndpoint, EnclosingPolygon,
+// Get, and the batch executors (WindowBatch, OverlayParallel) at the same
+// time. They share a reader lock; underneath, the buffer pools are
+// latched and every metric counter is atomic, so concurrent queries
+// neither race nor skew the paper's accounting (hits+misses, segment
+// comparisons, and bounding box computations total exactly the same as a
+// sequential replay; only the hit/miss split depends on interleaving).
+//
+// Writes remain exclusive: Add, Delete, Load, LoadPacked, DropCaches,
+// CheckIntegrity, SetFaultPolicy, and SaveTo take the writer lock and
+// therefore never run concurrently with queries or each other.
 type DB struct {
+	mu    sync.RWMutex // queries share; structural writes are exclusive
+	seq   uint64       // allocation order; fixes the lock order for two-DB operations
 	kind  Kind
 	opts  Options
 	table *seg.Table
 	pool  *store.Pool
 	index core.Index
 }
+
+// dbSeq hands every DB a unique sequence number so operations over two
+// databases (Overlay) can always acquire their locks in a global order.
+var dbSeq atomic.Uint64
 
 // Open creates an empty database backed by the chosen index kind. Pass
 // nil opts for the configuration used in the paper's experiments.
@@ -227,18 +250,28 @@ func Open(kind Kind, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{kind: kind, opts: o, table: table, pool: pool, index: ix}, nil
+	return &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix}, nil
 }
 
 // Kind returns the index kind backing the database.
 func (db *DB) Kind() Kind { return db.kind }
 
 // Len returns the number of stored segments.
-func (db *DB) Len() int { return db.index.Table().Len() }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index.Table().Len()
+}
 
 // Add stores a segment and indexes it, returning its ID. Coordinates must
 // lie in [0, WorldSize).
 func (db *DB) Add(s Segment) (SegmentID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.addLocked(s)
+}
+
+func (db *DB) addLocked(s Segment) (SegmentID, error) {
 	if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
 		return seg.NilID, fmt.Errorf("segdb: segment %v outside the %dx%d world", s, WorldSize, WorldSize)
 	}
@@ -254,36 +287,59 @@ func (db *DB) Add(s Segment) (SegmentID, error) {
 
 // Get fetches a segment's endpoints (counting one segment comparison,
 // like any access to the disk-resident segment table).
-func (db *DB) Get(id SegmentID) (Segment, error) { return db.table.Get(id) }
+func (db *DB) Get(id SegmentID) (Segment, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.table.Get(id)
+}
 
 // Delete removes a segment from the index. The table slot is retained
 // (the table is append-only, as in the paper's testbed).
-func (db *DB) Delete(id SegmentID) error { return db.index.Delete(id) }
+func (db *DB) Delete(id SegmentID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.index.Delete(id)
+}
 
 // Window visits every segment intersecting r (query 5 of the paper).
+// Queries may run from any number of goroutines; visit must not call
+// back into writer methods of the same DB (Add, Delete, DropCaches, ...)
+// or it will deadlock on the writer lock.
 func (db *DB) Window(r Rect, visit func(SegmentID, Segment) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.index.Window(r, visit)
 }
 
 // Nearest returns the segment closest to p (query 3). Found is false only
 // for an empty database.
-func (db *DB) Nearest(p Point) (NearestResult, error) { return db.index.Nearest(p) }
+func (db *DB) Nearest(p Point) (NearestResult, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index.Nearest(p)
+}
 
 // NearestK returns up to k segments ordered by increasing distance from p
 // (incremental distance ranking — "find the nearest three subway lines").
 func (db *DB) NearestK(p Point, k int) ([]NearestResult, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.index.NearestK(p, k)
 }
 
 // IncidentAt visits the segments having an endpoint exactly at p
 // (query 1).
 func (db *DB) IncidentAt(p Point, visit func(SegmentID, Segment) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return core.IncidentAt(db.index, p, visit)
 }
 
 // OtherEndpoint visits the segments incident at the other endpoint of
 // segment id, given one endpoint p (query 2).
 func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return core.OtherEndpoint(db.index, id, p, visit)
 }
 
@@ -291,29 +347,51 @@ func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment
 // (query 4). The database must hold a noded planar map for the result to
 // be meaningful.
 func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return core.EnclosingPolygon(db.index, p)
 }
 
 // Metrics returns the cumulative counter snapshot; subtract two snapshots
-// to cost an operation.
+// to cost an operation. Beyond the paper's three counters it carries the
+// buffer-pool hit statistics (PoolHits, PoolRequests, HitRatio), so cache
+// effectiveness is visible. Counters are atomic: Metrics may be called at
+// any time, including while queries are in flight.
 func (db *DB) Metrics() Metrics { return core.Snapshot(db.index) }
 
-// Measure runs f and returns the metric deltas it caused.
+// Measure runs f and returns the metric deltas it caused. It takes no
+// lock itself — f is free to issue queries (including parallel batches);
+// the deltas are exact provided nothing outside f touches the database
+// until Measure returns.
 func (db *DB) Measure(f func() error) (Metrics, error) {
 	return core.Measure(db.index, f)
 }
 
 // IndexSizeBytes returns the storage footprint of the index pages
 // (excluding the segment table).
-func (db *DB) IndexSizeBytes() int64 { return db.index.SizeBytes() }
+func (db *DB) IndexSizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.index.SizeBytes()
+}
 
 // TableSizeBytes returns the storage footprint of the segment table.
-func (db *DB) TableSizeBytes() int64 { return db.table.SizeBytes() }
+func (db *DB) TableSizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.table.SizeBytes()
+}
 
 // DropCaches empties both buffer pools, simulating a cold restart.
 // Dirty frames are flushed first; with an active fault policy the flush
 // can fail, leaving the caches partially dropped.
+//
+// DropCaches takes the writer lock: it must not (and, enforced here,
+// cannot) run concurrently with queries, whose pinned pages would make
+// dropping panic.
 func (db *DB) DropCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.index.DropCache(); err != nil {
 		return err
 	}
@@ -322,8 +400,11 @@ func (db *DB) DropCaches() error {
 
 // SetFaultPolicy attaches a fault-injection policy to both of the
 // database's simulated disks (index and segment table), modelling a
-// single failing device. Pass nil to detach.
+// single failing device. Pass nil to detach. It takes the writer lock, so
+// a policy never attaches mid-query.
 func (db *DB) SetFaultPolicy(p *store.FaultPolicy) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.pool.Disk().SetFaultPolicy(p)
 	db.table.Disk().SetFaultPolicy(p)
 }
