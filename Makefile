@@ -1,15 +1,26 @@
 GO ?= go
+STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet race fuzz-smoke bench
+.PHONY: check build test vet staticcheck race fuzz-smoke bench
 
 # check is the full local gate: what CI runs.
-check: vet build race fuzz-smoke
+check: vet staticcheck build race fuzz-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs if the binary is installed (CI installs the pinned
+# version; locally: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)).
+# Skipping when absent keeps `make check` usable on hermetic machines.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 test:
 	$(GO) test ./...

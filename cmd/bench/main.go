@@ -38,6 +38,12 @@ type kindResult struct {
 	DiskAccPerQuery  float64 `json:"disk_accesses_per_query"`
 	SegCompsPerQuery float64 `json:"seg_comps_per_query"`
 	PoolHitRatio     float64 `json:"pool_hit_ratio"`
+	// Per-query distributions from DB.Profile (log2-bucket estimates;
+	// quantiles are bucket top edges, so factor-of-two resolution).
+	LatencyP50Micros uint64 `json:"latency_p50_micros"`
+	LatencyP99Micros uint64 `json:"latency_p99_micros"`
+	DiskAccP50       uint64 `json:"disk_accesses_p50"`
+	DiskAccP99       uint64 `json:"disk_accesses_p99"`
 }
 
 // batchResult records the WindowBatch scaling experiment.
@@ -51,6 +57,10 @@ type batchResult struct {
 	PoolHitRatio   float64 `json:"pool_hit_ratio"`
 	DiskAccPerQry  float64 `json:"disk_accesses_per_query"`
 	GOMAXPROCSUsed int     `json:"gomaxprocs"`
+	// Per-window latency distribution across all batch runs, from the
+	// "windowbatch" entry of DB.Profile.
+	LatencyP50Micros uint64 `json:"latency_p50_micros"`
+	LatencyP99Micros uint64 `json:"latency_p99_micros"`
 }
 
 type artifact struct {
@@ -160,7 +170,7 @@ func run(out string, windows int, quick bool) error {
 		elapsed := time.Since(start)
 		delta := db.Metrics().Sub(base)
 		n := float64(len(rects))
-		art.Kinds = append(art.Kinds, kindResult{
+		row := kindResult{
 			Kind:             k.String(),
 			Segments:         db.Len(),
 			Windows:          len(rects),
@@ -168,9 +178,22 @@ func run(out string, windows int, quick bool) error {
 			DiskAccPerQuery:  float64(delta.DiskAccesses) / n,
 			SegCompsPerQuery: float64(delta.SegComps) / n,
 			PoolHitRatio:     delta.HitRatio(),
-		})
-		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio\n",
-			k, n/elapsed.Seconds(), float64(delta.DiskAccesses)/n, 100*delta.HitRatio())
+		}
+		// The per-kind profile: every window query (warm pass included)
+		// was folded into the "window" histograms.
+		for _, q := range db.Profile().Queries {
+			if q.Kind != "window" {
+				continue
+			}
+			row.LatencyP50Micros = q.LatencyMicros.Quantile(0.5)
+			row.LatencyP99Micros = q.LatencyMicros.Quantile(0.99)
+			row.DiskAccP50 = q.DiskAccesses.Quantile(0.5)
+			row.DiskAccP99 = q.DiskAccesses.Quantile(0.99)
+		}
+		art.Kinds = append(art.Kinds, row)
+		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio  p50/p99 %d/%dus\n",
+			k, n/elapsed.Seconds(), float64(delta.DiskAccesses)/n, 100*delta.HitRatio(),
+			row.LatencyP50Micros, row.LatencyP99Micros)
 	}
 
 	// WindowBatch scaling on the full county in a packed R*-tree with a
@@ -215,6 +238,12 @@ func run(out string, windows int, quick bool) error {
 		PoolHitRatio:   delta.HitRatio(),
 		DiskAccPerQry:  float64(delta.DiskAccesses) / n,
 		GOMAXPROCSUsed: workers,
+	}
+	for _, q := range db.Profile().Queries {
+		if q.Kind == "windowbatch" {
+			art.WindowBatch.LatencyP50Micros = q.LatencyMicros.Quantile(0.5)
+			art.WindowBatch.LatencyP99Micros = q.LatencyMicros.Quantile(0.99)
+		}
 	}
 	fmt.Printf("WindowBatch    %9.0f ops/s seq, %9.0f ops/s x%d (%.2fx speedup)\n",
 		art.WindowBatch.SeqOpsPerSec, art.WindowBatch.ParOpsPerSec, workers, art.WindowBatch.Speedup)

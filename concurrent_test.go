@@ -1,6 +1,7 @@
 package segdb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -61,33 +62,36 @@ func min32(a, b int32) int32 {
 	return b
 }
 
-// runStressOp executes one op and summarizes its result as a string, so
-// concurrent and sequential runs can be compared op-for-op.
-func runStressOp(db *DB, op stressOp) (string, error) {
+// runStressOp executes one op via the v2 query API and summarizes its
+// result as a string, so concurrent and sequential runs can be compared
+// op-for-op; the per-query stats come back alongside so the test can
+// reconcile their sum against the global counters.
+func runStressOp(db *DB, op stressOp) (string, QueryStats, error) {
+	ctx := context.Background()
 	switch op.kind {
 	case 0:
 		var ids []SegmentID
-		err := db.Window(op.rect, func(id SegmentID, _ Segment) bool {
+		st, err := db.WindowCtx(ctx, op.rect, func(id SegmentID, _ Segment) bool {
 			ids = append(ids, id)
 			return true
 		})
 		if err != nil {
-			return "", err
+			return "", st, err
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return fmt.Sprintf("window:%v", ids), nil
+		return fmt.Sprintf("window:%v", ids), st, nil
 	case 1:
-		res, err := db.Nearest(op.pt)
+		res, st, err := db.NearestCtx(ctx, op.pt)
 		if err != nil {
-			return "", err
+			return "", st, err
 		}
-		return fmt.Sprintf("nearest:%v/%v/%v", res.Found, res.ID, res.DistSq), nil
+		return fmt.Sprintf("nearest:%v/%v/%v", res.Found, res.ID, res.DistSq), st, nil
 	default:
-		poly, err := db.EnclosingPolygon(op.pt)
+		poly, st, err := db.EnclosingPolygonCtx(ctx, op.pt)
 		if err != nil {
-			return "", err
+			return "", st, err
 		}
-		return fmt.Sprintf("polygon:%d", poly.Size()), nil
+		return fmt.Sprintf("polygon:%d", poly.Size()), st, nil
 	}
 }
 
@@ -128,16 +132,18 @@ func TestConcurrentQueryStress(t *testing.T) {
 			seqBase := seqDB.Metrics()
 			want := make([]string, len(ops))
 			for i, op := range ops {
-				want[i], err = runStressOp(seqDB, op)
+				want[i], _, err = runStressOp(seqDB, op)
 				if err != nil {
 					t.Fatalf("sequential op %d: %v", i, err)
 				}
 			}
 			seqDelta := seqDB.Metrics().Sub(seqBase)
 
-			// Concurrent run: 8 goroutines claim ops from a shared cursor.
+			// Concurrent run: 8 goroutines claim ops from a shared cursor,
+			// keeping each op's QueryStats for reconciliation below.
 			conBase := conDB.Metrics()
 			got := make([]string, len(ops))
+			perQuery := make([]QueryStats, len(ops))
 			var (
 				next atomic.Int64
 				wg   sync.WaitGroup
@@ -153,12 +159,13 @@ func TestConcurrentQueryStress(t *testing.T) {
 						if i >= len(ops) {
 							return
 						}
-						s, err := runStressOp(conDB, ops[i])
+						s, st, err := runStressOp(conDB, ops[i])
 						if err != nil {
 							errs[w] = fmt.Errorf("op %d: %w", i, err)
 							return
 						}
 						got[i] = s
+						perQuery[i] = st
 					}
 				}()
 			}
@@ -186,6 +193,26 @@ func TestConcurrentQueryStress(t *testing.T) {
 			if conDelta.PoolRequests != seqDelta.PoolRequests {
 				t.Errorf("pool requests: concurrent %d, sequential %d",
 					conDelta.PoolRequests, seqDelta.PoolRequests)
+			}
+
+			// Per-query attribution is exact: the sum of the 96 QueryStats
+			// equals the global counter deltas of the concurrent run, for
+			// every interleaving-independent total.
+			var sum QueryStats
+			for _, st := range perQuery {
+				sum = sum.Add(st)
+			}
+			if sum.SegComps != conDelta.SegComps {
+				t.Errorf("sum of per-query SegComps %d != global delta %d",
+					sum.SegComps, conDelta.SegComps)
+			}
+			if sum.NodeComps != conDelta.NodeComps {
+				t.Errorf("sum of per-query NodeComps %d != global delta %d",
+					sum.NodeComps, conDelta.NodeComps)
+			}
+			if sum.PoolRequests != conDelta.PoolRequests {
+				t.Errorf("sum of per-query PoolRequests %d != global delta %d",
+					sum.PoolRequests, conDelta.PoolRequests)
 			}
 		})
 	}

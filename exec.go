@@ -1,6 +1,8 @@
 package segdb
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,81 +17,70 @@ func normalizeParallelism(p int) int {
 	return p
 }
 
-// WindowBatch runs one window query per rectangle, fanning the queries
-// across a worker pool. visit is called as visit(query, id, s) for every
-// segment s intersecting rects[query]; it may be invoked from several
-// goroutines at once (synchronize any shared state it touches) and
-// returning false cancels the whole batch. parallelism <= 0 uses
-// GOMAXPROCS workers.
+// WindowBatchCtx runs one window query per rectangle, fanning the
+// queries across a worker pool, and returns one QueryStats per
+// rectangle: stats[q] is exactly the cost of the window query over
+// rects[q], whichever worker ran it and whatever else was in flight.
+//
+// visit is called as visit(query, id, s) for every segment s
+// intersecting rects[query]; it may be invoked from several goroutines
+// at once (synchronize any shared state it touches) and returning false
+// cancels the whole batch (a nil error). Canceling ctx aborts every
+// in-flight query before its next page fetch and returns ctx's error;
+// queries not yet started never run, leaving their stats zero.
+// parallelism <= 0 uses GOMAXPROCS workers.
 //
 // The batch holds the database's reader lock, so it runs concurrently
 // with other queries but never with writes. Per-query result sets are
 // identical to sequential execution; the paper's counters (disk page
-// requests, segment comparisons, bounding box computations) total exactly
-// the same as a sequential replay, though the split of page requests into
-// pool hits versus misses depends on how the workers interleave.
-func (db *DB) WindowBatch(rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) error {
+// requests, segment comparisons, bounding box computations) total
+// exactly the same as a sequential replay, though the split of page
+// requests into pool hits versus misses depends on how the workers
+// interleave.
+func (db *DB) WindowBatchCtx(ctx context.Context, rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) ([]QueryStats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if len(rects) == 0 {
-		return nil
+		return nil, nil
 	}
-	workers := normalizeParallelism(parallelism)
-	if workers > len(rects) {
-		workers = len(rects)
-	}
-	if workers == 1 {
-		for q, r := range rects {
-			stop := false
-			err := db.index.Window(r, func(id SegmentID, s Segment) bool {
-				if !visit(q, id, s) {
-					stop = true
-					return false
-				}
-				return true
-			})
-			if err != nil || stop {
-				return err
+	stats := make([]QueryStats, len(rects))
+	var stop atomic.Bool // a visitor said stop; drain the remaining queries
+	err := parallelRange(len(rects), normalizeParallelism(parallelism), func(q int) error {
+		o := db.begin(ctx, qkWindowBatch)
+		canceled := false
+		werr := db.index.WindowObs(rects[q], func(id SegmentID, s Segment) bool {
+			if stop.Load() {
+				canceled = true
+				return false
 			}
+			if !visit(q, id, s) {
+				stop.Store(true)
+				canceled = true
+				return false
+			}
+			return true
+		}, o)
+		stats[q], _ = db.finish(qkWindowBatch, o, werr)
+		if werr != nil {
+			return werr
+		}
+		if canceled {
+			return ErrCanceled
 		}
 		return nil
+	})
+	if errors.Is(err, ErrCanceled) {
+		// The batch's own visitor stopped it; that is not a failure.
+		err = nil
 	}
-	var (
-		next     atomic.Int64 // next unclaimed rectangle
-		stop     atomic.Bool  // a worker failed or visit said stop
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !stop.Load() {
-				q := int(next.Add(1)) - 1
-				if q >= len(rects) {
-					return
-				}
-				err := db.index.Window(rects[q], func(id SegmentID, s Segment) bool {
-					if stop.Load() {
-						return false
-					}
-					if !visit(q, id, s) {
-						stop.Store(true)
-						return false
-					}
-					return true
-				})
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					stop.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return stats, err
+}
+
+// WindowBatch is WindowBatchCtx with a background context and the
+// per-query stats discarded.
+func (db *DB) WindowBatch(rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) error {
+	_, err := db.WindowBatchCtx(context.Background(), rects, parallelism, visit)
+	return err
 }
 
 // parallelRange fans the half-open range [0, n) across a worker pool,

@@ -285,46 +285,7 @@ func (t *Tree) Scan(lo, hi uint64, visit func(key uint64) bool) error {
 // ScanValues visits the keys in [lo, hi) with their payloads. The value
 // slice aliases an internal buffer valid only during the callback.
 func (t *Tree) ScanValues(lo, hi uint64, visit func(key uint64, val []byte) bool) error {
-	if hi <= lo {
-		return nil
-	}
-	// Descend to the leaf that would contain lo.
-	id := t.root
-	for level := t.height; level > 1; level-- {
-		n, _, err := t.getNode(id)
-		if err != nil {
-			return err
-		}
-		next := n.children[upperBound(n.keys, lo)]
-		t.pool.Unpin(id, false)
-		id = next
-	}
-	// Walk the leaf chain. A corrupted image could link the chain into a
-	// cycle; more hops than the disk has pages proves one.
-	hops := 0
-	for id != store.NilPage {
-		if hops++; hops > t.pool.Disk().PageCount() {
-			return fmt.Errorf("btree: leaf chain cycle detected after %d pages", hops-1)
-		}
-		n, _, err := t.getNode(id)
-		if err != nil {
-			return err
-		}
-		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
-			if n.keys[i] >= hi {
-				t.pool.Unpin(id, false)
-				return nil
-			}
-			if !visit(n.keys[i], n.val(i, t.valSize)) {
-				t.pool.Unpin(id, false)
-				return nil
-			}
-		}
-		next := n.next
-		t.pool.Unpin(id, false)
-		id = next
-	}
-	return nil
+	return t.ScanValuesObs(lo, hi, visit, nil)
 }
 
 // CountRange returns the number of keys in [lo, hi).

@@ -1,0 +1,91 @@
+package btree
+
+import (
+	"fmt"
+
+	"segdb/internal/obs"
+	"segdb/internal/store"
+)
+
+// This file holds the observed forms of the tree's read paths. Each is
+// the implementation; the context-free methods in btree.go delegate here
+// with a nil *obs.Op, which charges nothing and checks nothing.
+
+// getNodeObs is getNode with the page request charged to o and a
+// NodeVisit trace event on success.
+func (t *Tree) getNodeObs(id store.PageID, o *obs.Op) (*node, []byte, error) {
+	data, err := t.pool.GetObs(id, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := readNode(data, t.valSize)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return nil, nil, err
+	}
+	o.NodeVisit(uint32(id))
+	return n, data, nil
+}
+
+// ScanObs is Scan with per-query observation.
+func (t *Tree) ScanObs(lo, hi uint64, visit func(key uint64) bool, o *obs.Op) error {
+	return t.ScanValuesObs(lo, hi, func(k uint64, _ []byte) bool { return visit(k) }, o)
+}
+
+// ScanValuesObs is ScanValues with per-query observation: every page the
+// descent and the leaf-chain walk touch is charged to o, and a canceled
+// query context aborts the scan at the next page fetch.
+func (t *Tree) ScanValuesObs(lo, hi uint64, visit func(key uint64, val []byte) bool, o *obs.Op) error {
+	if hi <= lo {
+		return nil
+	}
+	// Descend to the leaf that would contain lo.
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, _, err := t.getNodeObs(id, o)
+		if err != nil {
+			return err
+		}
+		next := n.children[upperBound(n.keys, lo)]
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	// Walk the leaf chain. A corrupted image could link the chain into a
+	// cycle; more hops than the disk has pages proves one.
+	hops := 0
+	for id != store.NilPage {
+		if hops++; hops > t.pool.Disk().PageCount() {
+			return fmt.Errorf("btree: leaf chain cycle detected after %d pages", hops-1)
+		}
+		n, _, err := t.getNodeObs(id, o)
+		if err != nil {
+			return err
+		}
+		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
+			if n.keys[i] >= hi {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+			if !visit(n.keys[i], n.val(i, t.valSize)) {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+		}
+		next := n.next
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// CountRangeObs is CountRange with per-query observation.
+func (t *Tree) CountRangeObs(lo, hi uint64, o *obs.Op) (int, error) {
+	n := 0
+	err := t.ScanObs(lo, hi, func(uint64) bool { n++; return true }, o)
+	return n, err
+}
+
+// SeekLEObs is SeekLE with per-query observation.
+func (t *Tree) SeekLEObs(k uint64, o *obs.Op) (uint64, bool, error) {
+	return t.seekLE(t.root, t.height, k, o)
+}

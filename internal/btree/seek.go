@@ -1,17 +1,20 @@
 package btree
 
-import "segdb/internal/store"
+import (
+	"segdb/internal/obs"
+	"segdb/internal/store"
+)
 
 // SeekLE returns the largest key <= k, or ok=false when no such key
 // exists. It is the predecessor search that the linear quadtree's point
 // location relies on: the leaf block containing a point is found from the
 // predecessor of the point's full-resolution locational key.
 func (t *Tree) SeekLE(k uint64) (uint64, bool, error) {
-	return t.seekLE(t.root, t.height, k)
+	return t.seekLE(t.root, t.height, k, nil)
 }
 
-func (t *Tree) seekLE(id store.PageID, level int, k uint64) (uint64, bool, error) {
-	n, _, err := t.getNode(id)
+func (t *Tree) seekLE(id store.PageID, level int, k uint64, o *obs.Op) (uint64, bool, error) {
+	n, _, err := t.getNodeObs(id, o)
 	if err != nil {
 		return 0, false, err
 	}
@@ -30,7 +33,7 @@ func (t *Tree) seekLE(id store.PageID, level int, k uint64) (uint64, bool, error
 	// in it); fall back through the left siblings, whose keys are all
 	// below the separator and hence <= k.
 	for ; ci >= 0; ci-- {
-		v, ok, err := t.seekLE(children[ci], level-1, k)
+		v, ok, err := t.seekLE(children[ci], level-1, k, o)
 		if err != nil {
 			return 0, false, err
 		}

@@ -17,6 +17,7 @@ package core
 
 import (
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
@@ -39,6 +40,13 @@ type Index interface {
 	// stops early when visit returns false.
 	Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error
 
+	// WindowObs is Window with per-query observation: all disk, segment
+	// comparison, and node computation costs are charged to o in addition
+	// to the index's own counters, and a canceled query context aborts
+	// the traversal at the next page fetch with the context's error. A
+	// nil o makes it identical to Window.
+	WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error
+
 	// Nearest returns the segment closest (Euclidean distance) to p.
 	// found is false only when the index is empty.
 	Nearest(p geom.Point) (NearestResult, error)
@@ -47,6 +55,9 @@ type Index interface {
 	// from p (the incremental ranking of Hoel & Samet [11]). Fewer than k
 	// results means the index ran out of segments.
 	NearestK(p geom.Point, k int) ([]NearestResult, error)
+
+	// NearestKObs is NearestK with per-query observation (see WindowObs).
+	NearestKObs(p geom.Point, k int, o *obs.Op) ([]NearestResult, error)
 
 	// Table returns the segment table the index points into.
 	Table() *seg.Table
@@ -86,7 +97,12 @@ type NearestResult struct {
 
 // FirstNearest adapts NearestK to the single-neighbor Nearest contract.
 func FirstNearest(ix Index, p geom.Point) (NearestResult, error) {
-	res, err := ix.NearestK(p, 1)
+	return FirstNearestObs(ix, p, nil)
+}
+
+// FirstNearestObs is FirstNearest with per-query observation.
+func FirstNearestObs(ix Index, p geom.Point, o *obs.Op) (NearestResult, error) {
+	res, err := ix.NearestKObs(p, 1, o)
 	if err != nil || len(res) == 0 {
 		return NearestResult{}, err
 	}
@@ -158,4 +174,32 @@ func Measure(ix Index, f func() error) (Metrics, error) {
 	before := Snapshot(ix)
 	err := f()
 	return Snapshot(ix).Sub(before), err
+}
+
+// StatsSnapshot captures the same cumulative counters as Snapshot in the
+// per-query obs.Stats shape, splitting disk accesses into reads and
+// write-backs. Diffing two of these around a quiesced operation yields
+// the operation's cost in the same fields a query's own QueryStats uses.
+func StatsSnapshot(ix Index) obs.Stats {
+	ixStats, tabStats := ix.DiskStats(), ix.Table().DiskStats()
+	return obs.Stats{
+		DiskReads:    ixStats.Reads + tabStats.Reads,
+		DiskWrites:   ixStats.Writes + tabStats.Writes,
+		PoolHits:     ixStats.Hits + tabStats.Hits,
+		PoolRequests: ixStats.Requests() + tabStats.Requests(),
+		SegComps:     ix.Table().Comparisons(),
+		NodeComps:    ix.NodeComps(),
+	}
+}
+
+// MetricsOf converts a per-query stats record into the Metrics shape the
+// harness tabulates.
+func MetricsOf(s obs.Stats) Metrics {
+	return Metrics{
+		DiskAccesses: s.DiskAccesses(),
+		SegComps:     s.SegComps,
+		NodeComps:    s.NodeComps,
+		PoolHits:     s.PoolHits,
+		PoolRequests: s.PoolRequests,
+	}
 }

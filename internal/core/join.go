@@ -2,6 +2,7 @@ package core
 
 import (
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 )
 
@@ -21,15 +22,21 @@ import (
 // visit is called exactly once per unordered intersecting pair (idA from
 // a, idB from b); returning false stops the join.
 func JoinNestedLoop(a, b Index, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) error {
+	return JoinNestedLoopObs(a, b, visit, nil)
+}
+
+// JoinNestedLoopObs is JoinNestedLoop with per-query observation: the
+// outer table scan and every inner window probe charge o.
+func JoinNestedLoopObs(a, b Index, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool, o *obs.Op) error {
 	outer := a.Table()
 	for i := 0; i < outer.Len(); i++ {
 		idA := seg.ID(i)
-		sA, err := outer.Get(idA)
+		sA, err := outer.GetObs(idA, o)
 		if err != nil {
 			return err
 		}
 		stopped := false
-		err = b.Window(sA.Bounds(), func(idB seg.ID, sB geom.Segment) bool {
+		err = b.WindowObs(sA.Bounds(), func(idB seg.ID, sB geom.Segment) bool {
 			// Window guarantees sB intersects sA's bounding box; confirm
 			// the segments themselves intersect.
 			if !geom.SegmentsIntersect(sA, sB) {
@@ -40,7 +47,7 @@ func JoinNestedLoop(a, b Index, visit func(idA, idB seg.ID, sA, sB geom.Segment)
 				return false
 			}
 			return true
-		})
+		}, o)
 		if err != nil {
 			return err
 		}

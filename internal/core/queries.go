@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 )
 
@@ -17,19 +18,29 @@ import (
 // query (a degenerate window) followed by an endpoint check on each
 // reported segment.
 func IncidentAt(ix Index, p geom.Point, visit func(id seg.ID, s geom.Segment) bool) error {
+	return IncidentAtObs(ix, p, visit, nil)
+}
+
+// IncidentAtObs is IncidentAt with per-query observation.
+func IncidentAtObs(ix Index, p geom.Point, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
 	pt := geom.Rect{Min: p, Max: p}
-	return ix.Window(pt, func(id seg.ID, s geom.Segment) bool {
+	return ix.WindowObs(pt, func(id seg.ID, s geom.Segment) bool {
 		if !s.HasEndpoint(p) {
 			return true
 		}
 		return visit(id, s)
-	})
+	}, o)
 }
 
 // OtherEndpoint is query 2: given segment id and one of its endpoints p,
 // find all segments incident at the segment's other endpoint.
 func OtherEndpoint(ix Index, id seg.ID, p geom.Point, visit func(id seg.ID, s geom.Segment) bool) error {
-	s, err := ix.Table().Get(id)
+	return OtherEndpointObs(ix, id, p, visit, nil)
+}
+
+// OtherEndpointObs is OtherEndpoint with per-query observation.
+func OtherEndpointObs(ix Index, id seg.ID, p geom.Point, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
+	s, err := ix.Table().GetObs(id, o)
 	if err != nil {
 		return err
 	}
@@ -37,7 +48,7 @@ func OtherEndpoint(ix Index, id seg.ID, p geom.Point, visit func(id seg.ID, s ge
 	if !ok {
 		return fmt.Errorf("core: %v is not an endpoint of segment %d", p, id)
 	}
-	return IncidentAt(ix, other, visit)
+	return IncidentAtObs(ix, other, visit, o)
 }
 
 // Polygon is the result of query 4: the boundary of the face of the
@@ -59,7 +70,13 @@ const maxPolygonEdges = 1 << 20
 // boundary of the face containing p by repeated application of query 2,
 // choosing the next edge at each shared endpoint by angular order.
 func EnclosingPolygon(ix Index, p geom.Point) (Polygon, error) {
-	nr, err := ix.Nearest(p)
+	return EnclosingPolygonObs(ix, p, nil)
+}
+
+// EnclosingPolygonObs is EnclosingPolygon with per-query observation:
+// the nearest-line seed and every boundary-following probe charge o.
+func EnclosingPolygonObs(ix Index, p geom.Point, o *obs.Op) (Polygon, error) {
+	nr, err := FirstNearestObs(ix, p, o)
 	if err != nil {
 		return Polygon{}, err
 	}
@@ -80,7 +97,7 @@ func EnclosingPolygon(ix Index, p geom.Point) (Polygon, error) {
 		if len(poly.IDs) > maxPolygonEdges {
 			return Polygon{}, fmt.Errorf("core: polygon traversal from %v did not close", p)
 		}
-		nextID, nextSeg, err := nextBoundaryEdge(ix, curID, a, b)
+		nextID, nextSeg, err := nextBoundaryEdge(ix, curID, a, b, o)
 		if err != nil {
 			return Polygon{}, err
 		}
@@ -99,12 +116,12 @@ func EnclosingPolygon(ix Index, p geom.Point) (Polygon, error) {
 // when sweeping clockwise from the reverse direction b->a. If the vertex
 // is a dead end the reverse edge itself is returned and the traversal
 // doubles back.
-func nextBoundaryEdge(ix Index, curID seg.ID, a, b geom.Point) (seg.ID, geom.Segment, error) {
+func nextBoundaryEdge(ix Index, curID seg.ID, a, b geom.Point, o *obs.Op) (seg.ID, geom.Segment, error) {
 	refAngle := math.Atan2(float64(a.Y-b.Y), float64(a.X-b.X))
 	bestID := seg.NilID
 	var bestSeg geom.Segment
 	bestTurn := math.Inf(1)
-	err := IncidentAt(ix, b, func(id seg.ID, s geom.Segment) bool {
+	err := IncidentAtObs(ix, b, func(id seg.ID, s geom.Segment) bool {
 		out, _ := s.Other(b)
 		if id == curID && out == a {
 			return true // the reverse edge: only taken as a last resort
@@ -121,13 +138,13 @@ func nextBoundaryEdge(ix Index, curID seg.ID, a, b geom.Point) (seg.ID, geom.Seg
 			bestTurn, bestID, bestSeg = turn, id, s
 		}
 		return true
-	})
+	}, o)
 	if err != nil {
 		return seg.NilID, geom.Segment{}, err
 	}
 	if bestID == seg.NilID {
 		// Dead end: double back along the same segment.
-		s, err := ix.Table().Get(curID)
+		s, err := ix.Table().GetObs(curID, o)
 		if err != nil {
 			return seg.NilID, geom.Segment{}, err
 		}

@@ -18,6 +18,7 @@ import (
 	"segdb/internal/btree"
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
@@ -164,27 +165,39 @@ func (g *Grid) Delete(id seg.ID) error {
 	return nil
 }
 
+// comps charges n cell computations to both the grid's global counter
+// and the per-query sink.
+func (g *Grid) comps(o *obs.Op, n uint64) {
+	g.nodeComps.Add(n)
+	o.NodeComps(n)
+}
+
 // cellMembers returns the distinct segment ids stored in a cell.
-func (g *Grid) cellMembers(cx, cy int32) ([]seg.ID, error) {
+func (g *Grid) cellMembers(cx, cy int32, o *obs.Op) ([]seg.ID, error) {
 	lo := g.key(cx, cy, 0)
 	hi := lo + (1 << 32)
 	var out []seg.ID
-	err := g.bt.Scan(lo, hi, func(k uint64) bool {
+	err := g.bt.ScanObs(lo, hi, func(k uint64) bool {
 		out = append(out, seg.ID(k&0xffffffff))
 		return true
-	})
+	}, o)
 	return out, err
 }
 
 // Window visits every segment intersecting r exactly once.
 func (g *Grid) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	return g.WindowObs(r, visit, nil)
+}
+
+// WindowObs is Window with per-query observation.
+func (g *Grid) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
 	cx0, cy0 := g.cellOf(r.Min)
 	cx1, cy1 := g.cellOf(r.Max)
 	seen := make(map[seg.ID]struct{})
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			g.nodeComps.Add(1)
-			members, err := g.cellMembers(cx, cy)
+			g.comps(o, 1)
+			members, err := g.cellMembers(cx, cy, o)
 			if err != nil {
 				return err
 			}
@@ -192,7 +205,7 @@ func (g *Grid) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 				if _, dup := seen[id]; dup {
 					continue
 				}
-				s, err := g.table.Get(id)
+				s, err := g.table.GetObs(id, o)
 				if err != nil {
 					return err
 				}
@@ -241,6 +254,11 @@ func (g *Grid) Nearest(p geom.Point) (core.NearestResult, error) {
 // of cells are examined outward until the k-th best candidate provably
 // beats everything in unexamined rings.
 func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	return g.NearestKObs(p, k, nil)
+}
+
+// NearestKObs is NearestK with per-query observation.
+func (g *Grid) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
 	var out []core.NearestResult
 	q := &pq{}
 	seen := make(map[seg.ID]struct{})
@@ -249,8 +267,8 @@ func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 		if cx < 0 || cy < 0 || cx >= g.n || cy >= g.n {
 			return nil
 		}
-		g.nodeComps.Add(1)
-		members, err := g.cellMembers(cx, cy)
+		g.comps(o, 1)
+		members, err := g.cellMembers(cx, cy, o)
 		if err != nil {
 			return err
 		}
@@ -259,7 +277,7 @@ func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 				continue
 			}
 			seen[id] = struct{}{}
-			s, err := g.table.Get(id)
+			s, err := g.table.GetObs(id, o)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,95 @@
+package obs
+
+import "sync/atomic"
+
+// HistBuckets is the number of power-of-two buckets in a Histogram:
+// bucket i counts values v with 2^(i-1) <= v < 2^i (bucket 0 counts
+// zero), and the last bucket absorbs everything larger. 40 buckets span
+// a trillion — microsecond latencies up to ~18 minutes, or one disk
+// access up to 2^39.
+const HistBuckets = 40
+
+// Histogram is a lock-free log2-bucketed counter, cheap enough to record
+// into on every query completion. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index: 0 for v==0, otherwise
+// 1+floor(log2(v)), clamped to the last bucket.
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 0 {
+		b++
+		v >>= 1
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a Histogram: each
+// bucket is read atomically, so concurrent Records may straddle the
+// snapshot but no bucket value ever tears.
+type HistogramSnapshot struct {
+	// Buckets[0] counts zero observations; Buckets[i] counts values in
+	// [2^(i-1), 2^i).
+	Buckets [HistBuckets]uint64
+	// Count and Sum give the observation count and total (so Sum/Count
+	// is the mean).
+	Count uint64
+	Sum   uint64
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
+// top edge of the bucket containing that rank. Log2 buckets make this a
+// factor-of-two estimate, which is what a perf profile needs.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1) << uint(i) // top edge of bucket i
+		}
+	}
+	return uint64(1) << (HistBuckets - 1)
+}

@@ -1,0 +1,254 @@
+// Package obs is the per-query observability layer of the query API v2:
+// a stats sink (Op) threaded through every query path, a Tracer hook
+// interface for query lifecycle events, and lock-free histograms for the
+// facade's latency/disk-access profiles.
+//
+// The paper's evaluation is per-query accounting — disk accesses, segment
+// comparisons, and bounding box computations per window/nearest/polygon
+// query. The global atomic counters of the store and the indexes total
+// correctly under concurrency but cannot attribute cost to an individual
+// query once two overlap. An *Op rides along with one logical query and
+// receives exactly the charges that query causes, at the same sites that
+// charge the global counters, so the two accountings always reconcile:
+// with N concurrent queries, the sum of the N Op stats equals the global
+// counter deltas for every interleaving-independent total (segment
+// comparisons, node computations, pool page requests).
+//
+// A nil *Op is valid everywhere and charges nothing — the fast path for
+// legacy callers and for internal operations (inserts, integrity scans)
+// that only need the global totals.
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the cost of one query in the paper's currencies plus the
+// buffer-pool and wall-clock detail. It is the per-query analogue of the
+// database-wide Metrics snapshot.
+type Stats struct {
+	// DiskReads counts buffer-pool misses this query caused: pages
+	// fetched from the simulated disk.
+	DiskReads uint64
+	// DiskWrites counts dirty pages this query's fetches evicted and
+	// wrote back. Which query pays an eviction depends on cache state,
+	// so this field (like DiskReads alone) is interleaving-dependent.
+	DiskWrites uint64
+	// PoolHits counts page requests served from the buffer pools without
+	// touching the disk.
+	PoolHits uint64
+	// PoolRequests = PoolHits + DiskReads; the total does not depend on
+	// how concurrent queries interleave in the caches.
+	PoolRequests uint64
+	// SegComps counts fetches of segment geometry from the segment table
+	// — the paper's "segment comparisons".
+	SegComps uint64
+	// NodeComps counts bounding box (R-trees) or bounding bucket
+	// (PMR/grid) computations — the paper's third currency.
+	NodeComps uint64
+	// Wall is the elapsed wall-clock time of the query, filled in by
+	// Op.Finish.
+	Wall time.Duration
+}
+
+// DiskAccesses returns reads + writes, the paper's single "disk
+// accesses" figure.
+func (s Stats) DiskAccesses() uint64 { return s.DiskReads + s.DiskWrites }
+
+// Add returns the field-wise sum (wall times add too, giving total busy
+// time when summing over a batch).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		DiskReads:    s.DiskReads + o.DiskReads,
+		DiskWrites:   s.DiskWrites + o.DiskWrites,
+		PoolHits:     s.PoolHits + o.PoolHits,
+		PoolRequests: s.PoolRequests + o.PoolRequests,
+		SegComps:     s.SegComps + o.SegComps,
+		NodeComps:    s.NodeComps + o.NodeComps,
+		Wall:         s.Wall + o.Wall,
+	}
+}
+
+// Sub returns the field-wise difference (for diffing two cumulative
+// snapshots expressed as Stats).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		DiskReads:    s.DiskReads - o.DiskReads,
+		DiskWrites:   s.DiskWrites - o.DiskWrites,
+		PoolHits:     s.PoolHits - o.PoolHits,
+		PoolRequests: s.PoolRequests - o.PoolRequests,
+		SegComps:     s.SegComps - o.SegComps,
+		NodeComps:    s.NodeComps - o.NodeComps,
+		Wall:         s.Wall - o.Wall,
+	}
+}
+
+// QueryInfo identifies one logical query to a Tracer.
+type QueryInfo struct {
+	// ID is the database's monotonically increasing query sequence
+	// number.
+	ID uint64
+	// Kind names the query type ("window", "nearest", "nearestk",
+	// "incident", "otherendpoint", "polygon", "overlay", "windowbatch").
+	Kind string
+}
+
+// Op is the observation context of one in-flight query: the stats sink,
+// the cancellation source, and the tracer, threaded by the facade through
+// the index, the B-tree, the segment table, and the buffer pools.
+//
+// All counter methods are safe for concurrent use (a parallel overlay or
+// batch shares one Op across its workers) and are no-ops on a nil
+// receiver, so uninstrumented paths pay only a nil check.
+type Op struct {
+	info   QueryInfo
+	tracer Tracer
+	done   <-chan struct{} // non-nil only for cancellable contexts
+	ctx    context.Context
+	start  time.Time
+	end    time.Time
+
+	diskReads  atomic.Uint64
+	diskWrites atomic.Uint64
+	poolHits   atomic.Uint64
+	segComps   atomic.Uint64
+	nodeComps  atomic.Uint64
+}
+
+// Begin starts observing one query. ctx carries cancellation/deadline
+// (context.Background() disables the check at zero cost); tracer may be
+// nil. Begin emits the tracer's QueryStart event.
+func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
+	o := &Op{info: info, tracer: tracer, ctx: ctx, start: time.Now()}
+	if ctx != nil {
+		o.done = ctx.Done()
+	}
+	if tracer != nil {
+		tracer.QueryStart(info)
+	}
+	return o
+}
+
+// Info returns the query's identity.
+func (o *Op) Info() QueryInfo {
+	if o == nil {
+		return QueryInfo{}
+	}
+	return o.info
+}
+
+// Canceled returns the context's error once it has been canceled or its
+// deadline passed, and nil before then (and always nil on a nil Op or a
+// background context). The buffer pools call it before every page
+// request, which is what bounds a canceled query's overrun to a single
+// page fetch.
+func (o *Op) Canceled() error {
+	if o == nil || o.done == nil {
+		return nil
+	}
+	select {
+	case <-o.done:
+		return o.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// PoolHit charges one page request served from a buffer pool.
+func (o *Op) PoolHit() {
+	if o == nil {
+		return
+	}
+	o.poolHits.Add(1)
+}
+
+// PoolMiss charges one page request that went to the disk, emitting the
+// tracer's PageFault event.
+func (o *Op) PoolMiss(page uint32) {
+	if o == nil {
+		return
+	}
+	o.diskReads.Add(1)
+	if o.tracer != nil {
+		o.tracer.PageFault(o.info, page)
+	}
+}
+
+// DiskWrite charges one write-back this query's page fetch caused
+// (evicting a dirty frame).
+func (o *Op) DiskWrite() {
+	if o == nil {
+		return
+	}
+	o.diskWrites.Add(1)
+}
+
+// SegComps charges n segment comparisons (segment-table fetches).
+func (o *Op) SegComps(n uint64) {
+	if o == nil {
+		return
+	}
+	o.segComps.Add(n)
+}
+
+// NodeComps charges n bounding box / bucket computations.
+func (o *Op) NodeComps(n uint64) {
+	if o == nil {
+		return
+	}
+	o.nodeComps.Add(n)
+}
+
+// NodeVisit emits the tracer's NodeVisit event for one index node (an
+// R-tree node page or a B-tree page). It charges nothing; node traversal
+// cost is already visible as pool requests.
+func (o *Op) NodeVisit(page uint32) {
+	if o == nil || o.tracer == nil {
+		return
+	}
+	o.tracer.NodeVisit(o.info, page)
+}
+
+// Stats returns the charges so far. Wall is the time since Begin; after
+// Finish it is the final elapsed time.
+func (o *Op) Stats() Stats {
+	if o == nil {
+		return Stats{}
+	}
+	hits := o.poolHits.Load()
+	reads := o.diskReads.Load()
+	return Stats{
+		DiskReads:    reads,
+		DiskWrites:   o.diskWrites.Load(),
+		PoolHits:     hits,
+		PoolRequests: hits + reads,
+		SegComps:     o.segComps.Load(),
+		NodeComps:    o.nodeComps.Load(),
+		Wall:         o.wall(),
+	}
+}
+
+// wall returns the elapsed time, frozen by Finish.
+func (o *Op) wall() time.Duration {
+	if !o.end.IsZero() {
+		return o.end.Sub(o.start)
+	}
+	return time.Since(o.start)
+}
+
+// Finish freezes the wall clock, emits the tracer's QueryFinish event,
+// and returns the final stats. It must be called exactly once, after the
+// query's last charge.
+func (o *Op) Finish(err error) Stats {
+	if o == nil {
+		return Stats{}
+	}
+	o.end = time.Now()
+	st := o.Stats()
+	if o.tracer != nil {
+		o.tracer.QueryFinish(o.info, st, err)
+	}
+	return st
+}

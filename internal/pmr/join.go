@@ -2,6 +2,7 @@ package pmr
 
 import (
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 )
 
@@ -22,22 +23,32 @@ import (
 // visit is called exactly once per unordered intersecting pair; returning
 // false stops the join.
 func Join(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) error {
-	streamA, err := a.loadEntries()
+	return JoinObs(a, b, visit, nil)
+}
+
+// JoinObs is Join with per-query observation: both trees' sequential
+// scans, both tables' geometry loads, and the pair tests all charge o.
+// As in Join, block-containment and pair-test computations are counted
+// against tree a.
+func JoinObs(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool, o *obs.Op) error {
+	var examined uint64
+	defer func() { a.comps(o, examined) }()
+	streamA, err := a.loadEntries(o)
 	if err != nil {
 		return err
 	}
-	streamB, err := b.loadEntries()
+	streamB, err := b.loadEntries(o)
 	if err != nil {
 		return err
 	}
 	// Read each segment relation once, sequentially, up front. Fetching
 	// geometries lazily at block-arrival time would touch the tables in
 	// Z-order — random access — and dominate the join's page traffic.
-	geomsA, err := a.loadGeometries()
+	geomsA, err := a.loadGeometries(o)
 	if err != nil {
 		return err
 	}
-	geomsB, err := b.loadGeometries()
+	geomsB, err := b.loadGeometries(o)
 	if err != nil {
 		return err
 	}
@@ -64,7 +75,7 @@ func Join(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) err
 				if _, dup := reported[pk]; dup {
 					continue
 				}
-				a.nodeComps.Add(1)
+				examined++
 				if !geom.SegmentsIntersect(ga, gb) {
 					continue
 				}
@@ -107,7 +118,7 @@ func Join(a, b *Tree, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool) err
 		for _, st := range []*[]activeBlock{own, other} {
 			for len(*st) > 0 {
 				top := (*st)[len(*st)-1]
-				a.nodeComps.Add(1)
+				examined++
 				if top.code.Contains(code) {
 					break
 				}
@@ -134,10 +145,10 @@ type joinSeg struct {
 }
 
 // loadGeometries reads the segment table once in storage order.
-func (t *Tree) loadGeometries() ([]geom.Segment, error) {
+func (t *Tree) loadGeometries(o *obs.Op) ([]geom.Segment, error) {
 	out := make([]geom.Segment, t.table.Len())
 	for i := range out {
-		s, err := t.table.Get(seg.ID(i))
+		s, err := t.table.GetObs(seg.ID(i), o)
 		if err != nil {
 			return nil, err
 		}
@@ -147,12 +158,12 @@ func (t *Tree) loadGeometries() ([]geom.Segment, error) {
 }
 
 // loadEntries reads the full linear representation sequentially.
-func (t *Tree) loadEntries() ([]joinEntry, error) {
+func (t *Tree) loadEntries(o *obs.Op) ([]joinEntry, error) {
 	lo, hi := blockRange(geom.RootCode())
 	out := make([]joinEntry, 0, t.bt.Len())
-	err := t.bt.Scan(lo, hi, func(k uint64) bool {
+	err := t.bt.ScanObs(lo, hi, func(k uint64) bool {
 		out = append(out, joinEntry{key: k})
 		return true
-	})
+	}, o)
 	return out, err
 }

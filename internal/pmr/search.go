@@ -5,8 +5,20 @@ import (
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/seg"
 )
+
+// comps charges n bounding bucket computations to both the tree's global
+// counter and the per-query sink. Scan loops accumulate counts locally
+// and flush once per call to keep atomic traffic off the hot path.
+func (t *Tree) comps(o *obs.Op, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.nodeComps.Add(n)
+	o.NodeComps(n)
+}
 
 // Window visits every segment intersecting r exactly once. Like the
 // data-driven window decomposition of Aref & Samet used in the paper's
@@ -19,8 +31,13 @@ import (
 // locational key, as QUILT's linear quadtree does: a single bucket
 // computation instead of a quadrant descent.
 func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	return t.WindowObs(r, visit, nil)
+}
+
+// WindowObs is Window with per-query observation.
+func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
 	if r.Min == r.Max {
-		return t.pointQuery(r.Min, visit)
+		return t.pointQuery(r.Min, visit, o)
 	}
 	// Depth of the smallest aligned blocks at least as large as the
 	// window: the window then intersects at most 2 blocks per axis, each
@@ -50,7 +67,7 @@ func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 		scannedCover[cover] = struct{}{}
 		// A leaf larger than the cover block would not appear in the
 		// cover's key range; point location on the corner finds it.
-		leaf, ok, err := t.Locate(corner)
+		leaf, ok, err := t.locate(corner, o)
 		if err != nil {
 			return err
 		}
@@ -59,13 +76,13 @@ func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 				continue
 			}
 			scannedLeaf[leaf] = struct{}{}
-			cont, err := t.scanBlockEntries(leaf, r, seen, visit)
+			cont, err := t.scanBlockEntries(leaf, r, seen, visit, o)
 			if err != nil || !cont {
 				return err
 			}
 			continue
 		}
-		cont, err := t.scanBlockEntries(cover, r, seen, visit)
+		cont, err := t.scanBlockEntries(cover, r, seen, visit, o)
 		if err != nil || !cont {
 			return err
 		}
@@ -77,16 +94,18 @@ func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 // block whose own block intersects r. One bucket computation is charged
 // per distinct stored block encountered; one segment comparison per
 // candidate segment fetched.
-func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool) (bool, error) {
+func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool, o *obs.Op) (bool, error) {
 	lo, hi := blockRange(c)
 	var members []seg.ID
 	var lastBlock geom.Code
+	var examined uint64
+	defer func() { t.comps(o, examined) }()
 	blockHits, haveBlock := false, false
-	if err := t.bt.ScanValues(lo, hi, func(k uint64, v []byte) bool {
+	if err := t.bt.ScanValuesObs(lo, hi, func(k uint64, v []byte) bool {
 		bc := keyCode(k)
 		if !haveBlock || bc != lastBlock {
 			lastBlock, haveBlock = bc, true
-			t.nodeComps.Add(1)
+			examined++
 			blockHits = bc.Block().Intersects(r)
 		}
 		if !blockHits {
@@ -95,21 +114,21 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		// In the StoreMBR variant the stored q-edge rectangle rejects
 		// candidates without a segment-table fetch.
 		if qr, ok := decodeQEdgeRect(bc, v); ok {
-			t.nodeComps.Add(1)
+			examined++
 			if !qr.Intersects(r) {
 				return true
 			}
 		}
 		members = append(members, keySeg(k))
 		return true
-	}); err != nil {
+	}, o); err != nil {
 		return false, err
 	}
 	for _, id := range members {
 		if _, dup := seen[id]; dup {
 			continue
 		}
-		s, err := t.table.Get(id)
+		s, err := t.table.GetObs(id, o)
 		if err != nil {
 			return false, err
 		}
@@ -128,10 +147,15 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 // single predecessor search on the locational keys. Empty regions (not
 // represented in a linear quadtree) report ok=false.
 func (t *Tree) Locate(p geom.Point) (geom.Code, bool, error) {
+	return t.locate(p, nil)
+}
+
+// locate is Locate with per-query observation.
+func (t *Tree) locate(p geom.Point, o *obs.Op) (geom.Code, bool, error) {
 	full := geom.MakeCode(p, geom.MaxDepth)
 	mlo, _ := full.MortonRange()
 	probe := mlo<<36 | uint64(geom.MaxDepth)<<32 | 0xffffffff
-	k, ok, err := t.bt.SeekLE(probe)
+	k, ok, err := t.bt.SeekLEObs(probe, o)
 	if err != nil || !ok {
 		return 0, false, err
 	}
@@ -139,35 +163,37 @@ func (t *Tree) Locate(p geom.Point) (geom.Code, bool, error) {
 	// One bounding bucket computation: does the predecessor's block
 	// contain the point? (Occupied blocks form an antichain, so if any
 	// occupied block contains p it is the predecessor's.)
-	t.nodeComps.Add(1)
+	t.comps(o, 1)
 	if !c.Block().ContainsPoint(p) {
 		return 0, false, nil
 	}
 	return c, true, nil
 }
 
-func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool) error {
-	c, ok, err := t.Locate(p)
+func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o *obs.Op) error {
+	c, ok, err := t.locate(p, o)
 	if err != nil || !ok {
 		return err
 	}
 	exLo, exHi := exactRange(c)
 	var members []seg.ID
-	if err := t.bt.ScanValues(exLo, exHi, func(k uint64, v []byte) bool {
+	var examined uint64
+	defer func() { t.comps(o, examined) }()
+	if err := t.bt.ScanValuesObs(exLo, exHi, func(k uint64, v []byte) bool {
 		if qr, ok := decodeQEdgeRect(c, v); ok {
-			t.nodeComps.Add(1)
+			examined++
 			if !qr.ContainsPoint(p) {
 				return true
 			}
 		}
 		members = append(members, keySeg(k))
 		return true
-	}); err != nil {
+	}, o); err != nil {
 		return err
 	}
 	pt := geom.Rect{Min: p, Max: p}
 	for _, id := range members {
-		s, err := t.table.Get(id)
+		s, err := t.table.GetObs(id, o)
 		if err != nil {
 			return err
 		}
@@ -243,7 +269,14 @@ func (t *Tree) Nearest(p geom.Point) (core.NearestResult, error) {
 // continuing the same incremental search until k neighbors have been
 // ranked.
 func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	return t.NearestKObs(p, k, nil)
+}
+
+// NearestKObs is NearestK with per-query observation.
+func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
 	var out []core.NearestResult
+	var examined uint64
+	defer func() { t.comps(o, examined) }()
 	q := &pq{}
 	// Seed the queue from the leaf block containing p (one predecessor
 	// search) plus the unexplored siblings along its ancestor path. In
@@ -253,7 +286,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 	// is why the PMR quadtree wins this query in the paper. When p falls
 	// in unoccupied space (common for one-stage points) the search falls
 	// back to a full top-down descent.
-	if leaf, ok, err := t.Locate(p); err != nil {
+	if leaf, ok, err := t.locate(p, o); err != nil {
 		return nil, err
 	} else if ok {
 		heap.Push(q, pqItem{distSq: 0, kind: pqBucket, code: leaf})
@@ -264,7 +297,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 				if sib == c {
 					continue
 				}
-				t.nodeComps.Add(1)
+				examined++
 				heap.Push(q, pqItem{distSq: sib.Block().DistSqToPoint(p), kind: pqRegion, code: sib})
 			}
 		}
@@ -289,12 +322,12 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			// prefetched keys; scan its exact range.
 			if it.members == nil {
 				exLo, exHi := exactRange(it.code)
-				if err := t.bt.ScanValues(exLo, exHi, func(k uint64, v []byte) bool {
+				if err := t.bt.ScanValuesObs(exLo, exHi, func(k uint64, v []byte) bool {
 					ref := qedgeRef{id: keySeg(k)}
 					ref.rect, ref.hasRect = decodeQEdgeRect(it.code, v)
 					it.members = append(it.members, ref)
 					return true
-				}); err != nil {
+				}, o); err != nil {
 					return nil, err
 				}
 			}
@@ -307,7 +340,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 					if _, dup := seen[ref.id]; dup {
 						continue
 					}
-					t.nodeComps.Add(1)
+					examined++
 					heap.Push(q, pqItem{
 						distSq: ref.rect.DistSqToPoint(p),
 						kind:   pqEdge,
@@ -319,7 +352,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 					continue
 				}
 				seen[ref.id] = struct{}{}
-				s, err := t.table.Get(ref.id)
+				s, err := t.table.GetObs(ref.id, o)
 				if err != nil {
 					return nil, err
 				}
@@ -336,7 +369,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 				continue
 			}
 			seen[it.id] = struct{}{}
-			s, err := t.table.Get(it.id)
+			s, err := t.table.GetObs(it.id, o)
 			if err != nil {
 				return nil, err
 			}
@@ -363,7 +396,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			}
 			var groups []blockGroup
 			count := 0
-			if err := t.bt.ScanValues(lo, hi, func(k uint64, v []byte) bool {
+			if err := t.bt.ScanValuesObs(lo, hi, func(k uint64, v []byte) bool {
 				count++
 				bc := keyCode(k)
 				if len(groups) == 0 || groups[len(groups)-1].code != bc {
@@ -374,13 +407,13 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 				ref.rect, ref.hasRect = decodeQEdgeRect(bc, v)
 				g.members = append(g.members, ref)
 				return count <= limit
-			}); err != nil {
+			}, o); err != nil {
 				return nil, err
 			}
 			if count > limit {
 				for qd := 0; qd < 4; qd++ {
 					child := it.code.Child(qd)
-					t.nodeComps.Add(1)
+					examined++
 					heap.Push(q, pqItem{distSq: child.Block().DistSqToPoint(p), kind: pqRegion, code: child})
 				}
 				continue
@@ -388,7 +421,7 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			// Defer each leaf block as a bucket ordered by its distance;
 			// its segments are fetched only if the bucket is reached.
 			for _, g := range groups {
-				t.nodeComps.Add(1)
+				examined++
 				heap.Push(q, pqItem{
 					distSq:  g.code.Block().DistSqToPoint(p),
 					kind:    pqBucket,

@@ -5,26 +5,63 @@ import (
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/obs"
+	"segdb/internal/rpage"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
+
+// readNodeObs is readNode with the page request charged to o and a
+// NodeVisit trace event on success.
+func (t *Tree) readNodeObs(id store.PageID, o *obs.Op) (*rpage.Node, error) {
+	data, err := t.pool.GetObs(id, o)
+	if err != nil {
+		return nil, err
+	}
+	n, err := rpage.Read(data)
+	t.pool.Unpin(id, false)
+	if err == nil {
+		o.NodeVisit(uint32(id))
+	}
+	return n, err
+}
+
+// comps charges n bounding box computations to both the tree's global
+// counter and the per-query sink. Search loops accumulate counts locally
+// and flush once per query: two atomic adds total instead of two per
+// entry examined, which keeps the observability overhead off the hot
+// path.
+func (t *Tree) comps(o *obs.Op, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.nodeComps.Add(n)
+	o.NodeComps(n)
+}
 
 // Window visits every segment intersecting r exactly once. Because the
 // R+-tree stores a segment in every leaf it crosses, duplicates are
 // suppressed with a per-query set.
 func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) error {
+	return t.WindowObs(r, visit, nil)
+}
+
+// WindowObs is Window with per-query observation.
+func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
 	seen := make(map[seg.ID]struct{})
-	_, err := t.window(t.root, r, seen, visit)
+	var examined uint64
+	_, err := t.window(t.root, r, seen, visit, o, &examined)
+	t.comps(o, examined)
 	return err
 }
 
-func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool) (bool, error) {
-	n, err := t.readNode(id)
+func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool, o *obs.Op, examined *uint64) (bool, error) {
+	n, err := t.readNodeObs(id, o)
 	if err != nil {
 		return false, err
 	}
 	for _, e := range n.Entries {
-		t.nodeComps.Add(1)
+		*examined++
 		if !e.Rect.Intersects(r) {
 			continue
 		}
@@ -33,7 +70,7 @@ func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, vi
 			if _, dup := seen[sid]; dup {
 				continue
 			}
-			s, err := t.table.Get(sid)
+			s, err := t.table.GetObs(sid, o)
 			if err != nil {
 				return false, err
 			}
@@ -46,7 +83,7 @@ func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, vi
 			}
 			continue
 		}
-		cont, err := t.window(store.PageID(e.Ptr), r, seen, visit)
+		cont, err := t.window(store.PageID(e.Ptr), r, seen, visit, o, examined)
 		if err != nil || !cont {
 			return cont, err
 		}
@@ -85,7 +122,14 @@ func (t *Tree) Nearest(p geom.Point) (core.NearestResult, error) {
 
 // NearestK returns up to k segments in increasing distance from p.
 func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
+	return t.NearestKObs(p, k, nil)
+}
+
+// NearestKObs is NearestK with per-query observation.
+func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
 	var out []core.NearestResult
+	var examined uint64
+	defer func() { t.comps(o, examined) }()
 	q := &pq{{distSq: 0, ptr: uint32(t.root)}}
 	seen := make(map[seg.ID]struct{})
 	for q.Len() > 0 && len(out) < k {
@@ -99,19 +143,19 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 			})
 			continue
 		}
-		n, err := t.readNode(store.PageID(it.ptr))
+		n, err := t.readNodeObs(store.PageID(it.ptr), o)
 		if err != nil {
 			return nil, err
 		}
 		for _, e := range n.Entries {
-			t.nodeComps.Add(1)
+			examined++
 			if n.Leaf {
 				sid := seg.ID(e.Ptr)
 				if _, dup := seen[sid]; dup {
 					continue
 				}
 				seen[sid] = struct{}{}
-				s, err := t.table.Get(sid)
+				s, err := t.table.GetObs(sid, o)
 				if err != nil {
 					return nil, err
 				}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/store"
 )
 
@@ -113,13 +114,21 @@ func (t *Table) Append(s geom.Segment) (ID, error) {
 
 // Get fetches a segment's endpoints, counting one segment comparison.
 func (t *Table) Get(id ID) (geom.Segment, error) {
+	return t.GetObs(id, nil)
+}
+
+// GetObs is Get with per-query observation: the segment comparison and
+// the underlying page request are charged to o as well as to the table's
+// own counters. A nil o makes this identical to Get.
+func (t *Table) GetObs(id ID, o *obs.Op) (geom.Segment, error) {
 	if int(id) >= t.count {
 		return geom.Segment{}, fmt.Errorf("seg: id %d out of range (%d segments)", id, t.count)
 	}
 	t.fetches.Add(1)
+	o.SegComps(1)
 	pid := store.PageID(int(id) / t.perPage)
 	slot := int(id) % t.perPage
-	data, err := t.pool.Get(pid)
+	data, err := t.pool.GetObs(pid, o)
 	if err != nil {
 		return geom.Segment{}, err
 	}

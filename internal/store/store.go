@@ -29,6 +29,8 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+
+	"segdb/internal/obs"
 )
 
 // Default configuration used throughout the paper's main experiments.
@@ -376,7 +378,7 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 	id := p.disk.allocate()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	f, err := p.install(id, false)
+	f, err := p.install(id, false, nil)
 	if err != nil {
 		p.disk.release(id)
 		return NilPage, nil, err
@@ -390,21 +392,36 @@ func (p *Pool) Allocate() (PageID, []byte, error) {
 // frame: it is valid until Unpin, and writes to it must be followed by
 // Unpin(id, true) (or MarkDirty) to be persisted.
 func (p *Pool) Get(id PageID) ([]byte, error) {
+	return p.GetObs(id, nil)
+}
+
+// GetObs is Get with per-query observation. The page request is charged
+// to o (hit or miss, plus any dirty write-back the miss's eviction
+// causes) as well as to the pool's own counters, and a canceled query
+// context aborts before the request is served — the page fetch is the
+// cancellation granularity of the whole query layer. A nil o makes this
+// identical to Get.
+func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 	if id == NilPage {
 		return nil, fmt.Errorf("store: get of nil page: %w", ErrBadPage)
+	}
+	if err := o.Canceled(); err != nil {
+		return nil, err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if f, ok := p.frames[id]; ok {
 		p.hits.Add(1)
+		o.PoolHit()
 		p.touch(f)
 		f.pins++
 		return f.data, nil
 	}
-	f, err := p.install(id, true)
+	f, err := p.install(id, true, o)
 	if err != nil {
 		return nil, err
 	}
+	o.PoolMiss(uint32(id))
 	f.pins++
 	return f.data, nil
 }
@@ -500,11 +517,11 @@ func (p *Pool) DropAll() error {
 	return nil
 }
 
-// install brings a page into the pool, evicting if necessary. The pool
-// latch must be held.
-func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
+// install brings a page into the pool, evicting if necessary, charging
+// any eviction write-back to o. The pool latch must be held.
+func (p *Pool) install(id PageID, readFromDisk bool, o *obs.Op) (*frame, error) {
 	if len(p.frames) >= p.capacity {
-		if err := p.evictOne(); err != nil {
+		if err := p.evictOne(o); err != nil {
 			return nil, err
 		}
 	}
@@ -519,9 +536,9 @@ func (p *Pool) install(id PageID, readFromDisk bool) (*frame, error) {
 	return f, nil
 }
 
-// evictOne removes the least recently used unpinned frame. The pool latch
-// must be held.
-func (p *Pool) evictOne() error {
+// evictOne removes the least recently used unpinned frame, charging a
+// dirty victim's write-back to o. The pool latch must be held.
+func (p *Pool) evictOne(o *obs.Op) error {
 	for f := p.tail; f != nil; f = f.prev {
 		if f.pins > 0 {
 			continue
@@ -530,6 +547,7 @@ func (p *Pool) evictOne() error {
 			if err := p.disk.write(f.id, f.data); err != nil {
 				return err
 			}
+			o.DiskWrite()
 		}
 		p.unlink(f)
 		delete(p.frames, f.id)

@@ -1,8 +1,12 @@
 package segdb
 
 import (
+	"context"
+	"errors"
+
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/obs"
 	"segdb/internal/pmr"
 	"segdb/internal/seg"
 )
@@ -28,64 +32,62 @@ func rlockPair(a, b *DB) func() {
 	}
 }
 
-// Overlay finds every pair of intersecting segments between two databases
-// — the map-overlay composition that §7 of the paper singles out as the
-// PMR quadtree's strength: because its decomposition lines are always in
-// the same positions, two PMR-backed databases are joined by a
-// synchronized sequential merge of their linear quadtrees. Any other
-// combination of index kinds falls back to an index nested-loop join
-// (each outer segment probes the inner index with a window query).
+// OverlayCtx finds every pair of intersecting segments between two
+// databases — the map-overlay composition that §7 of the paper singles
+// out as the PMR quadtree's strength: with parallelism 1 and both
+// databases PMR quadtrees, they are joined by a synchronized sequential
+// merge of their linear quadtrees (the merge is inherently sequential,
+// so parallel requests always take the fan-out path). Any other
+// combination falls back to an index nested-loop join — each outer
+// segment of db probes other's index with a window query — whose outer
+// segments are fanned across parallelism workers (<= 0 means
+// GOMAXPROCS).
 //
 // visit receives the two segment IDs (first from db, second from other)
-// and their geometries, once per unordered intersecting pair; returning
-// false stops the overlay early. Overlay holds both databases' reader
-// locks, so it runs concurrently with queries but never with writes.
-func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+// and their geometries, once per unordered intersecting pair; with
+// parallelism > 1 it may be invoked from several goroutines at once and
+// pairs arrive in no particular order. Returning false stops the
+// overlay early with a nil error. Canceling ctx aborts the join before
+// its next page fetch and returns ctx's error.
+//
+// The returned QueryStats is the whole join's cost (all workers charge
+// the one operation; the counter totals are those of a sequential
+// join). The stats are attributed to db's profile under kind "overlay".
+// OverlayCtx holds both databases' reader locks, so it runs
+// concurrently with queries but never with writes.
+func (db *DB) OverlayCtx(ctx context.Context, other *DB, parallelism int, visit func(idA, idB SegmentID, sA, sB Segment) bool) (QueryStats, error) {
 	unlock := rlockPair(db, other)
 	defer unlock()
-	if a, ok := db.index.(*pmr.Tree); ok {
-		if b, ok := other.index.(*pmr.Tree); ok {
-			return pmr.Join(a, b, visit)
-		}
+	o := db.begin(ctx, qkOverlay)
+	err := db.overlayObs(other, normalizeParallelism(parallelism), visit, o)
+	if errors.Is(err, ErrCanceled) {
+		// The visitor stopped the join; that is not a failure.
+		err = nil
 	}
-	return core.JoinNestedLoop(db.index, other.index, visit)
+	return db.finish(qkOverlay, o, err)
 }
 
-// OverlayParallel is Overlay with the nested-loop join's outer segments
-// fanned across a worker pool: each worker claims outer segments of db
-// and probes other's index with a window query, so the join's wall-clock
-// cost drops near-linearly with parallelism on multi-core hosts while
-// the counter totals stay those of a sequential join.
-//
-// visit may be invoked from several goroutines at once (synchronize any
-// shared state it touches); pairs arrive in no particular order, and
-// returning false cancels the join. parallelism <= 0 uses GOMAXPROCS
-// workers. When both databases are PMR quadtrees and parallelism is 1
-// the synchronized linear-quadtree merge is used instead, as in Overlay
-// — the merge is inherently sequential, so parallel requests always take
-// the fan-out path.
-func (db *DB) OverlayParallel(other *DB, parallelism int, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
-	unlock := rlockPair(db, other)
-	defer unlock()
-	workers := normalizeParallelism(parallelism)
+// overlayObs runs the join under the already-held pair of reader locks,
+// charging o.
+func (db *DB) overlayObs(other *DB, workers int, visit func(idA, idB SegmentID, sA, sB Segment) bool, o *obs.Op) error {
 	if workers == 1 {
 		if a, ok := db.index.(*pmr.Tree); ok {
 			if b, ok := other.index.(*pmr.Tree); ok {
-				return pmr.Join(a, b, visit)
+				return pmr.JoinObs(a, b, visit, o)
 			}
 		}
-		return core.JoinNestedLoop(db.index, other.index, visit)
+		return core.JoinNestedLoopObs(db.index, other.index, visit, o)
 	}
 	outer := db.index.Table()
 	inner := other.index
-	err := parallelRange(outer.Len(), workers, func(i int) error {
+	return parallelRange(outer.Len(), workers, func(i int) error {
 		idA := seg.ID(i)
-		sA, err := outer.Get(idA)
+		sA, err := outer.GetObs(idA, o)
 		if err != nil {
 			return err
 		}
 		canceled := false
-		err = inner.Window(sA.Bounds(), func(idB SegmentID, sB Segment) bool {
+		err = inner.WindowObs(sA.Bounds(), func(idB SegmentID, sB Segment) bool {
 			// Window guarantees sB intersects sA's bounding box; confirm
 			// the segments themselves intersect.
 			if !geom.SegmentsIntersect(sA, sB) {
@@ -96,26 +98,30 @@ func (db *DB) OverlayParallel(other *DB, parallelism int, visit func(idA, idB Se
 				return false
 			}
 			return true
-		})
+		}, o)
 		if err != nil {
 			return err
 		}
 		if canceled {
-			return errJoinCanceled
+			return ErrCanceled
 		}
 		return nil
 	})
-	if err == errJoinCanceled {
-		// The visitor stopped the join; that is not a failure.
-		return nil
-	}
+}
+
+// Overlay is OverlayCtx with a background context, parallelism 1, and
+// the stats discarded — the sequential overlay of the paper's §7.
+func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+	_, err := db.OverlayCtx(context.Background(), other, 1, visit)
 	return err
 }
 
-// errJoinCanceled threads "visit returned false" through parallelRange's
-// error channel; OverlayParallel translates it back to a nil return.
-var errJoinCanceled = canceledError{}
-
-type canceledError struct{}
-
-func (canceledError) Error() string { return "segdb: join canceled by visitor" }
+// OverlayParallel is OverlayCtx with a background context and the stats
+// discarded: the nested-loop join's outer segments are fanned across a
+// worker pool, so the join's wall-clock cost drops near-linearly with
+// parallelism on multi-core hosts while the counter totals stay those
+// of a sequential join.
+func (db *DB) OverlayParallel(other *DB, parallelism int, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
+	_, err := db.OverlayCtx(context.Background(), other, parallelism, visit)
+	return err
+}

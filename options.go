@@ -1,0 +1,98 @@
+package segdb
+
+import "segdb/internal/store"
+
+// Option configures Open. Options compose left to right:
+//
+//	db, err := segdb.Open(segdb.PMRQuadtree,
+//	    segdb.WithPageSize(2048),
+//	    segdb.WithPoolPages(64),
+//	    segdb.WithTracer(segdb.NewJSONLTracer(f)))
+//
+// The pre-v2 call forms still compile and behave identically, because
+// *Options itself satisfies Option: Open(kind, nil) and
+// Open(kind, &Options{...}) remain valid (deprecated) spellings.
+type Option interface {
+	apply(*Options)
+}
+
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// apply makes *Options an Option, keeping the old Open(kind, *Options)
+// signature compiling: the whole struct is copied in, zero fields
+// selecting defaults exactly as withDefaults once did.
+//
+// Deprecated: pass individual With* options instead of an Options
+// struct.
+func (o *Options) apply(dst *Options) {
+	if o != nil {
+		*dst = *o
+	}
+}
+
+// WithPageSize sets the disk page size in bytes (default 1024, the
+// paper's configuration).
+func WithPageSize(n int) Option {
+	return optionFunc(func(o *Options) { o.PageSize = n })
+}
+
+// WithPoolPages sets the buffer pool capacity in pages (default 16).
+func WithPoolPages(n int) Option {
+	return optionFunc(func(o *Options) { o.PoolPages = n })
+}
+
+// WithPMRThreshold sets the PMR quadtree splitting threshold
+// (default 4).
+func WithPMRThreshold(n int) Option {
+	return optionFunc(func(o *Options) { o.PMRThreshold = n })
+}
+
+// WithPMRStoreMBR enables the PMR "3-tuple" variant that stores a small
+// bounding rectangle with every q-edge.
+func WithPMRStoreMBR(enabled bool) Option {
+	return optionFunc(func(o *Options) { o.PMRStoreMBR = enabled })
+}
+
+// WithGridCells sets the uniform grid resolution per side (default 64).
+func WithGridCells(n int32) Option {
+	return optionFunc(func(o *Options) { o.GridCells = n })
+}
+
+// WithFaultPolicy attaches a fault-injection policy to both of the
+// database's simulated disks at open time (equivalent to calling
+// SetFaultPolicy immediately after Open).
+func WithFaultPolicy(p *FaultPolicy) Option {
+	return optionFunc(func(o *Options) { o.FaultPolicy = p })
+}
+
+// WithTracer installs a query tracer at open time (equivalent to
+// calling SetTracer immediately after Open).
+func WithTracer(t Tracer) Option {
+	return optionFunc(func(o *Options) { o.Tracer = t })
+}
+
+// resolveOptions folds the options over a zero Options and fills in the
+// paper's defaults for fields left at zero.
+func resolveOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt.apply(&o)
+		}
+	}
+	if o.PageSize == 0 {
+		o.PageSize = store.DefaultPageSize
+	}
+	if o.PoolPages == 0 {
+		o.PoolPages = store.DefaultPoolPages
+	}
+	if o.PMRThreshold == 0 {
+		o.PMRThreshold = 4
+	}
+	if o.GridCells == 0 {
+		o.GridCells = 64
+	}
+	return o
+}

@@ -160,7 +160,9 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("segdb: index image page size %d, header says %d", disk.PageSize(), opts.PageSize)
 	}
 	pool := store.NewPool(disk, opts.PoolPages)
-	db := &DB{kind: kind, table: table, opts: opts, pool: pool}
+	// The sequence number fixes the lock order for two-DB overlays; a
+	// loaded DB needs one just like a freshly opened one.
+	db := &DB{seq: dbSeq.Add(1), kind: kind, table: table, opts: opts, pool: pool}
 	switch kind {
 	case RStarTree, ClassicRTree:
 		cfg := rstar.DefaultConfig()

@@ -1,0 +1,95 @@
+package segdb
+
+import (
+	"sync/atomic"
+
+	"segdb/internal/obs"
+)
+
+// queryKind indexes the per-kind profile slots.
+type queryKind int
+
+const (
+	qkWindow queryKind = iota
+	qkNearest
+	qkNearestK
+	qkIncidentAt
+	qkOtherEndpoint
+	qkEnclosingPolygon
+	qkOverlay
+	qkWindowBatch
+	numQueryKinds
+)
+
+var queryKindNames = [numQueryKinds]string{
+	qkWindow:           "window",
+	qkNearest:          "nearest",
+	qkNearestK:         "nearestk",
+	qkIncidentAt:       "incident",
+	qkOtherEndpoint:    "otherendpoint",
+	qkEnclosingPolygon: "polygon",
+	qkOverlay:          "overlay",
+	qkWindowBatch:      "windowbatch",
+}
+
+// String returns the kind name used in QueryInfo.Kind and Profile.
+func (k queryKind) String() string { return queryKindNames[k] }
+
+// kindProfile accumulates one query kind's counts and histograms. All
+// fields are atomic: queries fold themselves in concurrently with no
+// extra locking.
+type kindProfile struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	latency obs.Histogram // wall time, microseconds
+	disk    obs.Histogram // disk accesses (reads + write-backs)
+}
+
+// QueryKindProfile is one query kind's aggregate in a Profile snapshot.
+type QueryKindProfile struct {
+	// Kind is the query kind name ("window", "nearestk", ...), the same
+	// string a Tracer sees in QueryInfo.Kind.
+	Kind string
+	// Count is the number of completed queries of this kind, Errors the
+	// subset that returned a non-nil error (including context
+	// cancellation).
+	Count, Errors uint64
+	// LatencyMicros is the distribution of per-query wall time in
+	// microseconds, in logarithmic buckets.
+	LatencyMicros HistogramSnapshot
+	// DiskAccesses is the distribution of per-query disk accesses
+	// (reads plus eviction write-backs), the paper's primary currency.
+	DiskAccesses HistogramSnapshot
+}
+
+// Profile is a snapshot of the database's per-query-kind latency and
+// disk-access distributions; see DB.Profile.
+type Profile struct {
+	// Queries holds one entry per query kind that has completed at
+	// least once, in a fixed kind order.
+	Queries []QueryKindProfile
+}
+
+// Profile snapshots the per-kind query profile accumulated since Open.
+// Every query — context-threaded or legacy — is folded in on
+// completion, so the histograms cover all traffic. Safe to call while
+// queries are in flight; each kind's snapshot is internally consistent
+// to within the queries completing during the call.
+func (db *DB) Profile() Profile {
+	var p Profile
+	for k := queryKind(0); k < numQueryKinds; k++ {
+		c := &db.prof[k]
+		n := c.count.Load()
+		if n == 0 {
+			continue
+		}
+		p.Queries = append(p.Queries, QueryKindProfile{
+			Kind:          k.String(),
+			Count:         n,
+			Errors:        c.errors.Load(),
+			LatencyMicros: c.latency.Snapshot(),
+			DiskAccesses:  c.disk.Snapshot(),
+		})
+	}
+	return p
+}

@@ -1,0 +1,159 @@
+// Query API v2: context-threaded query methods with per-query
+// observability.
+//
+// Every query of the paper has a *Ctx form that (a) honors
+// context.Context cancellation and deadlines at page-fetch granularity —
+// a canceled query aborts before its next page request and returns the
+// context's error — and (b) returns a QueryStats valuing the query in
+// the paper's three currencies (disk accesses, segment comparisons,
+// bounding box computations) plus buffer-pool hit statistics and wall
+// time. Attribution is exact even under concurrency: the counters are
+// carried by a per-query operation threaded through the index, the
+// segment table, and the buffer pool, not diffed from the global
+// counters. The context-free methods (Window, Nearest, ...) are thin
+// wrappers over the *Ctx forms with context.Background() and the stats
+// discarded.
+package segdb
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"segdb/internal/core"
+	"segdb/internal/obs"
+)
+
+// Observability types, re-exported from the internal obs package.
+type (
+	// QueryStats values one query in the paper's currencies: disk reads
+	// and writes, buffer-pool hits and total page requests, segment
+	// comparisons, bounding box/bucket computations, and wall time.
+	QueryStats = obs.Stats
+	// QueryInfo identifies a query to a Tracer: a per-DB sequence
+	// number and the query kind ("window", "nearestk", ...).
+	QueryInfo = obs.QueryInfo
+	// Tracer receives query lifecycle events (start, finish, page
+	// fault, node visit); implementations must be safe for concurrent
+	// use. Install one with WithTracer or SetTracer.
+	Tracer = obs.Tracer
+	// JSONLTracer is a Tracer writing one JSON object per event.
+	JSONLTracer = obs.JSONLTracer
+	// HistogramSnapshot is a point-in-time copy of a profile histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
+)
+
+// NewJSONLTracer returns a Tracer that writes one JSON line per event
+// to w (query start/finish with final stats, page faults, node visits).
+// Writes are serialized internally; after the first write error the
+// tracer goes quiet and the error is available from Err.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// CanceledError is the type of ErrCanceled.
+type CanceledError struct{}
+
+// Error implements error.
+func (CanceledError) Error() string { return "segdb: query canceled by visitor" }
+
+// ErrCanceled reports that a visitor callback stopped a query early.
+// It never escapes the public API — visitor-initiated stops return nil,
+// and context-initiated stops return the context's error — but batch
+// visitors running under WindowBatchCtx or OverlayCtx may observe it
+// internally, and custom code threading cancellation through
+// parallelRange-style pools can reuse it. Match with errors.Is.
+var ErrCanceled error = CanceledError{}
+
+// SetTracer installs (or, with nil, removes) a query tracer. It takes
+// the writer lock, so the tracer never changes mid-query.
+func (db *DB) SetTracer(t Tracer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tracer = t
+}
+
+// begin opens a per-query observation. Callers must hold at least the
+// reader lock (it reads db.tracer). With a nil tracer and a
+// background context the returned op costs two atomic loads and one
+// small allocation per query; every per-counter charge on the hot path
+// is a nil-checked atomic add.
+func (db *DB) begin(ctx context.Context, qk queryKind) *obs.Op {
+	return obs.Begin(ctx, db.tracer, obs.QueryInfo{
+		ID:   db.qid.Add(1),
+		Kind: qk.String(),
+	})
+}
+
+// finish closes the observation, folds the query into the per-kind
+// profile, and returns the final stats alongside err.
+func (db *DB) finish(qk queryKind, o *obs.Op, err error) (QueryStats, error) {
+	st := o.Finish(err)
+	c := &db.prof[qk]
+	c.count.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+	}
+	c.latency.Record(uint64(st.Wall / time.Microsecond))
+	c.disk.Record(st.DiskAccesses())
+	return st, err
+}
+
+// WindowCtx is Window (query 5) with cancellation and per-query stats.
+// A canceled or expired ctx aborts the query before its next page fetch
+// and returns ctx's error; the returned stats cover the work done up to
+// that point.
+func (db *DB) WindowCtx(ctx context.Context, r Rect, visit func(SegmentID, Segment) bool) (QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkWindow)
+	return db.finish(qkWindow, o, db.index.WindowObs(r, visit, o))
+}
+
+// NearestCtx is Nearest (query 3) with cancellation and per-query
+// stats.
+func (db *DB) NearestCtx(ctx context.Context, p Point) (NearestResult, QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkNearest)
+	res, err := core.FirstNearestObs(db.index, p, o)
+	st, err := db.finish(qkNearest, o, err)
+	return res, st, err
+}
+
+// NearestKCtx is NearestK with cancellation and per-query stats.
+func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult, QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkNearestK)
+	res, err := db.index.NearestKObs(p, k, o)
+	st, err := db.finish(qkNearestK, o, err)
+	return res, st, err
+}
+
+// IncidentAtCtx is IncidentAt (query 1) with cancellation and per-query
+// stats.
+func (db *DB) IncidentAtCtx(ctx context.Context, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkIncidentAt)
+	return db.finish(qkIncidentAt, o, core.IncidentAtObs(db.index, p, visit, o))
+}
+
+// OtherEndpointCtx is OtherEndpoint (query 2) with cancellation and
+// per-query stats.
+func (db *DB) OtherEndpointCtx(ctx context.Context, id SegmentID, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkOtherEndpoint)
+	return db.finish(qkOtherEndpoint, o, core.OtherEndpointObs(db.index, id, p, visit, o))
+}
+
+// EnclosingPolygonCtx is EnclosingPolygon (query 4) with cancellation
+// and per-query stats.
+func (db *DB) EnclosingPolygonCtx(ctx context.Context, p Point) (Polygon, QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkEnclosingPolygon)
+	poly, err := core.EnclosingPolygonObs(db.index, p, o)
+	st, err := db.finish(qkEnclosingPolygon, o, err)
+	return poly, st, err
+}

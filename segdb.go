@@ -16,12 +16,20 @@
 // nearest segment to a point, the minimal polygon (map face) enclosing a
 // point, and rectangular window search.
 //
-//	db, _ := segdb.Open(segdb.PMRQuadtree, nil)
+//	db, _ := segdb.Open(segdb.PMRQuadtree)
 //	id, _ := db.Add(segdb.Seg(10, 10, 400, 80))
 //	res, _ := db.Nearest(segdb.Pt(50, 60))
+//
+// Each query also has a context-threaded form returning per-query
+// statistics (see WindowCtx and the "Query API v2" section of the
+// README):
+//
+//	st, _ := db.WindowCtx(ctx, r, visit)
+//	fmt.Println(st.DiskAccesses(), st.SegComps)
 package segdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -151,7 +159,9 @@ func (k Kind) String() string {
 }
 
 // Options tunes the simulated disk and the index parameters. The zero
-// value of any field selects the paper's default.
+// value of any field selects the paper's default. Prefer the With*
+// functional options over constructing an Options directly; a *Options
+// still satisfies Option for source compatibility with pre-v2 callers.
 type Options struct {
 	// PageSize is the disk page size in bytes (default 1024).
 	PageSize int
@@ -165,26 +175,12 @@ type Options struct {
 	PMRStoreMBR bool
 	// GridCells is the uniform grid resolution per side (default 64).
 	GridCells int32
-}
-
-func (o *Options) withDefaults() Options {
-	out := Options{}
-	if o != nil {
-		out = *o
-	}
-	if out.PageSize == 0 {
-		out.PageSize = store.DefaultPageSize
-	}
-	if out.PoolPages == 0 {
-		out.PoolPages = store.DefaultPoolPages
-	}
-	if out.PMRThreshold == 0 {
-		out.PMRThreshold = 4
-	}
-	if out.GridCells == 0 {
-		out.GridCells = 64
-	}
-	return out
+	// FaultPolicy, if non-nil, is attached to both disks at open time
+	// (see WithFaultPolicy). Runtime state, not serialized by SaveTo.
+	FaultPolicy *FaultPolicy
+	// Tracer, if non-nil, is installed at open time (see WithTracer).
+	// Runtime state, not serialized by SaveTo.
+	Tracer Tracer
 }
 
 // DB is a line segment database: a disk-resident segment table plus one
@@ -212,16 +208,23 @@ type DB struct {
 	table *seg.Table
 	pool  *store.Pool
 	index core.Index
+
+	tracer Tracer                     // read under RLock; swapped under Lock
+	qid    atomic.Uint64              // query IDs for QueryInfo
+	prof   [numQueryKinds]kindProfile // per-kind latency/disk histograms
 }
 
 // dbSeq hands every DB a unique sequence number so operations over two
 // databases (Overlay) can always acquire their locks in a global order.
 var dbSeq atomic.Uint64
 
-// Open creates an empty database backed by the chosen index kind. Pass
-// nil opts for the configuration used in the paper's experiments.
-func Open(kind Kind, opts *Options) (*DB, error) {
-	o := opts.withDefaults()
+// Open creates an empty database backed by the chosen index kind. With
+// no options it uses the configuration of the paper's experiments;
+// tune it with functional options (WithPageSize, WithPoolPages,
+// WithTracer, ...). The pre-v2 forms Open(kind, nil) and
+// Open(kind, &Options{...}) still compile and behave identically.
+func Open(kind Kind, opts ...Option) (*DB, error) {
+	o := resolveOptions(opts)
 	table := seg.NewTable(o.PageSize, o.PoolPages)
 	pool := store.NewPool(store.NewDisk(o.PageSize), o.PoolPages)
 	var (
@@ -250,7 +253,11 @@ func Open(kind Kind, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix}, nil
+	if o.FaultPolicy != nil {
+		pool.Disk().SetFaultPolicy(o.FaultPolicy)
+		table.Disk().SetFaultPolicy(o.FaultPolicy)
+	}
+	return &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix, tracer: o.Tracer}, nil
 }
 
 // Kind returns the index kind backing the database.
@@ -304,52 +311,47 @@ func (db *DB) Delete(id SegmentID) error {
 // Window visits every segment intersecting r (query 5 of the paper).
 // Queries may run from any number of goroutines; visit must not call
 // back into writer methods of the same DB (Add, Delete, DropCaches, ...)
-// or it will deadlock on the writer lock.
+// or it will deadlock on the writer lock. It is WindowCtx with a
+// background context and the stats discarded.
 func (db *DB) Window(r Rect, visit func(SegmentID, Segment) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.index.Window(r, visit)
+	_, err := db.WindowCtx(context.Background(), r, visit)
+	return err
 }
 
 // Nearest returns the segment closest to p (query 3). Found is false only
 // for an empty database.
 func (db *DB) Nearest(p Point) (NearestResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.index.Nearest(p)
+	res, _, err := db.NearestCtx(context.Background(), p)
+	return res, err
 }
 
 // NearestK returns up to k segments ordered by increasing distance from p
 // (incremental distance ranking — "find the nearest three subway lines").
 func (db *DB) NearestK(p Point, k int) ([]NearestResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.index.NearestK(p, k)
+	res, _, err := db.NearestKCtx(context.Background(), p, k)
+	return res, err
 }
 
 // IncidentAt visits the segments having an endpoint exactly at p
 // (query 1).
 func (db *DB) IncidentAt(p Point, visit func(SegmentID, Segment) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return core.IncidentAt(db.index, p, visit)
+	_, err := db.IncidentAtCtx(context.Background(), p, visit)
+	return err
 }
 
 // OtherEndpoint visits the segments incident at the other endpoint of
 // segment id, given one endpoint p (query 2).
 func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return core.OtherEndpoint(db.index, id, p, visit)
+	_, err := db.OtherEndpointCtx(context.Background(), id, p, visit)
+	return err
 }
 
 // EnclosingPolygon returns the boundary of the map face containing p
 // (query 4). The database must hold a noded planar map for the result to
 // be meaningful.
 func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return core.EnclosingPolygon(db.index, p)
+	poly, _, err := db.EnclosingPolygonCtx(context.Background(), p)
+	return poly, err
 }
 
 // Metrics returns the cumulative counter snapshot; subtract two snapshots
@@ -359,12 +361,18 @@ func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
 // any time, including while queries are in flight.
 func (db *DB) Metrics() Metrics { return core.Snapshot(db.index) }
 
-// Measure runs f and returns the metric deltas it caused. It takes no
-// lock itself — f is free to issue queries (including parallel batches);
-// the deltas are exact provided nothing outside f touches the database
-// until Measure returns.
+// Measure runs f and returns the metric deltas it caused, by diffing
+// the database-wide cumulative counters around f.
+//
+// Deprecated: the diff is exact only while f's operations are the sole
+// activity on the database — concurrent queries from other goroutines
+// are attributed to f. Use the *Ctx query forms instead, whose
+// QueryStats are carried by the query itself and therefore exact under
+// any concurrency.
 func (db *DB) Measure(f func() error) (Metrics, error) {
-	return core.Measure(db.index, f)
+	before := core.StatsSnapshot(db.index)
+	err := f()
+	return core.MetricsOf(core.StatsSnapshot(db.index).Sub(before)), err
 }
 
 // IndexSizeBytes returns the storage footprint of the index pages
