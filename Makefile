@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck race fuzz-smoke bench
+.PHONY: check build test vet staticcheck race fuzz-smoke bench bench-smoke
 
 # check is the full local gate: what CI runs.
 check: vet staticcheck build race fuzz-smoke
@@ -36,7 +36,26 @@ fuzz-smoke:
 
 # bench regenerates the BENCH_queries.json perf artifact: the scaling
 # benchmarks first (their speedup metric prints to stdout), then the
-# per-index-kind query throughput/disk-access/hit-ratio measurements.
+# per-index-kind query throughput/disk-access/hit-ratio measurements and
+# the goroutine-count sweeps.
+#
+# To compare two revisions statistically, run the Go benchmarks with
+# -count and feed both outputs to benchstat
+# (golang.org/x/perf/cmd/benchstat):
+#
+#   go test -run xxx -bench . -count 10 . > old.txt
+#   ... apply the change ...
+#   go test -run xxx -bench . -count 10 . > new.txt
+#   benchstat old.txt new.txt
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkWindowBatch|BenchmarkOverlayParallelJoin' -benchtime 3x .
 	$(GO) run ./cmd/bench -o BENCH_queries.json
+
+# bench-smoke is the CI-sized bench: tiny maps and workloads, the full
+# goroutine sweep, output kept out of the committed artifact. It exists
+# so a crash or pathological slowdown in the measurement path is caught
+# before merge, not to produce meaningful numbers.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkWindowBatch' -benchtime 2x .
+	$(GO) test -count=1 ./cmd/bench
+	$(GO) run ./cmd/bench -quick -o BENCH_smoke.json

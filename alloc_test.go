@@ -1,0 +1,101 @@
+//go:build !race
+
+// Allocation regression tests for the query hot paths. testing.AllocsPerRun
+// is meaningless under the race detector (it instruments allocations), so
+// this file is excluded from -race runs.
+
+package segdb
+
+import (
+	"context"
+	"testing"
+
+	"segdb/internal/geom"
+)
+
+// allocDB builds a warm R*-tree database whose working set fits the
+// buffer pool, so repeated queries hit only warm code paths.
+func allocDB(t *testing.T) *DB {
+	t.Helper()
+	m, err := GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(RStarTree, WithPoolPages(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadPacked(m); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestWindowCtxWarmZeroAllocs(t *testing.T) {
+	db := allocDB(t)
+	ctx := context.Background()
+	r := geom.RectOf(2000, 2000, 6000, 6000)
+	hits := 0
+	visit := func(SegmentID, Segment) bool { hits++; return true }
+	// One warm-up pass faults the working set in and fills the pools.
+	if _, err := db.WindowCtx(ctx, r, visit); err != nil {
+		t.Fatal(err)
+	}
+	if hits == 0 {
+		t.Fatal("window query found nothing; the assertion below would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := db.WindowCtx(ctx, r, visit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm WindowCtx allocates %.1f objects/query, want 0", allocs)
+	}
+}
+
+func TestWindowAppendCtxWarmZeroAllocs(t *testing.T) {
+	db := allocDB(t)
+	ctx := context.Background()
+	r := geom.RectOf(2000, 2000, 6000, 6000)
+	buf, _, err := db.WindowAppendCtx(ctx, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) == 0 {
+		t.Fatal("window query found nothing; the assertion below would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, _, err = db.WindowAppendCtx(ctx, r, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm WindowAppendCtx allocates %.1f objects/query, want 0", allocs)
+	}
+}
+
+func TestNearestKAppendCtxWarmAllocs(t *testing.T) {
+	db := allocDB(t)
+	ctx := context.Background()
+	p := Point{X: 4000, Y: 4000}
+	buf, _, err := db.NearestKAppendCtx(ctx, p, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) == 0 {
+		t.Fatal("nearest query found nothing; the assertion below would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, _, err = db.NearestKAppendCtx(ctx, p, 8, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm NearestKAppendCtx allocates %.1f objects/query, want 0", allocs)
+	}
+}

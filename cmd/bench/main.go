@@ -3,14 +3,22 @@
 // perf trajectory: each PR can rerun `make bench` and diff against the
 // committed artifact.
 //
-// Two experiments run:
+// Three experiments run:
 //
 //   - per-kind query stats: a fixed 512-window workload over a mid-size
 //     (~12k segment) county, reporting ops/sec, disk accesses per query,
-//     and the buffer pool hit ratio for each of the six index kinds;
+//     and the buffer pool hit ratio for each of the six index kinds. Each
+//     database is built with one-at-a-time insertion (db.Load) so the
+//     rows reflect each kind's own construction algorithm — bulk packing
+//     would give the R-tree and R*-tree the same STR tree and therefore
+//     byte-identical rows;
 //   - batch scaling: the 256-window WindowBatch over a ~50k-segment
 //     county in a packed R*-tree, sequential versus GOMAXPROCS-parallel,
-//     reporting the speedup.
+//     reporting the speedup;
+//   - goroutine sweeps: WindowBatch and the Overlay spatial join timed at
+//     1, 2, 4, 8, and 16 workers, emitted as the artifact's "scaling"
+//     section. The recorded gomaxprocs says how many cores the numbers
+//     were taken on — on a single-core host every speedup sits near 1.0x.
 //
 // Usage:
 //
@@ -29,46 +37,16 @@ import (
 	"segdb"
 )
 
-// kindResult is the per-index-kind row of the artifact.
-type kindResult struct {
-	Kind             string  `json:"kind"`
-	Segments         int     `json:"segments"`
-	Windows          int     `json:"windows"`
-	OpsPerSec        float64 `json:"ops_per_sec"`
-	DiskAccPerQuery  float64 `json:"disk_accesses_per_query"`
-	SegCompsPerQuery float64 `json:"seg_comps_per_query"`
-	PoolHitRatio     float64 `json:"pool_hit_ratio"`
-	// Per-query distributions from DB.Profile (log2-bucket estimates;
-	// quantiles are bucket top edges, so factor-of-two resolution).
-	LatencyP50Micros uint64 `json:"latency_p50_micros"`
-	LatencyP99Micros uint64 `json:"latency_p99_micros"`
-	DiskAccP50       uint64 `json:"disk_accesses_p50"`
-	DiskAccP99       uint64 `json:"disk_accesses_p99"`
-}
-
-// batchResult records the WindowBatch scaling experiment.
-type batchResult struct {
-	Segments       int     `json:"segments"`
-	Windows        int     `json:"windows"`
-	Parallelism    int     `json:"parallelism"`
-	SeqOpsPerSec   float64 `json:"sequential_ops_per_sec"`
-	ParOpsPerSec   float64 `json:"parallel_ops_per_sec"`
-	Speedup        float64 `json:"speedup"`
-	PoolHitRatio   float64 `json:"pool_hit_ratio"`
-	DiskAccPerQry  float64 `json:"disk_accesses_per_query"`
-	GOMAXPROCSUsed int     `json:"gomaxprocs"`
-	// Per-window latency distribution across all batch runs, from the
-	// "windowbatch" entry of DB.Profile.
-	LatencyP50Micros uint64 `json:"latency_p50_micros"`
-	LatencyP99Micros uint64 `json:"latency_p99_micros"`
-}
-
 type artifact struct {
-	GeneratedAt string       `json:"generated_at"`
-	GoVersion   string       `json:"go_version"`
-	Kinds       []kindResult `json:"query_stats"`
-	WindowBatch *batchResult `json:"window_batch"`
+	GeneratedAt string               `json:"generated_at"`
+	GoVersion   string               `json:"go_version"`
+	Kinds       []kindResult         `json:"query_stats"`
+	WindowBatch *batchResult         `json:"window_batch"`
+	Scaling     []*scalingExperiment `json:"scaling"`
 }
+
+// sweepWorkers is the goroutine-count sweep of the scaling experiments.
+var sweepWorkers = []int{1, 2, 4, 8, 16}
 
 func main() {
 	out := flag.String("o", "BENCH_queries.json", "output artifact path")
@@ -128,11 +106,17 @@ func run(out string, windows int, quick bool) error {
 	if err != nil {
 		return err
 	}
+	overlayCounty, err := segdb.GenerateCounty("Baltimore")
+	if err != nil {
+		return err
+	}
 	perKind := subsample(county, 12000)
 	batchMap := county
+	overlaySize := 6000
 	if quick {
 		perKind = subsample(county, 2000)
 		batchMap = subsample(county, 8000)
+		overlaySize = 1500
 		if windows > 128 {
 			windows = 128
 		}
@@ -142,6 +126,7 @@ func run(out string, windows int, quick bool) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 	}
+	gomaxprocs := runtime.GOMAXPROCS(0)
 
 	rects := makeWindows(windows, 1992)
 	for _, k := range allKinds() {
@@ -149,50 +134,20 @@ func run(out string, windows int, quick bool) error {
 		if err != nil {
 			return err
 		}
-		if _, err := db.LoadPacked(perKind); err != nil {
+		// Incremental insertion, not LoadPacked: STR bulk packing ignores
+		// the insertion algorithm, which made the R-tree and R*-tree rows
+		// byte-identical (they measured the same tree).
+		if _, err := db.Load(perKind); err != nil {
 			return fmt.Errorf("%v: %w", k, err)
 		}
-		// One warm pass so every kind starts from a comparably warm pool,
-		// then the measured pass.
-		sink := func(segdb.SegmentID, segdb.Segment) bool { return true }
-		for _, r := range rects[:min(32, len(rects))] {
-			if err := db.Window(r, sink); err != nil {
-				return err
-			}
+		row, err := collectKindStats(db, rects, min(32, len(rects)))
+		if err != nil {
+			return fmt.Errorf("%v: %w", k, err)
 		}
-		base := db.Metrics()
-		start := time.Now()
-		for _, r := range rects {
-			if err := db.Window(r, sink); err != nil {
-				return err
-			}
-		}
-		elapsed := time.Since(start)
-		delta := db.Metrics().Sub(base)
-		n := float64(len(rects))
-		row := kindResult{
-			Kind:             k.String(),
-			Segments:         db.Len(),
-			Windows:          len(rects),
-			OpsPerSec:        n / elapsed.Seconds(),
-			DiskAccPerQuery:  float64(delta.DiskAccesses) / n,
-			SegCompsPerQuery: float64(delta.SegComps) / n,
-			PoolHitRatio:     delta.HitRatio(),
-		}
-		// The per-kind profile: every window query (warm pass included)
-		// was folded into the "window" histograms.
-		for _, q := range db.Profile().Queries {
-			if q.Kind != "window" {
-				continue
-			}
-			row.LatencyP50Micros = q.LatencyMicros.Quantile(0.5)
-			row.LatencyP99Micros = q.LatencyMicros.Quantile(0.99)
-			row.DiskAccP50 = q.DiskAccesses.Quantile(0.5)
-			row.DiskAccP99 = q.DiskAccesses.Quantile(0.99)
-		}
+		row.Kind = k.String()
 		art.Kinds = append(art.Kinds, row)
 		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio  p50/p99 %d/%dus\n",
-			k, n/elapsed.Seconds(), float64(delta.DiskAccesses)/n, 100*delta.HitRatio(),
+			k, row.OpsPerSec, row.DiskAccPerQuery, 100*row.PoolHitRatio,
 			row.LatencyP50Micros, row.LatencyP99Micros)
 	}
 
@@ -221,9 +176,8 @@ func run(out string, windows int, quick bool) error {
 	}
 	seqElapsed := time.Since(seqStart)
 	delta := db.Metrics().Sub(base)
-	workers := runtime.GOMAXPROCS(0)
 	parStart := time.Now()
-	if err := db.WindowBatch(batchRects, workers, bsink); err != nil {
+	if err := db.WindowBatch(batchRects, gomaxprocs, bsink); err != nil {
 		return err
 	}
 	parElapsed := time.Since(parStart)
@@ -231,13 +185,13 @@ func run(out string, windows int, quick bool) error {
 	art.WindowBatch = &batchResult{
 		Segments:       db.Len(),
 		Windows:        len(batchRects),
-		Parallelism:    workers,
+		Parallelism:    gomaxprocs,
 		SeqOpsPerSec:   n / seqElapsed.Seconds(),
 		ParOpsPerSec:   n / parElapsed.Seconds(),
 		Speedup:        seqElapsed.Seconds() / parElapsed.Seconds(),
 		PoolHitRatio:   delta.HitRatio(),
 		DiskAccPerQry:  float64(delta.DiskAccesses) / n,
-		GOMAXPROCSUsed: workers,
+		GOMAXPROCSUsed: gomaxprocs,
 	}
 	for _, q := range db.Profile().Queries {
 		if q.Kind == "windowbatch" {
@@ -246,7 +200,38 @@ func run(out string, windows int, quick bool) error {
 		}
 	}
 	fmt.Printf("WindowBatch    %9.0f ops/s seq, %9.0f ops/s x%d (%.2fx speedup)\n",
-		art.WindowBatch.SeqOpsPerSec, art.WindowBatch.ParOpsPerSec, workers, art.WindowBatch.Speedup)
+		art.WindowBatch.SeqOpsPerSec, art.WindowBatch.ParOpsPerSec, gomaxprocs, art.WindowBatch.Speedup)
+
+	// Goroutine sweeps: the same batch workload at fixed worker counts.
+	batchSweep, err := sweepWindowBatch(db, batchRects, sweepWorkers, gomaxprocs)
+	if err != nil {
+		return err
+	}
+	art.Scaling = append(art.Scaling, batchSweep)
+	printSweep(batchSweep)
+
+	// Overlay sweep: a spatial join between two different counties, both
+	// in packed R*-trees sized so the working sets stay pool-resident.
+	ovA, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	if err != nil {
+		return err
+	}
+	if _, err := ovA.LoadPacked(subsample(county, overlaySize)); err != nil {
+		return err
+	}
+	ovB, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	if err != nil {
+		return err
+	}
+	if _, err := ovB.LoadPacked(subsample(overlayCounty, overlaySize)); err != nil {
+		return err
+	}
+	overlaySweep, err := sweepOverlay(ovA, ovB, sweepWorkers, gomaxprocs)
+	if err != nil {
+		return err
+	}
+	art.Scaling = append(art.Scaling, overlaySweep)
+	printSweep(overlaySweep)
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -258,6 +243,14 @@ func run(out string, windows int, quick bool) error {
 	}
 	fmt.Println("wrote", out)
 	return nil
+}
+
+func printSweep(exp *scalingExperiment) {
+	fmt.Printf("%-14s", "scale:"+exp.Experiment)
+	for _, pt := range exp.Points {
+		fmt.Printf("  x%d %.0f ops/s (%.2fx)", pt.Workers, pt.OpsPerSec, pt.Speedup)
+	}
+	fmt.Printf("  [gomaxprocs %d]\n", exp.GOMAXPROCS)
 }
 
 func min(a, b int) int {

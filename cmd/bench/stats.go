@@ -1,0 +1,172 @@
+// Stats collection helpers for the bench command, split from main so the
+// measurement logic is unit-testable: the per-kind row collector snapshots
+// and deltas the database counters (a regression here silently corrupts
+// every number in the artifact), and the goroutine sweeps time the same
+// batch workload at increasing parallelism.
+package main
+
+import (
+	"time"
+
+	"segdb"
+)
+
+// kindResult is the per-index-kind row of the artifact.
+type kindResult struct {
+	Kind             string  `json:"kind"`
+	Segments         int     `json:"segments"`
+	Windows          int     `json:"windows"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	DiskAccPerQuery  float64 `json:"disk_accesses_per_query"`
+	SegCompsPerQuery float64 `json:"seg_comps_per_query"`
+	PoolHitRatio     float64 `json:"pool_hit_ratio"`
+	// Per-query distributions from DB.Profile (log2-bucket estimates;
+	// quantiles are bucket top edges, so factor-of-two resolution).
+	LatencyP50Micros uint64 `json:"latency_p50_micros"`
+	LatencyP99Micros uint64 `json:"latency_p99_micros"`
+	DiskAccP50       uint64 `json:"disk_accesses_p50"`
+	DiskAccP99       uint64 `json:"disk_accesses_p99"`
+}
+
+// batchResult records the WindowBatch sequential-versus-parallel run.
+type batchResult struct {
+	Segments       int     `json:"segments"`
+	Windows        int     `json:"windows"`
+	Parallelism    int     `json:"parallelism"`
+	SeqOpsPerSec   float64 `json:"sequential_ops_per_sec"`
+	ParOpsPerSec   float64 `json:"parallel_ops_per_sec"`
+	Speedup        float64 `json:"speedup"`
+	PoolHitRatio   float64 `json:"pool_hit_ratio"`
+	DiskAccPerQry  float64 `json:"disk_accesses_per_query"`
+	GOMAXPROCSUsed int     `json:"gomaxprocs"`
+	// Per-window latency distribution across all batch runs, from the
+	// "windowbatch" entry of DB.Profile.
+	LatencyP50Micros uint64 `json:"latency_p50_micros"`
+	LatencyP99Micros uint64 `json:"latency_p99_micros"`
+}
+
+// scalingPoint is one worker count of a goroutine sweep. Speedup is
+// relative to the sweep's first point (workers=1).
+type scalingPoint struct {
+	Workers   int     `json:"workers"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// scalingExperiment is a goroutine-count sweep over one parallel
+// operation. GOMAXPROCS records how many cores the host actually had:
+// speedups flatten once workers exceed it, and on a single-core runner
+// every point is expected near 1.0x.
+type scalingExperiment struct {
+	Experiment string         `json:"experiment"`
+	Segments   int            `json:"segments"`
+	Windows    int            `json:"windows,omitempty"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Points     []scalingPoint `json:"points"`
+}
+
+// collectKindStats measures the window workload against one database: a
+// warm pass over the first warm windows so every kind starts from a
+// comparably warm pool, then a timed pass over all of rects whose counter
+// deltas become the row. Counters are snapshotted immediately before the
+// timed pass and deltaed after it, so neither the warm pass nor any
+// earlier measurement on the same database leaks into the row. The Kind
+// field is left for the caller.
+func collectKindStats(db *segdb.DB, rects []segdb.Rect, warm int) (kindResult, error) {
+	sink := func(segdb.SegmentID, segdb.Segment) bool { return true }
+	if warm > len(rects) {
+		warm = len(rects)
+	}
+	for _, r := range rects[:warm] {
+		if err := db.Window(r, sink); err != nil {
+			return kindResult{}, err
+		}
+	}
+	base := db.Metrics()
+	start := time.Now()
+	for _, r := range rects {
+		if err := db.Window(r, sink); err != nil {
+			return kindResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	delta := db.Metrics().Sub(base)
+	n := float64(len(rects))
+	row := kindResult{
+		Segments:         db.Len(),
+		Windows:          len(rects),
+		OpsPerSec:        n / elapsed.Seconds(),
+		DiskAccPerQuery:  float64(delta.DiskAccesses) / n,
+		SegCompsPerQuery: float64(delta.SegComps) / n,
+		PoolHitRatio:     delta.HitRatio(),
+	}
+	// The per-kind profile: every window query (warm pass included) was
+	// folded into the "window" histograms.
+	for _, q := range db.Profile().Queries {
+		if q.Kind != "window" {
+			continue
+		}
+		row.LatencyP50Micros = q.LatencyMicros.Quantile(0.5)
+		row.LatencyP99Micros = q.LatencyMicros.Quantile(0.99)
+		row.DiskAccP50 = q.DiskAccesses.Quantile(0.5)
+		row.DiskAccP99 = q.DiskAccesses.Quantile(0.99)
+	}
+	return row, nil
+}
+
+// sweepWindowBatch times the same WindowBatch workload once per worker
+// count. One warm batch runs first so the pool state is comparable across
+// points; speedups are relative to the first worker count.
+func sweepWindowBatch(db *segdb.DB, rects []segdb.Rect, workers []int, gomaxprocs int) (*scalingExperiment, error) {
+	sink := func(int, segdb.SegmentID, segdb.Segment) bool { return true }
+	if err := db.WindowBatch(rects, 1, sink); err != nil {
+		return nil, err
+	}
+	exp := &scalingExperiment{
+		Experiment: "window_batch",
+		Segments:   db.Len(),
+		Windows:    len(rects),
+		GOMAXPROCS: gomaxprocs,
+	}
+	var base float64
+	for _, w := range workers {
+		start := time.Now()
+		if err := db.WindowBatch(rects, w, sink); err != nil {
+			return nil, err
+		}
+		ops := float64(len(rects)) / time.Since(start).Seconds()
+		if len(exp.Points) == 0 {
+			base = ops
+		}
+		exp.Points = append(exp.Points, scalingPoint{Workers: w, OpsPerSec: ops, Speedup: ops / base})
+	}
+	return exp, nil
+}
+
+// sweepOverlay times a full spatial join of a against b once per worker
+// count. Ops/sec counts outer-relation probes (each of a's segments costs
+// one index probe into b), the unit the join fans across its worker pool.
+func sweepOverlay(a, b *segdb.DB, workers []int, gomaxprocs int) (*scalingExperiment, error) {
+	sink := func(segdb.SegmentID, segdb.SegmentID, segdb.Segment, segdb.Segment) bool { return true }
+	if err := a.OverlayParallel(b, 1, sink); err != nil {
+		return nil, err
+	}
+	exp := &scalingExperiment{
+		Experiment: "overlay",
+		Segments:   a.Len() + b.Len(),
+		GOMAXPROCS: gomaxprocs,
+	}
+	var base float64
+	for _, w := range workers {
+		start := time.Now()
+		if err := a.OverlayParallel(b, w, sink); err != nil {
+			return nil, err
+		}
+		ops := float64(a.Len()) / time.Since(start).Seconds()
+		if len(exp.Points) == 0 {
+			base = ops
+		}
+		exp.Points = append(exp.Points, scalingPoint{Workers: w, OpsPerSec: ops, Speedup: ops / base})
+	}
+	return exp, nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"testing"
+
+	"segdb"
+)
+
+// benchFixture builds a small incrementally-loaded database and a
+// deterministic window workload, mirroring the per-kind experiment at
+// test size.
+func benchFixture(t *testing.T, kind segdb.Kind) (*segdb.DB, []segdb.Rect) {
+	t.Helper()
+	county, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := segdb.Open(kind, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Load(subsample(county, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	return db, makeWindows(64, 7)
+}
+
+// TestCollectKindStatsSnapshotsCounters guards the delta logic: the row
+// must reflect only the timed pass, so measuring the same database twice
+// yields the same per-query workload numbers instead of accumulating the
+// earlier passes into the later row.
+func TestCollectKindStatsSnapshotsCounters(t *testing.T) {
+	db, rects := benchFixture(t, segdb.RStarTree)
+	r1, err := collectKindStats(db, rects, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := collectKindStats(db, rects, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Windows != len(rects) || r1.OpsPerSec <= 0 {
+		t.Fatalf("implausible row: %+v", r1)
+	}
+	if r1.SegCompsPerQuery <= 0 || r1.DiskAccPerQuery <= 0 {
+		t.Fatalf("row reports no work done: %+v", r1)
+	}
+	// Segment comparisons depend only on the tree and the windows, never
+	// on buffer pool state, so a correct delta is exactly repeatable. A
+	// cumulative-counters bug would at least double the second row.
+	if r2.SegCompsPerQuery != r1.SegCompsPerQuery {
+		t.Errorf("seg comps per query drifted across measurements: %v then %v (counters not snapshotted?)",
+			r1.SegCompsPerQuery, r2.SegCompsPerQuery)
+	}
+	// Disk accesses do depend on pool state, so allow warm-pool wiggle —
+	// but nowhere near the 2x a leaked warm pass or prior run would add.
+	if r2.DiskAccPerQuery > 1.5*r1.DiskAccPerQuery {
+		t.Errorf("disk accesses per query grew from %v to %v: earlier passes leaked into the row",
+			r1.DiskAccPerQuery, r2.DiskAccPerQuery)
+	}
+}
+
+// TestCollectKindStatsDistinguishesKinds is the regression test for the
+// byte-identical R-tree and R*-tree artifact rows: built by STR bulk
+// packing the two kinds produced the very same tree. With incremental
+// insertion their construction algorithms differ (R* forced reinsertion
+// versus Guttman's quadratic split), so the same workload must observe
+// different trees.
+func TestCollectKindStatsDistinguishesKinds(t *testing.T) {
+	star, rects := benchFixture(t, segdb.RStarTree)
+	classic, _ := benchFixture(t, segdb.ClassicRTree)
+	rs, err := collectKindStats(star, rects, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := collectKindStats(classic, rects, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DiskAccPerQuery == rc.DiskAccPerQuery && rs.SegCompsPerQuery == rc.SegCompsPerQuery {
+		t.Errorf("R*-tree and R-tree rows are identical (%v accesses, %v comps per query): the benchmark is measuring the same tree for both kinds",
+			rs.DiskAccPerQuery, rs.SegCompsPerQuery)
+	}
+}
+
+// TestSweepWindowBatch checks the sweep's shape: one point per worker
+// count, the first point pinned to 1.0x, sane throughput everywhere.
+func TestSweepWindowBatch(t *testing.T) {
+	db, rects := benchFixture(t, segdb.RStarTree)
+	exp, err := sweepWindowBatch(db, rects, []int{1, 2, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Experiment != "window_batch" || len(exp.Points) != 3 {
+		t.Fatalf("unexpected sweep shape: %+v", exp)
+	}
+	if exp.Points[0].Workers != 1 || exp.Points[0].Speedup != 1.0 {
+		t.Errorf("first point must be the workers=1 baseline: %+v", exp.Points[0])
+	}
+	for _, pt := range exp.Points {
+		if pt.OpsPerSec <= 0 {
+			t.Errorf("non-positive throughput at %d workers", pt.Workers)
+		}
+	}
+}
+
+// TestSweepOverlay does the same for the join sweep.
+func TestSweepOverlay(t *testing.T) {
+	a, _ := benchFixture(t, segdb.RStarTree)
+	b, _ := benchFixture(t, segdb.ClassicRTree)
+	exp, err := sweepOverlay(a, b, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Experiment != "overlay" || len(exp.Points) != 2 {
+		t.Fatalf("unexpected sweep shape: %+v", exp)
+	}
+	if exp.Segments != a.Len()+b.Len() {
+		t.Errorf("sweep records %d segments, want %d", exp.Segments, a.Len()+b.Len())
+	}
+	if exp.Points[0].Speedup != 1.0 {
+		t.Errorf("first point must be the workers=1 baseline: %+v", exp.Points[0])
+	}
+}

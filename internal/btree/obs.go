@@ -12,14 +12,17 @@ import (
 // with a nil *obs.Op, which charges nothing and checks nothing.
 
 // getNodeObs is getNode with the page request charged to o and a
-// NodeVisit trace event on success.
+// NodeVisit trace event on success. The returned node comes from the
+// decode pool; callers hand it back with releaseNode once done (in
+// addition to unpinning the page).
 func (t *Tree) getNodeObs(id store.PageID, o *obs.Op) (*node, []byte, error) {
 	data, err := t.pool.GetObs(id, o)
 	if err != nil {
 		return nil, nil, err
 	}
-	n, err := readNode(data, t.valSize)
-	if err != nil {
+	n := acquireNode()
+	if err := readNodeInto(data, t.valSize, n); err != nil {
+		releaseNode(n)
 		t.pool.Unpin(id, false)
 		return nil, nil, err
 	}
@@ -48,6 +51,7 @@ func (t *Tree) ScanValuesObs(lo, hi uint64, visit func(key uint64, val []byte) b
 		}
 		next := n.children[upperBound(n.keys, lo)]
 		t.pool.Unpin(id, false)
+		releaseNode(n)
 		id = next
 	}
 	// Walk the leaf chain. A corrupted image could link the chain into a
@@ -64,15 +68,18 @@ func (t *Tree) ScanValuesObs(lo, hi uint64, visit func(key uint64, val []byte) b
 		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
 			if n.keys[i] >= hi {
 				t.pool.Unpin(id, false)
+				releaseNode(n)
 				return nil
 			}
 			if !visit(n.keys[i], n.val(i, t.valSize)) {
 				t.pool.Unpin(id, false)
+				releaseNode(n)
 				return nil
 			}
 		}
 		next := n.next
 		t.pool.Unpin(id, false)
+		releaseNode(n)
 		id = next
 	}
 	return nil

@@ -3,6 +3,7 @@ package btree
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"segdb/internal/store"
 )
@@ -43,27 +44,71 @@ func writeNode(data []byte, n *node, valSize int) {
 	}
 }
 
-// readNode decodes a page into a node, rejecting headers whose entry
-// count cannot fit the page (stale or corrupted data that survived its
-// checksum, e.g. a page recycled from another structure after a crash).
-func readNode(data []byte, valSize int) (*node, error) {
-	if data[0] > 1 {
-		return nil, fmt.Errorf("btree: corrupt page: node type %d", data[0])
+// nodePool recycles decoded nodes (and their key/child/value buffers)
+// across observed read-path page decodes, so a warm search decodes every
+// visited page into memory it already owns. Mutation paths keep using
+// freshly allocated nodes: they hold nodes across structural edits where
+// a release discipline would be fragile.
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
+func acquireNode() *node { return nodePool.Get().(*node) }
+
+// releaseNode hands a node back to the decode pool. The caller must not
+// retain n or any slice into it (keys, children, val payloads)
+// afterwards.
+func releaseNode(n *node) {
+	if n == nil {
+		return
 	}
-	n := &node{leaf: data[0] == 1}
+	nodePool.Put(n)
+}
+
+// readNode decodes a page into a freshly allocated node. Hot read paths
+// go through getNodeObs, which decodes into pooled nodes instead.
+func readNode(data []byte, valSize int) (*node, error) {
+	n := new(node)
+	if err := readNodeInto(data, valSize, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// readNodeInto decodes a page into n, reusing n's slice capacity. It
+// rejects headers whose entry count cannot fit the page (stale or
+// corrupted data that survived its checksum, e.g. a page recycled from
+// another structure after a crash); on error n is left empty.
+func readNodeInto(data []byte, valSize int, n *node) error {
+	n.leaf = false
+	n.keys = n.keys[:0]
+	n.vals = n.vals[:0]
+	n.children = n.children[:0]
+	n.next = 0
+	if data[0] > 1 {
+		return fmt.Errorf("btree: corrupt page: node type %d", data[0])
+	}
+	leaf := data[0] == 1
 	count := int(binary.LittleEndian.Uint16(data[2:]))
 	entrySize := 12
-	if n.leaf {
+	if leaf {
 		entrySize = 8 + valSize
 	}
 	if count > (len(data)-headerSize)/entrySize {
-		return nil, fmt.Errorf("btree: corrupt page: %d entries exceed page capacity %d", count, (len(data)-headerSize)/entrySize)
+		return fmt.Errorf("btree: corrupt page: %d entries exceed page capacity %d", count, (len(data)-headerSize)/entrySize)
 	}
-	n.keys = make([]uint64, count)
-	if n.leaf {
+	n.leaf = leaf
+	if cap(n.keys) < count {
+		n.keys = make([]uint64, count)
+	} else {
+		n.keys = n.keys[:count]
+	}
+	if leaf {
 		n.next = store.PageID(binary.LittleEndian.Uint32(data[4:]))
 		if valSize > 0 {
-			n.vals = make([]byte, count*valSize)
+			if need := count * valSize; cap(n.vals) < need {
+				n.vals = make([]byte, need)
+			} else {
+				n.vals = n.vals[:need]
+			}
 		}
 		off := headerSize
 		for i := range n.keys {
@@ -74,9 +119,13 @@ func readNode(data []byte, valSize int) (*node, error) {
 				off += valSize
 			}
 		}
-		return n, nil
+		return nil
 	}
-	n.children = make([]store.PageID, count+1)
+	if need := count + 1; cap(n.children) < need {
+		n.children = make([]store.PageID, need)
+	} else {
+		n.children = n.children[:need]
+	}
 	n.children[0] = store.PageID(binary.LittleEndian.Uint32(data[4:]))
 	off := headerSize
 	for i := 0; i < count; i++ {
@@ -84,5 +133,5 @@ func readNode(data []byte, valSize int) (*node, error) {
 		n.children[i+1] = store.PageID(binary.LittleEndian.Uint32(data[off+8:]))
 		off += 12
 	}
-	return n, nil
+	return nil
 }

@@ -22,18 +22,24 @@ func (t *Tree) seekLE(id store.PageID, level int, k uint64, o *obs.Op) (uint64, 
 		i := upperBound(n.keys, k)
 		t.pool.Unpin(id, false)
 		if i == 0 {
+			releaseNode(n)
 			return 0, false, nil
 		}
-		return n.keys[i-1], true, nil
+		v := n.keys[i-1]
+		releaseNode(n)
+		return v, true, nil
 	}
 	ci := upperBound(n.keys, k)
-	children := append([]store.PageID(nil), n.children...)
 	t.pool.Unpin(id, false)
+	// The pooled node (a decoded copy, independent of the unpinned frame)
+	// is held across the descent, so the fallback walk reads n.children
+	// directly instead of copying it per level.
+	defer releaseNode(n)
 	// The natural child may hold no key <= k (k smaller than everything
 	// in it); fall back through the left siblings, whose keys are all
 	// below the separator and hence <= k.
 	for ; ci >= 0; ci-- {
-		v, ok, err := t.seekLE(children[ci], level-1, k, o)
+		v, ok, err := t.seekLE(n.children[ci], level-1, k, o)
 		if err != nil {
 			return 0, false, err
 		}

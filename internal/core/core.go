@@ -59,6 +59,12 @@ type Index interface {
 	// NearestKObs is NearestK with per-query observation (see WindowObs).
 	NearestKObs(p geom.Point, k int, o *obs.Op) ([]NearestResult, error)
 
+	// NearestKAppendObs is NearestKObs appending its results to dst and
+	// returning the extended slice. Passing a reused buffer lets warm
+	// callers run repeated nearest-neighbor queries without allocating a
+	// result slice per call; NearestKObs is equivalent to a nil dst.
+	NearestKAppendObs(p geom.Point, k int, dst []NearestResult, o *obs.Op) ([]NearestResult, error)
+
 	// Table returns the segment table the index points into.
 	Table() *seg.Table
 
@@ -100,9 +106,12 @@ func FirstNearest(ix Index, p geom.Point) (NearestResult, error) {
 	return FirstNearestObs(ix, p, nil)
 }
 
-// FirstNearestObs is FirstNearest with per-query observation.
+// FirstNearestObs is FirstNearest with per-query observation. The
+// single-element result buffer lives on this frame, so the adaptation
+// itself is allocation-free.
 func FirstNearestObs(ix Index, p geom.Point, o *obs.Op) (NearestResult, error) {
-	res, err := ix.NearestKObs(p, 1, o)
+	var buf [1]NearestResult
+	res, err := ix.NearestKAppendObs(p, 1, buf[:0], o)
 	if err != nil || len(res) == 0 {
 		return NearestResult{}, err
 	}

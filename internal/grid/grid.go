@@ -11,8 +11,8 @@
 package grid
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"segdb/internal/btree"
@@ -172,16 +172,34 @@ func (g *Grid) comps(o *obs.Op, n uint64) {
 	o.NodeComps(n)
 }
 
-// cellMembers returns the distinct segment ids stored in a cell.
-func (g *Grid) cellMembers(cx, cy int32, o *obs.Op) ([]seg.ID, error) {
+// cellMembers appends the distinct segment ids stored in a cell to dst.
+// Queries pass one buffer (truncated between cells) through their whole
+// cell sweep, so member collection does not allocate once the buffer has
+// grown to the densest cell visited.
+func (g *Grid) cellMembers(cx, cy int32, dst []seg.ID, o *obs.Op) ([]seg.ID, error) {
 	lo := g.key(cx, cy, 0)
 	hi := lo + (1 << 32)
-	var out []seg.ID
 	err := g.bt.ScanObs(lo, hi, func(k uint64) bool {
-		out = append(out, seg.ID(k&0xffffffff))
+		dst = append(dst, seg.ID(k&0xffffffff))
 		return true
 	}, o)
-	return out, err
+	return dst, err
+}
+
+// Query-scratch pools: the duplicate-suppression set, the cell member
+// buffer, and the nearest-neighbor priority queue are recycled across
+// queries so warm window/nearest searches allocate nothing.
+var (
+	seenPool    = sync.Pool{New: func() any { return make(map[seg.ID]struct{}) }}
+	membersPool = sync.Pool{New: func() any { return new([]seg.ID) }}
+	pqPool      = sync.Pool{New: func() any { return new([]pqItem) }}
+)
+
+func acquireSeen() map[seg.ID]struct{} { return seenPool.Get().(map[seg.ID]struct{}) }
+
+func releaseSeen(m map[seg.ID]struct{}) {
+	clear(m)
+	seenPool.Put(m)
 }
 
 // Window visits every segment intersecting r exactly once.
@@ -193,11 +211,15 @@ func (g *Grid) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 func (g *Grid) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
 	cx0, cy0 := g.cellOf(r.Min)
 	cx1, cy1 := g.cellOf(r.Max)
-	seen := make(map[seg.ID]struct{})
+	seen := acquireSeen()
+	defer releaseSeen(seen)
+	mp := membersPool.Get().(*[]seg.ID)
+	defer func() { membersPool.Put(mp) }()
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
 			g.comps(o, 1)
-			members, err := g.cellMembers(cx, cy, o)
+			members, err := g.cellMembers(cx, cy, (*mp)[:0], o)
+			*mp = members[:0]
 			if err != nil {
 				return err
 			}
@@ -230,18 +252,53 @@ type pqItem struct {
 	s      geom.Segment
 }
 
-type pq []pqItem
+// The priority queue is a hand-rolled binary min-heap over []pqItem
+// rather than container/heap: the interface methods box every pqItem
+// pushed or popped, an allocation per queue operation. The sift routines
+// mirror container/heap's exactly, so pop order (and therefore scan
+// order and disk access counts) is unchanged.
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
+func pqUp(q []pqItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func pqDown(q []pqItem, i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q[j2].distSq < q[j].distSq {
+			j = j2
+		}
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+func pqPush(q *[]pqItem, it pqItem) {
+	*q = append(*q, it)
+	pqUp(*q, len(*q)-1)
+}
+
+func pqPop(q *[]pqItem) pqItem {
 	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	pqDown(old, 0, n)
+	it := old[n]
+	*q = old[:n]
+	return it
 }
 
 // Nearest returns the segment closest to p, expanding cells outward from
@@ -259,16 +316,31 @@ func (g *Grid) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 
 // NearestKObs is NearestK with per-query observation.
 func (g *Grid) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
-	var out []core.NearestResult
-	q := &pq{}
-	seen := make(map[seg.ID]struct{})
+	return g.NearestKAppendObs(p, k, nil, o)
+}
+
+// NearestKAppendObs is NearestKObs appending into dst, which lets warm
+// callers reuse one result buffer across queries instead of allocating a
+// fresh slice per call. All query scratch (queue, duplicate set, member
+// buffer) is pooled, so a warm query's search machinery allocates
+// nothing.
+func (g *Grid) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, o *obs.Op) ([]core.NearestResult, error) {
+	base := len(dst)
+	qp := pqPool.Get().(*[]pqItem)
+	q := (*qp)[:0]
+	defer func() { *qp = q[:0]; pqPool.Put(qp) }()
+	seen := acquireSeen()
+	defer releaseSeen(seen)
+	mp := membersPool.Get().(*[]seg.ID)
+	defer func() { membersPool.Put(mp) }()
 	pcx, pcy := g.cellOf(p)
 	examine := func(cx, cy int32) error {
 		if cx < 0 || cy < 0 || cx >= g.n || cy >= g.n {
 			return nil
 		}
 		g.comps(o, 1)
-		members, err := g.cellMembers(cx, cy, o)
+		members, err := g.cellMembers(cx, cy, (*mp)[:0], o)
+		*mp = members[:0]
 		if err != nil {
 			return err
 		}
@@ -281,7 +353,7 @@ func (g *Grid) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 			if err != nil {
 				return err
 			}
-			heap.Push(q, pqItem{
+			pqPush(&q, pqItem{
 				distSq: geom.DistSqPointSegment(p, s),
 				isSeg:  true,
 				id:     id,
@@ -294,16 +366,16 @@ func (g *Grid) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 		// All cells whose Chebyshev cell-distance from (pcx,pcy) is ring.
 		if ring == 0 {
 			if err := examine(pcx, pcy); err != nil {
-				return nil, err
+				return dst, err
 			}
 		} else {
 			for d := -ring; d <= ring; d++ {
-				for _, c := range [][2]int32{
+				for _, c := range [4][2]int32{
 					{pcx + d, pcy - ring}, {pcx + d, pcy + ring},
 					{pcx - ring, pcy + d}, {pcx + ring, pcy + d},
 				} {
 					if err := examine(c[0], c[1]); err != nil {
-						return nil, err
+						return dst, err
 					}
 				}
 			}
@@ -315,21 +387,21 @@ func (g *Grid) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 		bound := (float64(ring) - 1) * float64(g.cellSize)
 		if bound > 0 {
 			b2 := bound * bound
-			for q.Len() > 0 && len(out) < k && (*q)[0].distSq <= b2 {
-				it := heap.Pop(q).(pqItem)
-				out = append(out, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
+			for len(q) > 0 && len(dst)-base < k && q[0].distSq <= b2 {
+				it := pqPop(&q)
+				dst = append(dst, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
 			}
-			if len(out) >= k {
-				return out, nil
+			if len(dst)-base >= k {
+				return dst, nil
 			}
 		}
 	}
 	// Rings exhausted: everything remaining is final.
-	for q.Len() > 0 && len(out) < k {
-		it := heap.Pop(q).(pqItem)
-		out = append(out, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
+	for len(q) > 0 && len(dst)-base < k {
+		it := pqPop(&q)
+		dst = append(dst, core.NearestResult{ID: it.id, Seg: it.s, DistSq: it.distSq, Found: true})
 	}
-	return out, nil
+	return dst, nil
 }
 
 var _ core.Index = (*Grid)(nil)

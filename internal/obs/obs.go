@@ -21,6 +21,7 @@ package obs
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -117,18 +118,50 @@ type Op struct {
 	nodeComps  atomic.Uint64
 }
 
+// opPool recycles Op allocations across queries, so a warm query's hot
+// path does not allocate even its stats sink. Ops returned by Begin that
+// are never Released are simply collected by the GC.
+var opPool = sync.Pool{New: func() any { return new(Op) }}
+
 // Begin starts observing one query. ctx carries cancellation/deadline
 // (context.Background() disables the check at zero cost); tracer may be
-// nil. Begin emits the tracer's QueryStart event.
+// nil. Begin emits the tracer's QueryStart event. The Op comes from a
+// recycling pool: callers that reach their query's end may hand it back
+// with Release.
 func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
-	o := &Op{info: info, tracer: tracer, ctx: ctx, start: time.Now()}
+	o := opPool.Get().(*Op)
+	o.info = info
+	o.tracer = tracer
+	o.ctx = ctx
+	o.start = time.Now()
+	o.end = time.Time{}
+	o.done = nil
 	if ctx != nil {
 		o.done = ctx.Done()
 	}
+	o.diskReads.Store(0)
+	o.diskWrites.Store(0)
+	o.poolHits.Store(0)
+	o.segComps.Store(0)
+	o.nodeComps.Store(0)
 	if tracer != nil {
 		tracer.QueryStart(info)
 	}
 	return o
+}
+
+// Release hands the Op back to the allocation pool. The caller must be
+// past the query's last charge (normally right after Finish) and must not
+// retain o afterwards; Stats values already taken remain valid, being
+// copies. Release on a nil Op is a no-op.
+func (o *Op) Release() {
+	if o == nil {
+		return
+	}
+	o.tracer = nil
+	o.ctx = nil
+	o.done = nil
+	opPool.Put(o)
 }
 
 // Info returns the query's identity.

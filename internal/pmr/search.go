@@ -1,13 +1,38 @@
 package pmr
 
 import (
-	"container/heap"
+	"sync"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
 	"segdb/internal/obs"
 	"segdb/internal/seg"
 )
+
+// Query-scratch pools: the duplicate-suppression set, block code sets,
+// candidate member buffers, and the nearest-neighbor priority queue are
+// recycled across queries so warm window/nearest searches allocate
+// nothing.
+var (
+	seenPool    = sync.Pool{New: func() any { return make(map[seg.ID]struct{}) }}
+	codeSetPool = sync.Pool{New: func() any { return make(map[geom.Code]struct{}) }}
+	membersPool = sync.Pool{New: func() any { return new([]seg.ID) }}
+	pqPool      = sync.Pool{New: func() any { return new([]pqItem) }}
+)
+
+func acquireSeen() map[seg.ID]struct{} { return seenPool.Get().(map[seg.ID]struct{}) }
+
+func releaseSeen(m map[seg.ID]struct{}) {
+	clear(m)
+	seenPool.Put(m)
+}
+
+func acquireCodeSet() map[geom.Code]struct{} { return codeSetPool.Get().(map[geom.Code]struct{}) }
+
+func releaseCodeSet(m map[geom.Code]struct{}) {
+	clear(m)
+	codeSetPool.Put(m)
+}
 
 // comps charges n bounding bucket computations to both the tree's global
 // counter and the per-query sink. Scan loops accumulate counts locally
@@ -50,15 +75,18 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 	for depth < geom.MaxDepth && int64(geom.BlockSide(depth+1)) >= side {
 		depth++
 	}
-	corners := []geom.Point{
+	corners := [4]geom.Point{
 		r.Min,
 		{X: r.Max.X, Y: r.Min.Y},
 		{X: r.Min.X, Y: r.Max.Y},
 		r.Max,
 	}
-	seen := make(map[seg.ID]struct{})
-	scannedCover := make(map[geom.Code]struct{})
-	scannedLeaf := make(map[geom.Code]struct{})
+	seen := acquireSeen()
+	defer releaseSeen(seen)
+	scannedCover := acquireCodeSet()
+	defer releaseCodeSet(scannedCover)
+	scannedLeaf := acquireCodeSet()
+	defer releaseCodeSet(scannedLeaf)
 	for _, corner := range corners {
 		cover := geom.MakeCode(corner, depth)
 		if _, dup := scannedCover[cover]; dup {
@@ -96,7 +124,9 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 // candidate segment fetched.
 func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool, o *obs.Op) (bool, error) {
 	lo, hi := blockRange(c)
-	var members []seg.ID
+	mp := membersPool.Get().(*[]seg.ID)
+	members := (*mp)[:0]
+	defer func() { *mp = members[:0]; membersPool.Put(mp) }()
 	var lastBlock geom.Code
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
@@ -176,7 +206,9 @@ func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o
 		return err
 	}
 	exLo, exHi := exactRange(c)
-	var members []seg.ID
+	mp := membersPool.Get().(*[]seg.ID)
+	members := (*mp)[:0]
+	defer func() { *mp = members[:0]; membersPool.Put(mp) }()
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
 	if err := t.bt.ScanValuesObs(exLo, exHi, func(k uint64, v []byte) bool {
@@ -233,18 +265,53 @@ const (
 	pqSeg                  // a fully resolved segment
 )
 
-type pq []pqItem
+// The priority queue is a hand-rolled binary min-heap over []pqItem
+// rather than container/heap: the interface methods box every pqItem
+// pushed or popped, an allocation per queue operation. The sift routines
+// mirror container/heap's exactly, so pop order (and therefore scan
+// order and disk access counts) is unchanged.
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
+func pqUp(q []pqItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func pqDown(q []pqItem, i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q[j2].distSq < q[j].distSq {
+			j = j2
+		}
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+func pqPush(q *[]pqItem, it pqItem) {
+	*q = append(*q, it)
+	pqUp(*q, len(*q)-1)
+}
+
+func pqPop(q *[]pqItem) pqItem {
 	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	pqDown(old, 0, n)
+	it := old[n]
+	*q = old[:n]
+	return it
 }
 
 // nearestEnumLimit caps how many q-edges a popped region may hold before
@@ -274,10 +341,20 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 
 // NearestKObs is NearestK with per-query observation.
 func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
-	var out []core.NearestResult
+	return t.NearestKAppendObs(p, k, nil, o)
+}
+
+// NearestKAppendObs is NearestKObs appending into dst, which lets warm
+// callers reuse one result buffer across queries instead of allocating a
+// fresh slice per call. The queue backing array and the duplicate set
+// are pooled too.
+func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, o *obs.Op) ([]core.NearestResult, error) {
+	base := len(dst)
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
-	q := &pq{}
+	qp := pqPool.Get().(*[]pqItem)
+	q := (*qp)[:0]
+	defer func() { *qp = q[:0]; pqPool.Put(qp) }()
 	// Seed the queue from the leaf block containing p (one predecessor
 	// search) plus the unexplored siblings along its ancestor path. In
 	// the dense regions favored by the two-stage query points, the
@@ -287,9 +364,9 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 	// in unoccupied space (common for one-stage points) the search falls
 	// back to a full top-down descent.
 	if leaf, ok, err := t.locate(p, o); err != nil {
-		return nil, err
+		return dst, err
 	} else if ok {
-		heap.Push(q, pqItem{distSq: 0, kind: pqBucket, code: leaf})
+		pqPush(&q, pqItem{distSq: 0, kind: pqBucket, code: leaf})
 		for c := leaf; c.Depth() > 0; c = c.Parent() {
 			parent := c.Parent()
 			for qd := 0; qd < 4; qd++ {
@@ -298,18 +375,19 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 					continue
 				}
 				examined++
-				heap.Push(q, pqItem{distSq: sib.Block().DistSqToPoint(p), kind: pqRegion, code: sib})
+				pqPush(&q, pqItem{distSq: sib.Block().DistSqToPoint(p), kind: pqRegion, code: sib})
 			}
 		}
 	} else {
-		heap.Push(q, pqItem{distSq: 0, kind: pqRegion, code: geom.RootCode()})
+		pqPush(&q, pqItem{distSq: 0, kind: pqRegion, code: geom.RootCode()})
 	}
-	seen := make(map[seg.ID]struct{})
-	for q.Len() > 0 && len(out) < k {
-		it := heap.Pop(q).(pqItem)
+	seen := acquireSeen()
+	defer releaseSeen(seen)
+	for len(q) > 0 && len(dst)-base < k {
+		it := pqPop(&q)
 		switch it.kind {
 		case pqSeg:
-			out = append(out, core.NearestResult{
+			dst = append(dst, core.NearestResult{
 				ID:     it.id,
 				Seg:    it.s,
 				DistSq: it.distSq,
@@ -328,7 +406,7 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 					it.members = append(it.members, ref)
 					return true
 				}, o); err != nil {
-					return nil, err
+					return dst, err
 				}
 			}
 			for _, ref := range it.members {
@@ -341,7 +419,7 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 						continue
 					}
 					examined++
-					heap.Push(q, pqItem{
+					pqPush(&q, pqItem{
 						distSq: ref.rect.DistSqToPoint(p),
 						kind:   pqEdge,
 						id:     ref.id,
@@ -354,9 +432,9 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 				seen[ref.id] = struct{}{}
 				s, err := t.table.GetObs(ref.id, o)
 				if err != nil {
-					return nil, err
+					return dst, err
 				}
-				heap.Push(q, pqItem{
+				pqPush(&q, pqItem{
 					distSq: geom.DistSqPointSegment(p, s),
 					kind:   pqSeg,
 					id:     ref.id,
@@ -371,9 +449,9 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 			seen[it.id] = struct{}{}
 			s, err := t.table.GetObs(it.id, o)
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
-			heap.Push(q, pqItem{
+			pqPush(&q, pqItem{
 				distSq: geom.DistSqPointSegment(p, s),
 				kind:   pqSeg,
 				id:     it.id,
@@ -408,13 +486,13 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 				g.members = append(g.members, ref)
 				return count <= limit
 			}, o); err != nil {
-				return nil, err
+				return dst, err
 			}
 			if count > limit {
 				for qd := 0; qd < 4; qd++ {
 					child := it.code.Child(qd)
 					examined++
-					heap.Push(q, pqItem{distSq: child.Block().DistSqToPoint(p), kind: pqRegion, code: child})
+					pqPush(&q, pqItem{distSq: child.Block().DistSqToPoint(p), kind: pqRegion, code: child})
 				}
 				continue
 			}
@@ -422,7 +500,7 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 			// its segments are fetched only if the bucket is reached.
 			for _, g := range groups {
 				examined++
-				heap.Push(q, pqItem{
+				pqPush(&q, pqItem{
 					distSq:  g.code.Block().DistSqToPoint(p),
 					kind:    pqBucket,
 					code:    g.code,
@@ -431,7 +509,7 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 			}
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // LeafBlocks returns the codes of all occupied leaf blocks in Z-order.

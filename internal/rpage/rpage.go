@@ -10,6 +10,7 @@ package rpage
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"segdb/internal/geom"
 )
@@ -56,19 +57,55 @@ func Write(data []byte, n *Node) {
 	}
 }
 
-// Read decodes a page into a Node, rejecting headers whose entry count
-// cannot fit the page (stale or corrupted data that survived its
-// checksum, e.g. a page recycled from another structure after a crash).
-func Read(data []byte) (*Node, error) {
-	if data[0] > 1 {
-		return nil, fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+// nodePool recycles decoded nodes (and, through them, their entry
+// slices) across page reads, so a warm search decodes every visited page
+// into memory it already owns.
+var nodePool = sync.Pool{New: func() any { return new(Node) }}
+
+// Acquire returns a node from the decode pool, ready for ReadInto.
+// Callers on query hot paths pair it with Release; dropping an acquired
+// node is safe (the GC reclaims it) but wastes the reuse.
+func Acquire() *Node { return nodePool.Get().(*Node) }
+
+// Release hands a node back to the decode pool. The caller must not
+// retain n, its Entries slice, or pointers into it afterwards.
+func Release(n *Node) {
+	if n == nil {
+		return
 	}
-	n := &Node{Leaf: data[0] == 1}
+	nodePool.Put(n)
+}
+
+// Read decodes a page into a freshly allocated Node. Hot paths prefer
+// Acquire + ReadInto + Release, which reuses decode buffers.
+func Read(data []byte) (*Node, error) {
+	n := new(Node)
+	if err := ReadInto(data, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// ReadInto decodes a page into n, reusing n's entry slice capacity. It
+// rejects headers whose entry count cannot fit the page (stale or
+// corrupted data that survived its checksum, e.g. a page recycled from
+// another structure after a crash); on error n is left empty.
+func ReadInto(data []byte, n *Node) error {
+	n.Leaf = false
+	n.Entries = n.Entries[:0]
+	if data[0] > 1 {
+		return fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+	}
 	count := int(binary.LittleEndian.Uint16(data[2:]))
 	if max := Capacity(len(data)); count > max {
-		return nil, fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
+		return fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
 	}
-	n.Entries = make([]Entry, count)
+	n.Leaf = data[0] == 1
+	if cap(n.Entries) < count {
+		n.Entries = make([]Entry, count)
+	} else {
+		n.Entries = n.Entries[:count]
+	}
 	off := HeaderSize
 	for i := range n.Entries {
 		n.Entries[i] = Entry{
@@ -86,7 +123,7 @@ func Read(data []byte) (*Node, error) {
 		}
 		off += EntrySize
 	}
-	return n, nil
+	return nil
 }
 
 // MBR returns the minimum bounding rectangle of the node's entries. It

@@ -1,7 +1,7 @@
 package rplus
 
 import (
-	"container/heap"
+	"sync"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
@@ -12,18 +12,34 @@ import (
 )
 
 // readNodeObs is readNode with the page request charged to o and a
-// NodeVisit trace event on success.
+// NodeVisit trace event on success. The returned node comes from the
+// rpage decode pool; search paths hand it back with rpage.Release once
+// done with its entries.
 func (t *Tree) readNodeObs(id store.PageID, o *obs.Op) (*rpage.Node, error) {
 	data, err := t.pool.GetObs(id, o)
 	if err != nil {
 		return nil, err
 	}
-	n, err := rpage.Read(data)
+	n := rpage.Acquire()
+	err = rpage.ReadInto(data, n)
 	t.pool.Unpin(id, false)
-	if err == nil {
-		o.NodeVisit(uint32(id))
+	if err != nil {
+		rpage.Release(n)
+		return nil, err
 	}
-	return n, err
+	o.NodeVisit(uint32(id))
+	return n, nil
+}
+
+// seenPool recycles the per-query duplicate-suppression sets the R+-tree
+// needs (a segment is stored in every leaf it crosses).
+var seenPool = sync.Pool{New: func() any { return make(map[seg.ID]struct{}) }}
+
+func acquireSeen() map[seg.ID]struct{} { return seenPool.Get().(map[seg.ID]struct{}) }
+
+func releaseSeen(m map[seg.ID]struct{}) {
+	clear(m)
+	seenPool.Put(m)
 }
 
 // comps charges n bounding box computations to both the tree's global
@@ -48,7 +64,8 @@ func (t *Tree) Window(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool) e
 
 // WindowObs is Window with per-query observation.
 func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool, o *obs.Op) error {
-	seen := make(map[seg.ID]struct{})
+	seen := acquireSeen()
+	defer releaseSeen(seen)
 	var examined uint64
 	_, err := t.window(t.root, r, seen, visit, o, &examined)
 	t.comps(o, examined)
@@ -60,6 +77,7 @@ func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, vi
 	if err != nil {
 		return false, err
 	}
+	defer rpage.Release(n)
 	for _, e := range n.Entries {
 		*examined++
 		if !e.Rect.Intersects(r) {
@@ -98,19 +116,58 @@ type pqItem struct {
 	s      geom.Segment
 }
 
-type pq []pqItem
+// The priority queue is a hand-rolled binary min-heap over []pqItem
+// rather than container/heap: the interface methods box every pqItem
+// pushed or popped, an allocation per queue operation. The sift routines
+// mirror container/heap's exactly, so pop order (and therefore traversal
+// order and disk access counts) is unchanged.
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].distSq < q[j].distSq }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+func pqUp(q []pqItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
 }
+
+func pqDown(q []pqItem, i, n int) {
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q[j2].distSq < q[j].distSq {
+			j = j2
+		}
+		if !(q[j].distSq < q[i].distSq) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+func pqPush(q *[]pqItem, it pqItem) {
+	*q = append(*q, it)
+	pqUp(*q, len(*q)-1)
+}
+
+func pqPop(q *[]pqItem) pqItem {
+	old := *q
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	pqDown(old, 0, n)
+	it := old[n]
+	*q = old[:n]
+	return it
+}
+
+// pqPool recycles priority-queue backing arrays across nearest-neighbor
+// queries.
+var pqPool = sync.Pool{New: func() any { return new([]pqItem) }}
 
 // Nearest returns the segment closest to p via the incremental
 // priority-queue search. The disjoint decomposition means the start region
@@ -127,15 +184,27 @@ func (t *Tree) NearestK(p geom.Point, k int) ([]core.NearestResult, error) {
 
 // NearestKObs is NearestK with per-query observation.
 func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult, error) {
-	var out []core.NearestResult
+	return t.NearestKAppendObs(p, k, nil, o)
+}
+
+// NearestKAppendObs is NearestKObs appending into dst, which lets warm
+// callers reuse one result buffer across queries instead of allocating a
+// fresh slice per call. The queue backing array and the duplicate set
+// are pooled too, so a warm query's search machinery allocates nothing.
+func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, o *obs.Op) ([]core.NearestResult, error) {
+	base := len(dst)
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
-	q := &pq{{distSq: 0, ptr: uint32(t.root)}}
-	seen := make(map[seg.ID]struct{})
-	for q.Len() > 0 && len(out) < k {
-		it := heap.Pop(q).(pqItem)
+	qp := pqPool.Get().(*[]pqItem)
+	q := (*qp)[:0]
+	defer func() { *qp = q[:0]; pqPool.Put(qp) }()
+	seen := acquireSeen()
+	defer releaseSeen(seen)
+	pqPush(&q, pqItem{distSq: 0, ptr: uint32(t.root)})
+	for len(q) > 0 && len(dst)-base < k {
+		it := pqPop(&q)
 		if it.isSeg {
-			out = append(out, core.NearestResult{
+			dst = append(dst, core.NearestResult{
 				ID:     seg.ID(it.ptr),
 				Seg:    it.s,
 				DistSq: it.distSq,
@@ -145,7 +214,7 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 		}
 		n, err := t.readNodeObs(store.PageID(it.ptr), o)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		for _, e := range n.Entries {
 			examined++
@@ -157,9 +226,10 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 				seen[sid] = struct{}{}
 				s, err := t.table.GetObs(sid, o)
 				if err != nil {
-					return nil, err
+					rpage.Release(n)
+					return dst, err
 				}
-				heap.Push(q, pqItem{
+				pqPush(&q, pqItem{
 					distSq: geom.DistSqPointSegment(p, s),
 					isSeg:  true,
 					ptr:    e.Ptr,
@@ -167,10 +237,11 @@ func (t *Tree) NearestKObs(p geom.Point, k int, o *obs.Op) ([]core.NearestResult
 				})
 				continue
 			}
-			heap.Push(q, pqItem{distSq: e.Rect.DistSqToPoint(p), ptr: e.Ptr})
+			pqPush(&q, pqItem{distSq: e.Rect.DistSqToPoint(p), ptr: e.Ptr})
 		}
+		rpage.Release(n)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Delete removes the segment from every leaf containing it. The R+-tree

@@ -48,10 +48,18 @@ type Table struct {
 	fetches atomic.Uint64
 }
 
-// NewTable creates a segment table over its own simulated disk.
+// NewTable creates a segment table over its own simulated disk, fronted
+// by a single-shard (exact-LRU) buffer pool.
 func NewTable(pageSize, poolPages int) *Table {
+	return NewTableSharded(pageSize, poolPages, 1)
+}
+
+// NewTableSharded is NewTable with the buffer pool split into the given
+// number of shards (see store.NewShardedPool; shards <= 0 sizes the pool
+// automatically for the machine).
+func NewTableSharded(pageSize, poolPages, shards int) *Table {
 	return &Table{
-		pool:    store.NewPool(store.NewDisk(pageSize), poolPages),
+		pool:    store.NewShardedPool(store.NewDisk(pageSize), poolPages, shards),
 		perPage: pageSize / recordSize,
 	}
 }
@@ -189,8 +197,14 @@ func (t *Table) CheckIntegrity() error {
 }
 
 // RestoreTable reconstructs a table serialized by SaveTo, fronted by a
-// fresh buffer pool of poolPages frames.
+// fresh single-shard buffer pool of poolPages frames.
 func RestoreTable(r io.Reader, poolPages int) (*Table, error) {
+	return RestoreTableSharded(r, poolPages, 1)
+}
+
+// RestoreTableSharded is RestoreTable with a sharded buffer pool (see
+// store.NewShardedPool).
+func RestoreTableSharded(r io.Reader, poolPages, shards int) (*Table, error) {
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("seg: reading table header: %w", err)
@@ -203,7 +217,7 @@ func RestoreTable(r io.Reader, poolPages int) (*Table, error) {
 		return nil, fmt.Errorf("seg: table image page size %d below record size %d", disk.PageSize(), recordSize)
 	}
 	t := &Table{
-		pool:    store.NewPool(disk, poolPages),
+		pool:    store.NewShardedPool(disk, poolPages, shards),
 		perPage: disk.PageSize() / recordSize,
 		count:   int(count),
 	}

@@ -16,17 +16,23 @@
 // crash-after-N-writes power loss. See DESIGN.md, "Fault model &
 // recovery".
 //
-// Concurrency: Disk and Pool are latched (a short-held mutex around the
-// page array and the frame table respectively) and all statistics are
-// atomic, so any number of goroutines may read pages through one Pool
-// concurrently. Structural writers at higher layers (index insert/delete)
+// Concurrency: the Disk is latched (a short-held mutex around the page
+// array) and the Pool is sharded — pages hash onto independent shards,
+// each with its own latch and eviction state — so any number of
+// goroutines may read pages through one Pool concurrently without
+// serializing on a single lock. A single-shard pool (NewPool) degenerates
+// to the paper's one-latch exact-LRU pool; multi-shard pools use CLOCK
+// second-chance eviction whose hit path is a shard-local read-lock plus
+// two atomics. Structural writers at higher layers (index insert/delete)
 // must still be externally serialized — the latches protect the store's
 // own invariants, not the page *contents* two writers might both edit.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -305,48 +311,153 @@ func (d *Disk) VerifyChecksums() error {
 	return nil
 }
 
-// frame is one buffer-pool slot.
+// frame is one buffer-pool slot. The pin count, dirty flag, and CLOCK
+// reference bit are atomics so a sharded pool's hit path can pin and
+// mark under a shard read lock; in exact-LRU mode they are only ever
+// touched under the shard's exclusive latch.
 type frame struct {
 	id         PageID
 	data       []byte
-	dirty      bool
-	pins       int
-	prev, next *frame // LRU list; most recently used at head
+	dirty      atomic.Bool
+	pins       atomic.Int32
+	ref        atomic.Bool // CLOCK second-chance reference bit
+	slot       int         // CLOCK ring position
+	prev, next *frame      // LRU list; most recently used at head
 }
 
-// Pool is an LRU buffer pool over a Disk. Fetching a page that is resident
-// costs nothing (a hit); a miss evicts the least recently used unpinned
-// frame (writing it back if dirty) and reads the page from disk.
+// shard is one independent slice of a sharded pool: its own latch, frame
+// table, and eviction state. A page always maps to the same shard, so
+// shards never coordinate.
+type shard struct {
+	mu     sync.RWMutex
+	cap    int
+	frames map[PageID]*frame
+	// Exact-LRU mode (single-shard pools).
+	head *frame // most recently used
+	tail *frame // least recently used
+	// CLOCK mode (sharded pools): fixed ring of cap slots, nil = free.
+	ring []*frame
+	hand int
+}
+
+// Pool is a buffer pool over a Disk. Fetching a page that is resident
+// costs nothing (a hit); a miss evicts an unpinned frame (writing it back
+// if dirty) and reads the page from disk.
 //
-// The pool is latched: frame lookup, pinning, LRU maintenance, and
-// eviction are serialized by a mutex held only for those bookkeeping
-// steps, so concurrent readers scale. The page bytes returned by Get alias
-// the frame and are protected by the pin, not the latch — they stay valid
-// until Unpin. Callers that *modify* page contents must be externally
-// serialized (one writer at a time), as two concurrent writers to the
-// same frame would race on the bytes themselves.
+// The pool is sharded: a page's shard is a hash of its PageID, and each
+// shard has its own latch and eviction state, so concurrent readers only
+// contend when they touch the same shard. With a single shard (NewPool)
+// the pool is the paper's configuration — one latch and exact LRU
+// eviction, reproducing the experiments' disk-access counts precisely.
+// With two or more shards eviction is CLOCK second-chance: the hit path
+// takes only the shard's read lock and two atomic stores (pin count,
+// reference bit), with no list manipulation, so hits from many goroutines
+// scale near-linearly.
+//
+// The page bytes returned by Get alias the frame and are protected by the
+// pin, not the latch — they stay valid until Unpin. Callers that *modify*
+// page contents must be externally serialized (one writer at a time), as
+// two concurrent writers to the same frame would race on the bytes
+// themselves.
 type Pool struct {
-	mu       sync.Mutex
 	disk     *Disk
 	capacity int
-	frames   map[PageID]*frame
-	head     *frame // most recently used
-	tail     *frame // least recently used
+	lru      bool // exact-LRU single-shard mode
+	shift    uint32
+	shards   []*shard
 	hits     atomic.Uint64
 }
 
-// NewPool creates a buffer pool with the given number of frames. It
-// panics on a non-positive capacity (programmer error; validate untrusted
-// configuration before calling).
+// minAutoShardFrames is the smallest per-shard frame count the automatic
+// shard sizing will accept: sharding a tiny pool to slivers trades hit
+// ratio (and risks transient all-pinned shards) for nothing.
+const minAutoShardFrames = 8
+
+// clockEvictRetries bounds how many times a CLOCK shard re-sweeps after
+// finding every frame pinned, yielding between attempts. Pins are held
+// only across a page decode, so a full shard is almost always a transient
+// pin storm, not a deadlock; retrying absorbs it. Exhausting the retries
+// surfaces ErrAllPinned.
+const clockEvictRetries = 128
+
+// NewPool creates a single-shard buffer pool with the given number of
+// frames — one latch and exact LRU eviction, the paper's configuration.
+// It panics on a non-positive capacity (programmer error; validate
+// untrusted configuration before calling).
 func NewPool(disk *Disk, capacity int) *Pool {
+	return NewShardedPool(disk, capacity, 1)
+}
+
+// NewShardedPool creates a buffer pool whose frames are partitioned
+// across the given number of shards (rounded up to a power of two and
+// clamped so every shard holds at least one frame). shards <= 0 selects
+// an automatic count: the smallest power of two covering GOMAXPROCS,
+// clamped so every shard keeps at least 8 frames. One shard gives exact
+// LRU eviction; two or more give CLOCK second-chance eviction (see Pool).
+// It panics on a non-positive capacity.
+func NewShardedPool(disk *Disk, capacity, shards int) *Pool {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("store: invalid pool capacity %d", capacity))
 	}
-	return &Pool{
+	if shards <= 0 {
+		shards = ceilPow2(runtime.GOMAXPROCS(0))
+		for shards > 1 && capacity/shards < minAutoShardFrames {
+			shards /= 2
+		}
+	}
+	shards = ceilPow2(shards)
+	for shards > capacity {
+		shards /= 2
+	}
+	p := &Pool{
 		disk:     disk,
 		capacity: capacity,
-		frames:   make(map[PageID]*frame, capacity),
+		lru:      shards == 1,
+		shift:    32 - uint32(log2(shards)),
+		shards:   make([]*shard, shards),
 	}
+	for i := range p.shards {
+		c := capacity / shards
+		if i < capacity%shards {
+			c++
+		}
+		sh := &shard{cap: c, frames: make(map[PageID]*frame, c)}
+		if !p.lru {
+			sh.ring = make([]*frame, c)
+		}
+		p.shards[i] = sh
+	}
+	return p
+}
+
+// ceilPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n /= 2
+		l++
+	}
+	return l
+}
+
+// Shards returns the number of independent shards the pool's frames are
+// partitioned across.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardFor maps a page to its shard by a multiplicative hash of the page
+// id (Fibonacci hashing: consecutive ids — a tree's pages are allocated
+// consecutively — scatter across shards instead of striping).
+func (p *Pool) shardFor(id PageID) *shard {
+	return p.shards[(uint32(id)*0x9E3779B9)>>p.shift]
 }
 
 // Disk returns the underlying disk.
@@ -365,9 +476,10 @@ func (p *Pool) Stats() Stats {
 
 // Resident reports whether the page is currently in the pool (test hook).
 func (p *Pool) Resident(id PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.frames[id]
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.frames[id]
 	return ok
 }
 
@@ -376,16 +488,25 @@ func (p *Pool) Resident(id PageID) bool {
 // evicting a victim) the fresh page is returned to the free list.
 func (p *Pool) Allocate() (PageID, []byte, error) {
 	id := p.disk.allocate()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.install(id, false, nil)
-	if err != nil {
-		p.disk.release(id)
-		return NilPage, nil, err
+	sh := p.shardFor(id)
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		f, err := sh.install(p, id, false, nil)
+		if err == nil {
+			f.dirty.Store(true)
+			f.pins.Add(1)
+			sh.mu.Unlock()
+			return id, f.data, nil
+		}
+		sh.mu.Unlock()
+		if p.lru || attempt >= clockEvictRetries || !errors.Is(err, ErrAllPinned) {
+			p.disk.release(id)
+			return NilPage, nil, err
+		}
+		// CLOCK shard momentarily all pinned; pins are transient, so
+		// yield and retry rather than failing the allocation.
+		runtime.Gosched()
 	}
-	f.dirty = true
-	f.pins++
-	return id, f.data, nil
 }
 
 // Get pins the page and returns its contents. The slice aliases the buffer
@@ -408,22 +529,66 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 	if err := o.Canceled(); err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		p.hits.Add(1)
-		o.PoolHit()
-		p.touch(f)
-		f.pins++
+	sh := p.shardFor(id)
+	if p.lru {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if f, ok := sh.frames[id]; ok {
+			p.hits.Add(1)
+			o.PoolHit()
+			sh.touch(f)
+			f.pins.Add(1)
+			return f.data, nil
+		}
+		f, err := sh.install(p, id, true, o)
+		if err != nil {
+			return nil, err
+		}
+		o.PoolMiss(uint32(id))
+		f.pins.Add(1)
 		return f.data, nil
 	}
-	f, err := p.install(id, true, o)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		// CLOCK hit path: shard read lock, pin, mark referenced. Eviction
+		// needs the write lock and skips pinned frames, so pinning under
+		// the read lock is enough to keep the frame resident.
+		sh.mu.RLock()
+		if f, ok := sh.frames[id]; ok {
+			f.pins.Add(1)
+			f.ref.Store(true)
+			sh.mu.RUnlock()
+			p.hits.Add(1)
+			o.PoolHit()
+			return f.data, nil
+		}
+		sh.mu.RUnlock()
+		sh.mu.Lock()
+		if f, ok := sh.frames[id]; ok {
+			// A racer installed the page while we upgraded to the write
+			// lock; still a hit.
+			f.pins.Add(1)
+			f.ref.Store(true)
+			sh.mu.Unlock()
+			p.hits.Add(1)
+			o.PoolHit()
+			return f.data, nil
+		}
+		f, err := sh.install(p, id, true, o)
+		if err == nil {
+			f.pins.Add(1)
+			sh.mu.Unlock()
+			o.PoolMiss(uint32(id))
+			return f.data, nil
+		}
+		sh.mu.Unlock()
+		if attempt >= clockEvictRetries || !errors.Is(err, ErrAllPinned) {
+			return nil, err
+		}
+		// Every frame of the shard pinned: pins are held only across a
+		// page decode, so yield and retry the whole request (the page may
+		// even arrive via a racer, turning the retry into a hit).
+		runtime.Gosched()
 	}
-	o.PoolMiss(uint32(id))
-	f.pins++
-	return f.data, nil
 }
 
 // Unpin releases one pin on the page, marking it dirty if the caller
@@ -431,29 +596,31 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 // a programmer invariant (pins are only handed out by Get/Allocate), not
 // an I/O condition.
 func (p *Pool) Unpin(id PageID, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
-	if !ok || f.pins == 0 {
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.frames[id]
+	if !ok || f.pins.Load() == 0 {
 		panic(fmt.Sprintf("store: unpin of unpinned page %d", id))
 	}
-	f.pins--
 	if dirty {
-		f.dirty = true
+		f.dirty.Store(true)
 	}
+	f.pins.Add(-1)
 }
 
 // MarkDirty flags a currently pinned page as modified. Marking a
 // non-resident page panics (programmer error: the caller claims to hold a
 // pin it does not have).
 func (p *Pool) MarkDirty(id PageID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	sh := p.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, ok := sh.frames[id]
 	if !ok {
 		panic(fmt.Sprintf("store: mark dirty of non-resident page %d", id))
 	}
-	f.dirty = true
+	f.dirty.Store(true)
 }
 
 // Free returns the page to the disk free list. The page must be unpinned
@@ -461,16 +628,16 @@ func (p *Pool) MarkDirty(id PageID) {
 // freed is simply dropped without a write-back, since its contents are
 // dead.
 func (p *Pool) Free(id PageID) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		if f.pins > 0 {
-			p.mu.Unlock()
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		if f.pins.Load() > 0 {
+			sh.mu.Unlock()
 			panic(fmt.Sprintf("store: free of pinned page %d", id))
 		}
-		p.unlink(f)
-		delete(p.frames, id)
+		sh.remove(f)
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	p.disk.release(id)
 }
 
@@ -479,18 +646,24 @@ func (p *Pool) Free(id PageID) {
 // write fault it stops and reports the error; the failed frame and any
 // not yet visited stay dirty.
 func (p *Pool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushLocked()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.flushLocked(p.disk)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (p *Pool) flushLocked() error {
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.disk.write(f.id, f.data); err != nil {
+func (sh *shard) flushLocked(d *Disk) error {
+	for _, f := range sh.frames {
+		if f.dirty.Load() {
+			if err := d.write(f.id, f.data); err != nil {
 				return err
 			}
-			f.dirty = false
+			f.dirty.Store(false)
 		}
 	}
 	return nil
@@ -502,90 +675,168 @@ func (p *Pool) flushLocked() error {
 // concurrently with queries, which hold pins while they read. On a write
 // fault the pool is left partially flushed and nothing is dropped.
 func (p *Pool) DropAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.flushLocked(); err != nil {
-		return err
-	}
-	for id, f := range p.frames {
-		if f.pins > 0 {
-			panic(fmt.Sprintf("store: drop-all with pinned page %d", id))
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		if err := sh.flushLocked(p.disk); err != nil {
+			sh.mu.Unlock()
+			return err
 		}
-		delete(p.frames, id)
+		for id, f := range sh.frames {
+			if f.pins.Load() > 0 {
+				sh.mu.Unlock()
+				panic(fmt.Sprintf("store: drop-all with pinned page %d", id))
+			}
+			delete(sh.frames, id)
+		}
+		sh.head, sh.tail = nil, nil
+		for i := range sh.ring {
+			sh.ring[i] = nil
+		}
+		sh.hand = 0
+		sh.mu.Unlock()
 	}
-	p.head, p.tail = nil, nil
 	return nil
 }
 
-// install brings a page into the pool, evicting if necessary, charging
-// any eviction write-back to o. The pool latch must be held.
-func (p *Pool) install(id PageID, readFromDisk bool, o *obs.Op) (*frame, error) {
-	if len(p.frames) >= p.capacity {
-		if err := p.evictOne(o); err != nil {
+// install brings a page into the shard, evicting if necessary, charging
+// any eviction write-back to o. The shard latch must be held exclusively.
+func (sh *shard) install(p *Pool, id PageID, readFromDisk bool, o *obs.Op) (*frame, error) {
+	var (
+		slot = -1
+		buf  []byte
+	)
+	if len(sh.frames) >= sh.cap {
+		var err error
+		if slot, buf, err = sh.evictOne(p, o); err != nil {
 			return nil, err
 		}
+	} else if sh.ring != nil {
+		for i := range sh.ring {
+			if sh.ring[i] == nil {
+				slot = i
+				break
+			}
+		}
 	}
-	f := &frame{id: id, data: make([]byte, p.disk.pageSize)}
+	if buf == nil {
+		buf = make([]byte, p.disk.pageSize)
+	}
+	f := &frame{id: id, data: buf, slot: slot}
 	if readFromDisk {
 		if err := p.disk.read(id, f.data); err != nil {
 			return nil, err
 		}
 	}
-	p.frames[id] = f
-	p.pushFront(f)
+	sh.frames[id] = f
+	if sh.ring != nil {
+		sh.ring[slot] = f
+		f.ref.Store(true)
+	} else {
+		sh.pushFront(f)
+	}
 	return f, nil
 }
 
-// evictOne removes the least recently used unpinned frame, charging a
-// dirty victim's write-back to o. The pool latch must be held.
-func (p *Pool) evictOne(o *obs.Op) error {
-	for f := p.tail; f != nil; f = f.prev {
-		if f.pins > 0 {
+// evictOne frees one frame, charging a dirty victim's write-back to o,
+// and returns the freed CLOCK slot (-1 in LRU mode) plus the victim's
+// page buffer for reuse. The shard latch must be held exclusively.
+//
+// LRU mode evicts the least recently used unpinned frame — exactly the
+// paper's policy. CLOCK mode sweeps the ring twice: the first pass
+// clears reference bits (the second chance), the second catches every
+// frame that stayed unreferenced; pins cannot change mid-sweep because
+// both pinning and unpinning take at least the shard read lock. An
+// all-pinned shard reports ErrAllPinned; the pool's request paths retry
+// that with a yield, since pins are transient.
+func (sh *shard) evictOne(p *Pool, o *obs.Op) (int, []byte, error) {
+	if sh.ring == nil {
+		for f := sh.tail; f != nil; f = f.prev {
+			if f.pins.Load() > 0 {
+				continue
+			}
+			if f.dirty.Load() {
+				if err := p.disk.write(f.id, f.data); err != nil {
+					return -1, nil, err
+				}
+				o.DiskWrite()
+			}
+			sh.unlink(f)
+			delete(sh.frames, f.id)
+			return -1, f.data, nil
+		}
+		return -1, nil, ErrAllPinned
+	}
+	for i := 0; i < 2*sh.cap; i++ {
+		h := sh.hand
+		sh.hand = (sh.hand + 1) % sh.cap
+		f := sh.ring[h]
+		if f == nil {
+			// A Free raced a slot empty; take it without evicting.
+			return h, nil, nil
+		}
+		if f.pins.Load() > 0 {
 			continue
 		}
-		if f.dirty {
+		if f.ref.Load() {
+			f.ref.Store(false)
+			continue
+		}
+		if f.dirty.Load() {
 			if err := p.disk.write(f.id, f.data); err != nil {
-				return err
+				return -1, nil, err
 			}
 			o.DiskWrite()
 		}
-		p.unlink(f)
-		delete(p.frames, f.id)
-		return nil
+		delete(sh.frames, f.id)
+		sh.ring[h] = nil
+		return h, f.data, nil
 	}
-	return ErrAllPinned
+	return -1, nil, ErrAllPinned
 }
 
-func (p *Pool) touch(f *frame) {
-	if p.head == f {
+// remove drops a frame from the shard's bookkeeping (both modes). The
+// shard latch must be held exclusively.
+func (sh *shard) remove(f *frame) {
+	if sh.ring != nil {
+		sh.ring[f.slot] = nil
+	} else {
+		sh.unlink(f)
+	}
+	delete(sh.frames, f.id)
+}
+
+// touch moves a frame to the LRU head; in CLOCK mode recency is the
+// reference bit and this is a no-op.
+func (sh *shard) touch(f *frame) {
+	if sh.ring != nil || sh.head == f {
 		return
 	}
-	p.unlink(f)
-	p.pushFront(f)
+	sh.unlink(f)
+	sh.pushFront(f)
 }
 
-func (p *Pool) pushFront(f *frame) {
+func (sh *shard) pushFront(f *frame) {
 	f.prev = nil
-	f.next = p.head
-	if p.head != nil {
-		p.head.prev = f
+	f.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = f
 	}
-	p.head = f
-	if p.tail == nil {
-		p.tail = f
+	sh.head = f
+	if sh.tail == nil {
+		sh.tail = f
 	}
 }
 
-func (p *Pool) unlink(f *frame) {
+func (sh *shard) unlink(f *frame) {
 	if f.prev != nil {
 		f.prev.next = f.next
 	} else {
-		p.head = f.next
+		sh.head = f.next
 	}
 	if f.next != nil {
 		f.next.prev = f.prev
 	} else {
-		p.tail = f.prev
+		sh.tail = f.prev
 	}
 	f.prev, f.next = nil, nil
 }

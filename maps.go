@@ -120,7 +120,7 @@ func (db *DB) LoadPacked(m *MapData) ([]SegmentID, error) {
 		ids = append(ids, id)
 	}
 	// Pack into a fresh disk, replacing the empty index.
-	pool := store.NewPool(store.NewDisk(db.opts.PageSize), db.opts.PoolPages)
+	pool := store.NewShardedPool(store.NewDisk(db.opts.PageSize), db.opts.PoolPages, db.opts.PoolShards)
 	ix, err := rstar.BulkLoad(pool, db.table, cfg, ids)
 	if err != nil {
 		return nil, err

@@ -43,6 +43,19 @@ func WithPoolPages(n int) Option {
 	return optionFunc(func(o *Options) { o.PoolPages = n })
 }
 
+// WithPoolShards sets how many independently latched shards each buffer
+// pool is split into. The default (0 left unset resolves to 1) keeps the
+// single-shard exact-LRU pool whose eviction order reproduces the
+// paper's disk-access counts page for page. Explicit values are rounded
+// up to a power of two and capped so no shard starves; a negative value
+// sizes the pool automatically from GOMAXPROCS. Multi-shard pools use
+// CLOCK second-chance eviction, which approximates LRU — total page
+// requests are identical, but the hit/miss split can differ from the
+// single-shard numbers.
+func WithPoolShards(n int) Option {
+	return optionFunc(func(o *Options) { o.PoolShards = n })
+}
+
 // WithPMRThreshold sets the PMR quadtree splitting threshold
 // (default 4).
 func WithPMRThreshold(n int) Option {
@@ -87,6 +100,9 @@ func resolveOptions(opts []Option) Options {
 	}
 	if o.PoolPages == 0 {
 		o.PoolPages = store.DefaultPoolPages
+	}
+	if o.PoolShards == 0 {
+		o.PoolShards = 1
 	}
 	if o.PMRThreshold == 0 {
 		o.PMRThreshold = 4

@@ -112,6 +112,9 @@ func Load(r io.Reader) (*DB, error) {
 		PMRThreshold: int(header[3]),
 		PMRStoreMBR:  header[4] != 0,
 		GridCells:    int32(header[5]),
+		// Pool sharding is runtime tuning, not part of the image; a
+		// loaded database starts on the paper-exact single-shard pool.
+		PoolShards: 1,
 	}
 	if opts.PageSize < 64 || opts.PageSize > 1<<20 {
 		return nil, fmt.Errorf("segdb: implausible page size %d", opts.PageSize)
@@ -148,7 +151,7 @@ func Load(r io.Reader) (*DB, error) {
 	if got := crc32.ChecksumIEEE(hdr.Bytes()); got != sum {
 		return nil, fmt.Errorf("segdb: file header checksum mismatch (file %#08x, computed %#08x): %w", sum, got, store.ErrChecksum)
 	}
-	table, err := seg.RestoreTable(r, opts.PoolPages)
+	table, err := seg.RestoreTableSharded(r, opts.PoolPages, opts.PoolShards)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +162,7 @@ func Load(r io.Reader) (*DB, error) {
 	if disk.PageSize() != opts.PageSize {
 		return nil, fmt.Errorf("segdb: index image page size %d, header says %d", disk.PageSize(), opts.PageSize)
 	}
-	pool := store.NewPool(disk, opts.PoolPages)
+	pool := store.NewShardedPool(disk, opts.PoolPages, opts.PoolShards)
 	// The sequence number fixes the lock order for two-DB overlays; a
 	// loaded DB needs one just like a freshly opened one.
 	db := &DB{seq: dbSeq.Add(1), kind: kind, table: table, opts: opts, pool: pool}

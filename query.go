@@ -18,6 +18,7 @@ package segdb
 import (
 	"context"
 	"io"
+	"sync"
 	"time"
 
 	"segdb/internal/core"
@@ -72,10 +73,10 @@ func (db *DB) SetTracer(t Tracer) {
 }
 
 // begin opens a per-query observation. Callers must hold at least the
-// reader lock (it reads db.tracer). With a nil tracer and a
-// background context the returned op costs two atomic loads and one
-// small allocation per query; every per-counter charge on the hot path
-// is a nil-checked atomic add.
+// reader lock (it reads db.tracer). Ops are recycled through a pool —
+// finish releases them — so with a nil tracer and a background context a
+// warm query allocates nothing here; every per-counter charge on the hot
+// path is a nil-checked atomic add.
 func (db *DB) begin(ctx context.Context, qk queryKind) *obs.Op {
 	return obs.Begin(ctx, db.tracer, obs.QueryInfo{
 		ID:   db.qid.Add(1),
@@ -84,9 +85,11 @@ func (db *DB) begin(ctx context.Context, qk queryKind) *obs.Op {
 }
 
 // finish closes the observation, folds the query into the per-kind
-// profile, and returns the final stats alongside err.
+// profile, recycles the op, and returns the final stats alongside err.
+// The caller must not touch o afterwards.
 func (db *DB) finish(qk queryKind, o *obs.Op, err error) (QueryStats, error) {
 	st := o.Finish(err)
+	o.Release()
 	c := &db.prof[qk]
 	c.count.Add(1)
 	if err != nil {
@@ -108,6 +111,49 @@ func (db *DB) WindowCtx(ctx context.Context, r Rect, visit func(SegmentID, Segme
 	return db.finish(qkWindow, o, db.index.WindowObs(r, visit, o))
 }
 
+// WindowHit is one result of an append-form window query: a segment id
+// with its geometry.
+type WindowHit struct {
+	ID  SegmentID
+	Seg Segment
+}
+
+// windowCollector adapts the append-form window query to the visitor
+// contract without a per-query closure: the bound visit function is
+// built once per pooled collector, so a warm WindowAppendCtx allocates
+// nothing of its own.
+type windowCollector struct {
+	dst   []WindowHit
+	visit func(SegmentID, Segment) bool
+}
+
+var windowCollectorPool = sync.Pool{New: func() any {
+	c := new(windowCollector)
+	c.visit = func(id SegmentID, s Segment) bool {
+		c.dst = append(c.dst, WindowHit{ID: id, Seg: s})
+		return true
+	}
+	return c
+}}
+
+// WindowAppendCtx is WindowCtx collecting every hit into dst and
+// returning the extended slice. Passing the previous call's buffer
+// (truncated with dst[:0]) runs repeated window queries without
+// allocating results once the buffer has grown to the largest answer
+// set.
+func (db *DB) WindowAppendCtx(ctx context.Context, r Rect, dst []WindowHit) ([]WindowHit, QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkWindow)
+	c := windowCollectorPool.Get().(*windowCollector)
+	c.dst = dst
+	err := db.index.WindowObs(r, c.visit, o)
+	dst, c.dst = c.dst, nil
+	windowCollectorPool.Put(c)
+	st, err := db.finish(qkWindow, o, err)
+	return dst, st, err
+}
+
 // NearestCtx is Nearest (query 3) with cancellation and per-query
 // stats.
 func (db *DB) NearestCtx(ctx context.Context, p Point) (NearestResult, QueryStats, error) {
@@ -125,6 +171,19 @@ func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult,
 	defer db.mu.RUnlock()
 	o := db.begin(ctx, qkNearestK)
 	res, err := db.index.NearestKObs(p, k, o)
+	st, err := db.finish(qkNearestK, o, err)
+	return res, st, err
+}
+
+// NearestKAppendCtx is NearestKCtx appending results into dst and
+// returning the extended slice. Passing the previous call's buffer
+// (truncated with dst[:0]) runs repeated nearest-neighbor queries
+// without allocating a result slice per call.
+func (db *DB) NearestKAppendCtx(ctx context.Context, p Point, k int, dst []NearestResult) ([]NearestResult, QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qkNearestK)
+	res, err := db.index.NearestKAppendObs(p, k, dst, o)
 	st, err := db.finish(qkNearestK, o, err)
 	return res, st, err
 }

@@ -167,6 +167,10 @@ type Options struct {
 	PageSize int
 	// PoolPages is the buffer pool capacity in pages (default 16).
 	PoolPages int
+	// PoolShards is the number of independently latched buffer pool
+	// shards (default 1, the paper-exact LRU pool; negative sizes the
+	// pool automatically from GOMAXPROCS — see WithPoolShards).
+	PoolShards int
 	// PMRThreshold is the PMR quadtree splitting threshold (default 4).
 	PMRThreshold int
 	// PMRStoreMBR enables the PMR variant of §6 of the paper that stores
@@ -225,8 +229,8 @@ var dbSeq atomic.Uint64
 // Open(kind, &Options{...}) still compile and behave identically.
 func Open(kind Kind, opts ...Option) (*DB, error) {
 	o := resolveOptions(opts)
-	table := seg.NewTable(o.PageSize, o.PoolPages)
-	pool := store.NewPool(store.NewDisk(o.PageSize), o.PoolPages)
+	table := seg.NewTableSharded(o.PageSize, o.PoolPages, o.PoolShards)
+	pool := store.NewShardedPool(store.NewDisk(o.PageSize), o.PoolPages, o.PoolShards)
 	var (
 		ix  core.Index
 		err error
