@@ -36,8 +36,9 @@ fuzz-smoke:
 
 # bench regenerates the BENCH_queries.json perf artifact: the scaling
 # benchmarks first (their speedup metric prints to stdout), then the
-# per-index-kind query throughput/disk-access/hit-ratio measurements and
-# the goroutine-count sweeps.
+# per-index-kind query throughput/disk-access/hit-ratio measurements, the
+# per-kind bulk-versus-incremental build comparison ("build" section),
+# and the goroutine-count sweeps.
 #
 # To compare two revisions statistically, run the Go benchmarks with
 # -count and feed both outputs to benchstat
@@ -47,6 +48,13 @@ fuzz-smoke:
 #   ... apply the change ...
 #   go test -run xxx -bench . -count 10 . > new.txt
 #   benchstat old.txt new.txt
+#
+# To quantify the bulk-load pipeline specifically, compare the paired
+# build benchmarks (BenchmarkBuildIncremental vs BenchmarkBuildBulk, one
+# sub-benchmark per kind) side by side:
+#
+#   go test -run xxx -bench 'BenchmarkBuild(Incremental|Bulk)' -count 10 . > build.txt
+#   benchstat -col '.name@(BuildIncremental,BuildBulk)' build.txt
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkWindowBatch|BenchmarkOverlayParallelJoin' -benchtime 3x .
 	$(GO) run ./cmd/bench -o BENCH_queries.json
@@ -54,8 +62,11 @@ bench:
 # bench-smoke is the CI-sized bench: tiny maps and workloads, the full
 # goroutine sweep, output kept out of the committed artifact. It exists
 # so a crash or pathological slowdown in the measurement path is caught
-# before merge, not to produce meaningful numbers.
+# before merge, not to produce meaningful numbers. The AddBatch bench
+# exercises the bulk pipeline end to end, and the grep asserts the quick
+# artifact still carries the per-kind build-metrics section.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkWindowBatch' -benchtime 2x .
+	$(GO) test -run xxx -bench 'BenchmarkWindowBatch|BenchmarkBuildBulk' -benchtime 2x .
 	$(GO) test -count=1 ./cmd/bench
 	$(GO) run ./cmd/bench -quick -o BENCH_smoke.json
+	@grep -q '"build"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the build-metrics section"; exit 1; }

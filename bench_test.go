@@ -417,6 +417,42 @@ func BenchmarkAblationBulkLoad(b *testing.B) {
 	})
 }
 
+// benchAllStructures lists every structure for the build benchmarks.
+var benchAllStructures = []harness.Structure{
+	harness.RStar, harness.RTree, harness.RPlus,
+	harness.KDB, harness.PMR, harness.UniformGrid,
+}
+
+// BenchmarkBuildIncremental and BenchmarkBuildBulk are the paired build
+// benchmarks of the bulk pipeline: the same mid-size county constructed
+// per kind by one-at-a-time insertion versus bottom-up bulk loading.
+// Compare them with benchstat (see the bench target in the Makefile).
+func BenchmarkBuildIncremental(b *testing.B) { benchmarkBuild(b, false) }
+
+// BenchmarkBuildBulk is the bulk half of the pair; see
+// BenchmarkBuildIncremental.
+func BenchmarkBuildBulk(b *testing.B) { benchmarkBuild(b, true) }
+
+func benchmarkBuild(b *testing.B, bulk bool) {
+	m, _, _ := benchSetup(b)
+	for _, s := range benchAllStructures {
+		b.Run(s.String(), func(b *testing.B) {
+			opts := harness.DefaultOptions()
+			opts.BulkLoad = bulk
+			var br harness.BuildResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, br, err = harness.Build(s, m, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(br.DiskAccesses), "disk-accesses")
+			b.ReportMetric(float64(br.SizeBytes)/1024, "KB")
+		})
+	}
+}
+
 // BenchmarkOverlayJoin contrasts the PMR merge join with the index
 // nested-loop join on two mid-size maps (the §7 composition claim).
 func BenchmarkOverlayJoin(b *testing.B) {

@@ -3,7 +3,7 @@
 // perf trajectory: each PR can rerun `make bench` and diff against the
 // committed artifact.
 //
-// Three experiments run:
+// Four experiments run:
 //
 //   - per-kind query stats: a fixed 512-window workload over a mid-size
 //     (~12k segment) county, reporting ops/sec, disk accesses per query,
@@ -12,6 +12,13 @@
 //     rows reflect each kind's own construction algorithm — bulk packing
 //     would give the R-tree and R*-tree the same STR tree and therefore
 //     byte-identical rows;
+//   - build comparison: the full ~50k-segment county constructed twice
+//     per kind — one-at-a-time insertion versus the bulk pipeline
+//     (AddBatch), both ingesting the same seeded-shuffled segment order
+//     to model TIGER/Line record order rather than the generator's
+//     spatial sweep — reporting build disk accesses, node computations,
+//     wall clock, and the bulk speedup, as the artifact's "build"
+//     section;
 //   - batch scaling: the 256-window WindowBatch over a ~50k-segment
 //     county in a packed R*-tree, sequential versus GOMAXPROCS-parallel,
 //     reporting the speedup;
@@ -41,6 +48,7 @@ type artifact struct {
 	GeneratedAt string               `json:"generated_at"`
 	GoVersion   string               `json:"go_version"`
 	Kinds       []kindResult         `json:"query_stats"`
+	Build       []buildKindResult    `json:"build"`
 	WindowBatch *batchResult         `json:"window_batch"`
 	Scaling     []*scalingExperiment `json:"scaling"`
 }
@@ -149,6 +157,22 @@ func run(out string, windows int, quick bool) error {
 		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio  p50/p99 %d/%dus\n",
 			k, row.OpsPerSec, row.DiskAccPerQuery, 100*row.PoolHitRatio,
 			row.LatencyP50Micros, row.LatencyP99Micros)
+	}
+
+	// Build comparison: the ~50k-segment county constructed by
+	// one-at-a-time insertion versus the bulk pipeline, per kind.
+	buildMap := county
+	if quick {
+		buildMap = subsample(county, 4000)
+	}
+	for _, k := range allKinds() {
+		row, err := collectBuildStats(k, buildMap)
+		if err != nil {
+			return fmt.Errorf("build %v: %w", k, err)
+		}
+		art.Build = append(art.Build, row)
+		fmt.Printf("build:%-8s %9d accesses incremental, %7d bulk (%.1fx fewer), %.1fx faster\n",
+			k, row.IncrementalDiskAccesses, row.BulkDiskAccesses, row.DiskAccessRatio, row.Speedup)
 	}
 
 	// WindowBatch scaling on the full county in a packed R*-tree with a

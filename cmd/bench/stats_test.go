@@ -83,6 +83,34 @@ func TestCollectKindStatsDistinguishesKinds(t *testing.T) {
 	}
 }
 
+// TestCollectBuildStats verifies the build row measures both builds and
+// that the bulk path does radically fewer index disk accesses than
+// incremental insertion — the acceptance bar for the bulk pipeline is 5x
+// on the full county; even at test size the gap is wide.
+func TestCollectBuildStats(t *testing.T) {
+	county, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := subsample(county, 2000)
+	for _, kind := range []segdb.Kind{segdb.PMRQuadtree, segdb.RPlusTree, segdb.UniformGrid} {
+		row, err := collectBuildStats(kind, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Kind != kind.String() || row.Segments != len(m.Segments) {
+			t.Fatalf("row facts: %+v", row)
+		}
+		if row.IncrementalDiskAccesses == 0 || row.BulkDiskAccesses == 0 {
+			t.Fatalf("%v: a build reported zero disk accesses: %+v", kind, row)
+		}
+		if row.DiskAccessRatio < 5 {
+			t.Errorf("%v: bulk build saves only %.1fx disk accesses (incremental %d, bulk %d), want >= 5x",
+				kind, row.DiskAccessRatio, row.IncrementalDiskAccesses, row.BulkDiskAccesses)
+		}
+	}
+}
+
 // TestSweepWindowBatch checks the sweep's shape: one point per worker
 // count, the first point pinned to 1.0x, sane throughput everywhere.
 func TestSweepWindowBatch(t *testing.T) {

@@ -1,0 +1,177 @@
+package btree
+
+import (
+	"fmt"
+
+	"segdb/internal/store"
+)
+
+// BulkLoad builds a B+-tree bottom-up from n entries in strictly
+// increasing key order, writing every page exactly once in sequential
+// allocation order: leaves left to right (chained as they go), then each
+// internal level, then the root. Compared with n repeated Inserts —
+// which descend the tree and split pages as they fill — the build costs
+// one write per page plus the pool's eviction traffic, with no splits
+// and no random faults.
+//
+// at(i) returns entry i; val is ignored unless valueSize > 0 (it is
+// padded or truncated to valueSize, as InsertValue does). Keys must be
+// strictly increasing; a violation (e.g. a duplicate) aborts the build
+// with an error, mirroring Insert's ErrDuplicate.
+//
+// Leaves are packed full except the last two, which share their keys
+// evenly when the tail would otherwise underflow the B-tree's deletion
+// minimum (cap/2); internal levels balance the same way. The resulting
+// tree satisfies exactly the invariants Validate checks, and supports
+// Insert/Delete afterwards (the first Insert into a full leaf simply
+// splits it).
+func BulkLoad(pool *store.Pool, valueSize, n int, at func(i int) (key uint64, val []byte)) (*Tree, error) {
+	if valueSize < 0 || valueSize > pool.PageSize()/4 {
+		return nil, fmt.Errorf("btree: invalid value size %d", valueSize)
+	}
+	t := &Tree{
+		pool:        pool,
+		valSize:     valueSize,
+		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
+		internalCap: (pool.PageSize() - headerSize) / 12,
+	}
+	if t.leafCap < 3 || t.internalCap < 3 {
+		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("btree: invalid entry count %d", n)
+	}
+	if n == 0 {
+		id, data, err := pool.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		writeNode(data, &node{leaf: true, next: store.NilPage}, valueSize)
+		pool.Unpin(id, true)
+		t.root = id
+		t.height = 1
+		return t, nil
+	}
+
+	// Leaf level. Each leaf is written when its successor is allocated,
+	// so the sibling chain needs no second pass (at most two pages are
+	// pinned at a time).
+	sizes := chunkSizes(n, t.leafCap, t.leafCap/2)
+	refs := make([]levelRef, 0, len(sizes))
+	idx := 0
+	var last uint64
+	var (
+		prevID   store.PageID
+		prevData []byte
+		prevNode *node
+	)
+	for _, size := range sizes {
+		ln := &node{
+			leaf: true,
+			keys: make([]uint64, 0, size),
+			next: store.NilPage,
+		}
+		if valueSize > 0 {
+			ln.vals = make([]byte, 0, size*valueSize)
+		}
+		for j := 0; j < size; j++ {
+			k, v := at(idx)
+			if idx > 0 && k <= last {
+				if prevData != nil {
+					t.pool.Unpin(prevID, false)
+				}
+				return nil, fmt.Errorf("btree: bulk load keys not strictly increasing at entry %d (%d after %d)", idx, k, last)
+			}
+			last = k
+			idx++
+			ln.keys = append(ln.keys, k)
+			if valueSize > 0 {
+				off := len(ln.vals)
+				ln.vals = append(ln.vals, make([]byte, valueSize)...)
+				copy(ln.vals[off:], v)
+			}
+		}
+		id, data, err := pool.Allocate()
+		if err != nil {
+			if prevData != nil {
+				t.pool.Unpin(prevID, false)
+			}
+			return nil, err
+		}
+		if prevData != nil {
+			prevNode.next = id
+			writeNode(prevData, prevNode, valueSize)
+			t.pool.Unpin(prevID, true)
+		}
+		prevID, prevData, prevNode = id, data, ln
+		refs = append(refs, levelRef{firstKey: ln.keys[0], id: id})
+	}
+	writeNode(prevData, prevNode, valueSize)
+	t.pool.Unpin(prevID, true)
+
+	// Internal levels, bottom-up: each node's separator keys are the
+	// first keys of its children past the first, matching what leaf and
+	// internal splits push up on the incremental path.
+	height := 1
+	level := refs
+	for len(level) > 1 {
+		height++
+		maxChildren := t.internalCap + 1
+		minChildren := t.internalCap/2 + 1
+		sizes := chunkSizes(len(level), maxChildren, minChildren)
+		next := make([]levelRef, 0, len(sizes))
+		lo := 0
+		for _, size := range sizes {
+			children := level[lo : lo+size]
+			lo += size
+			in := &node{
+				keys:     make([]uint64, 0, size-1),
+				children: make([]store.PageID, 0, size),
+			}
+			for ci, c := range children {
+				if ci > 0 {
+					in.keys = append(in.keys, c.firstKey)
+				}
+				in.children = append(in.children, c.id)
+			}
+			id, data, err := pool.Allocate()
+			if err != nil {
+				return nil, err
+			}
+			writeNode(data, in, valueSize)
+			pool.Unpin(id, true)
+			next = append(next, levelRef{firstKey: children[0].firstKey, id: id})
+		}
+		level = next
+	}
+	t.root = level[0].id
+	t.height = height
+	t.count = n
+	return t, nil
+}
+
+// levelRef describes one finished node to the level above: the smallest
+// key in its subtree and its page.
+type levelRef struct {
+	firstKey uint64
+	id       store.PageID
+}
+
+// chunkSizes splits n items into maximal chunks of at most max, then
+// rebalances the last two chunks evenly when the tail chunk would fall
+// under min (the non-root occupancy floor). With a single chunk (the
+// root) any size is legal.
+func chunkSizes(n, max, min int) []int {
+	count := (n + max - 1) / max
+	sizes := make([]int, count)
+	for i := range sizes {
+		sizes[i] = max
+	}
+	sizes[count-1] = n - (count-1)*max
+	if count > 1 && sizes[count-1] < min {
+		total := sizes[count-2] + sizes[count-1]
+		sizes[count-2] = total - total/2
+		sizes[count-1] = total / 2
+	}
+	return sizes
+}

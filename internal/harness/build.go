@@ -65,6 +65,10 @@ type Options struct {
 	GridCells   int32
 	// DisableReinsert turns off R*-tree forced reinsertion (ablation).
 	DisableReinsert bool
+	// BulkLoad builds the structure bottom-up through the bulk pipeline
+	// instead of per-segment insertion. Off by default: Table 1 measures
+	// one-at-a-time insertion.
+	BulkLoad bool
 }
 
 // DefaultOptions returns the configuration of the paper's experiments:
@@ -106,44 +110,75 @@ func Build(s Structure, m *tiger.Map, opts Options) (core.Index, BuildResult, er
 	}
 	pool := store.NewPool(store.NewDisk(opts.PageSize), opts.PoolPages)
 
-	var ix core.Index
-	switch s {
-	case RStar:
-		cfg := rstar.DefaultConfig()
-		if opts.DisableReinsert {
-			cfg.ReinsertFraction = 0
-		}
-		ix, err = rstar.New(pool, table, cfg)
-	case RTree:
-		ix, err = rstar.New(pool, table, rstar.GuttmanConfig())
-	case RPlus:
-		ix, err = rplus.New(pool, table, rplus.DefaultConfig())
-	case KDB:
-		ix, err = rplus.New(pool, table, rplus.KDBConfig())
-	case PMR:
-		cfg := pmr.DefaultConfig()
-		if opts.PMRThreshold > 0 {
-			cfg.SplittingThreshold = opts.PMRThreshold
-		}
-		cfg.StoreMBR = opts.PMRStoreMBR
-		ix, err = pmr.New(pool, table, cfg)
-	case UniformGrid:
-		ix, err = grid.New(pool, table, grid.Config{CellsPerSide: opts.GridCells})
-	default:
-		err = fmt.Errorf("harness: unknown structure %v", s)
+	rstarCfg := rstar.DefaultConfig()
+	if opts.DisableReinsert {
+		rstarCfg.ReinsertFraction = 0
 	}
-	if err != nil {
-		return nil, BuildResult{}, err
+	pmrCfg := pmr.DefaultConfig()
+	if opts.PMRThreshold > 0 {
+		pmrCfg.SplittingThreshold = opts.PMRThreshold
 	}
+	pmrCfg.StoreMBR = opts.PMRStoreMBR
+	gridCfg := grid.Config{CellsPerSide: opts.GridCells}
 
-	start := time.Now()
-	before := ix.DiskStats()
-	for _, id := range ids {
-		if err := ix.Insert(id); err != nil {
+	var (
+		ix      core.Index
+		elapsed time.Duration
+		before  store.Stats
+	)
+	if opts.BulkLoad {
+		// Bottom-up build: the whole construction, including the final
+		// sequential page writes, is the timed section.
+		start := time.Now()
+		switch s {
+		case RStar:
+			ix, err = rstar.BulkLoad(pool, table, rstarCfg, ids)
+		case RTree:
+			ix, err = rstar.BulkLoad(pool, table, rstar.GuttmanConfig(), ids)
+		case RPlus:
+			ix, err = rplus.BulkLoad(pool, table, rplus.DefaultConfig(), ids)
+		case KDB:
+			ix, err = rplus.BulkLoad(pool, table, rplus.KDBConfig(), ids)
+		case PMR:
+			ix, err = pmr.BulkLoad(pool, table, pmrCfg, ids)
+		case UniformGrid:
+			ix, err = grid.BulkLoad(pool, table, gridCfg, ids)
+		default:
+			err = fmt.Errorf("harness: unknown structure %v", s)
+		}
+		if err != nil {
 			return nil, BuildResult{}, fmt.Errorf("%v on %s: %w", s, m.Spec.Name, err)
 		}
+		elapsed = time.Since(start)
+	} else {
+		switch s {
+		case RStar:
+			ix, err = rstar.New(pool, table, rstarCfg)
+		case RTree:
+			ix, err = rstar.New(pool, table, rstar.GuttmanConfig())
+		case RPlus:
+			ix, err = rplus.New(pool, table, rplus.DefaultConfig())
+		case KDB:
+			ix, err = rplus.New(pool, table, rplus.KDBConfig())
+		case PMR:
+			ix, err = pmr.New(pool, table, pmrCfg)
+		case UniformGrid:
+			ix, err = grid.New(pool, table, gridCfg)
+		default:
+			err = fmt.Errorf("harness: unknown structure %v", s)
+		}
+		if err != nil {
+			return nil, BuildResult{}, err
+		}
+		start := time.Now()
+		before = ix.DiskStats()
+		for _, id := range ids {
+			if err := ix.Insert(id); err != nil {
+				return nil, BuildResult{}, fmt.Errorf("%v on %s: %w", s, m.Spec.Name, err)
+			}
+		}
+		elapsed = time.Since(start)
 	}
-	elapsed := time.Since(start)
 
 	res := BuildResult{
 		Map:          m.Spec.Name,

@@ -1,0 +1,154 @@
+package pmr
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"segdb/internal/btree"
+	"segdb/internal/bulk"
+	"segdb/internal/geom"
+	"segdb/internal/seg"
+	"segdb/internal/store"
+)
+
+// BulkLoad builds a PMR quadtree over the given segments bottom-up: the
+// whole decomposition is computed in memory by one top-down sweep —
+// a block splits when more than SplittingThreshold segments touch it
+// (and it is above MaxDepth) — and the resulting q-edge keys, already in
+// Z-order, are fed to the B+-tree's bottom-up builder, which writes each
+// page exactly once, sequentially. Incremental insertion instead splits
+// blocks one threshold-crossing at a time, rewriting the same B-tree
+// pages over and over; the sweep removes all of that traffic.
+//
+// The decomposition differs slightly from the incremental one — the
+// paper's probabilistic rule splits a block only once per triggering
+// insertion, so incremental leaves may exceed the threshold, while the
+// sweep splits until occupancy fits (or MaxDepth pins the block). Both
+// satisfy Validate's invariants and answer every query identically; only
+// the block boundaries (and so the per-query constants) can differ.
+//
+// The quadrant recursion fans out across GOMAXPROCS goroutines, but
+// children are assembled in quadrant order and all page writes happen
+// sequentially afterwards, so the result is deterministic for any worker
+// count.
+func BulkLoad(pool *store.Pool, table *seg.Table, cfg Config, ids []seg.ID) (*Tree, error) {
+	if cfg.SplittingThreshold < 1 {
+		return nil, fmt.Errorf("pmr: invalid splitting threshold %d", cfg.SplittingThreshold)
+	}
+	if cfg.MaxDepth < 1 || cfg.MaxDepth > geom.MaxDepth {
+		return nil, fmt.Errorf("pmr: invalid max depth %d", cfg.MaxDepth)
+	}
+	entries, err := bulk.Fetch(table, ids)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !geom.World().IntersectsSegment(e.Seg) {
+			return nil, fmt.Errorf("pmr: segment %v outside the world", e.Seg)
+		}
+	}
+	// Morton-order front end: entries of one quadrant become (mostly)
+	// contiguous runs, so the partition sweep below streams memory.
+	bulk.SortByMorton(entries)
+
+	// One in-memory sweep computes the leaf blocks. leafRun holds the
+	// occupied leaves in Z-order; empty leaves are never materialized
+	// (they are not stored — queries reconstruct them from the occupied
+	// antichain, exactly as with incremental builds).
+	type leafRun struct {
+		c       geom.Code
+		members []bulk.Entry
+	}
+	var nodeComps atomic.Uint64
+	gate := bulk.NewGate()
+	var decompose func(c geom.Code, members []bulk.Entry) []leafRun
+	decompose = func(c geom.Code, members []bulk.Entry) []leafRun {
+		if len(members) == 0 {
+			return nil
+		}
+		if len(members) <= cfg.SplittingThreshold || c.Depth() >= cfg.MaxDepth {
+			return []leafRun{{c: c, members: members}}
+		}
+		var parts [4][]bulk.Entry
+		comps := uint64(0)
+		for q := 0; q < 4; q++ {
+			child := c.Child(q)
+			for _, e := range members {
+				comps++
+				if touches(child, e.Seg) {
+					parts[q] = append(parts[q], e)
+				}
+			}
+		}
+		nodeComps.Add(comps)
+		var sub [4][]leafRun
+		var wg sync.WaitGroup
+		for q := 0; q < 4; q++ {
+			if len(parts[q]) == 0 {
+				continue
+			}
+			q := q // pin for the closure
+			child := c.Child(q)
+			gate.Run(&wg, func() { sub[q] = decompose(child, parts[q]) })
+		}
+		wg.Wait()
+		out := make([]leafRun, 0, len(sub[0])+len(sub[1])+len(sub[2])+len(sub[3]))
+		for q := 0; q < 4; q++ {
+			out = append(out, sub[q]...)
+		}
+		return out
+	}
+	runs := decompose(geom.RootCode(), entries)
+
+	// Leaves arrive in Z-order; within each leaf, keys ascend with the
+	// segment ID. That makes the concatenated q-edge keys strictly
+	// increasing — the exact input contract of btree.BulkLoad.
+	total := 0
+	offsets := make([]int, len(runs)+1)
+	for i := range runs {
+		slices.SortFunc(runs[i].members, func(a, b bulk.Entry) int {
+			switch {
+			case a.ID < b.ID:
+				return -1
+			case a.ID > b.ID:
+				return 1
+			}
+			return 0
+		})
+		offsets[i] = total
+		total += len(runs[i].members)
+	}
+	offsets[len(runs)] = total
+	keys := make([]uint64, total)
+	valSize := 0
+	var vals []byte
+	if cfg.StoreMBR {
+		valSize = qedgeValSize
+		vals = make([]byte, total*qedgeValSize)
+	}
+	bulk.Parallel(len(runs), func(i int) {
+		r := runs[i]
+		for j, e := range r.members {
+			at := offsets[i] + j
+			keys[at] = key(r.c, e.ID)
+			if cfg.StoreMBR {
+				copy(vals[at*qedgeValSize:], encodeQEdgeRect(r.c, e.Seg))
+			}
+		}
+	})
+
+	bt, err := btree.BulkLoad(pool, valSize, total, func(i int) (uint64, []byte) {
+		if valSize == 0 {
+			return keys[i], nil
+		}
+		return keys[i], vals[i*qedgeValSize : (i+1)*qedgeValSize]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pmr: bulk load: %w", err)
+	}
+	t := &Tree{bt: bt, table: table, cfg: cfg, count: len(ids)}
+	t.nodeComps.Add(nodeComps.Load())
+	return t, nil
+}

@@ -3,8 +3,8 @@ package rstar
 import (
 	"fmt"
 	"math"
-	"sort"
 
+	"segdb/internal/bulk"
 	"segdb/internal/rpage"
 	"segdb/internal/seg"
 	"segdb/internal/store"
@@ -14,7 +14,11 @@ import (
 // Sort-Tile-Recursive algorithm (Leutenegger et al.): entries are sorted
 // into √n vertical slices by center x, each slice sorted by center y, and
 // packed into leaves at the target fill; upper levels pack the same way
-// recursively.
+// recursively. The sorts run through the bulk package's parallel merge
+// sort with the entry pointer as tie-break (segment IDs at the leaf
+// level, freshly allocated page IDs above — unique either way), so the
+// packing is a strict total order and the disk image is identical for
+// any worker count.
 //
 // The paper builds its trees by one-at-a-time insertion (that is what
 // Table 1 measures), so bulk loading is an extension: it shows how much
@@ -34,13 +38,13 @@ func BulkLoad(pool *store.Pool, table *seg.Table, cfg Config, ids []seg.ID) (*Tr
 		perNode = 2
 	}
 
-	entries := make([]rpage.Entry, len(ids))
-	for i, id := range ids {
-		s, err := table.Get(id)
-		if err != nil {
-			return nil, err
-		}
-		entries[i] = rpage.Entry{Rect: s.Bounds(), Ptr: uint32(id)}
+	fetched, err := bulk.Fetch(table, ids)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]rpage.Entry, len(fetched))
+	for i, e := range fetched {
+		entries[i] = rpage.Entry{Rect: e.Seg.Bounds(), Ptr: uint32(e.ID)}
 	}
 	// Free the empty root New allocated; the packing allocates its own.
 	pool.Free(t.root)
@@ -73,13 +77,13 @@ func (t *Tree) packLevel(entries []rpage.Entry, perNode int, leaf bool) ([]rpage
 	nodeCount := (len(entries) + perNode - 1) / perNode
 	sliceCount := int(math.Ceil(math.Sqrt(float64(nodeCount))))
 
-	sort.Slice(entries, func(i, j int) bool {
-		return entries[i].Rect.Center().X < entries[j].Rect.Center().X
+	bulk.Sort(entries, func(a, b rpage.Entry) int {
+		return centerCmp(a.Rect.Center().X, b.Rect.Center().X, a.Ptr, b.Ptr)
 	})
 	var parents []rpage.Entry
 	for _, slice := range evenChunks(entries, sliceCount) {
-		sort.Slice(slice, func(i, j int) bool {
-			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		bulk.Sort(slice, func(a, b rpage.Entry) int {
+			return centerCmp(a.Rect.Center().Y, b.Rect.Center().Y, a.Ptr, b.Ptr)
 		})
 		nodesInSlice := (len(slice) + perNode - 1) / perNode
 		for _, group := range evenChunks(slice, nodesInSlice) {
@@ -95,6 +99,22 @@ func (t *Tree) packLevel(entries []rpage.Entry, perNode int, leaf bool) ([]rpage
 		return nil, fmt.Errorf("rstar: bulk load packed no nodes")
 	}
 	return parents, nil
+}
+
+// centerCmp orders by a center coordinate, tie-broken by the entry
+// pointer, which is unique within a level.
+func centerCmp(ca, cb int32, pa, pb uint32) int {
+	switch {
+	case ca < cb:
+		return -1
+	case ca > cb:
+		return 1
+	case pa < pb:
+		return -1
+	case pa > pb:
+		return 1
+	}
+	return 0
 }
 
 // evenChunks splits s into at most n contiguous chunks whose sizes differ

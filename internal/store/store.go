@@ -179,6 +179,15 @@ func (d *Disk) SetFaultPolicy(p *FaultPolicy) {
 	d.faults = p
 }
 
+// FaultPolicy returns the currently attached fault-injection policy, or
+// nil. Operations that replace a disk (the facade's bulk rebuild) use it
+// to carry the live policy over to the successor.
+func (d *Disk) FaultPolicy() *FaultPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
 // allocate reserves a zeroed page and returns its id.
 func (d *Disk) allocate() PageID {
 	d.stats.allocs.Add(1)

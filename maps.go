@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"segdb/internal/geom"
-	"segdb/internal/rstar"
-	"segdb/internal/store"
 	"segdb/internal/tiger"
 	"segdb/internal/tigerline"
 )
@@ -47,11 +44,17 @@ func GenerateCounty(name string) (*MapData, error) {
 }
 
 // Load adds every segment of the map to the database, returning the
-// assigned IDs (in input order). It holds the writer lock for the whole
-// bulk load, so queries never observe a half-loaded map.
+// assigned IDs (in input order). By default segments are inserted one at
+// a time, reproducing the paper's build costs; with WithBulkLoad (and an
+// empty database) the whole map goes through the bulk pipeline instead —
+// same queries, far fewer build disk accesses. It holds the writer lock
+// for the whole load, so queries never observe a half-loaded map.
 func (db *DB) Load(m *MapData) ([]SegmentID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.opts.BulkLoad && db.table.Len() == 0 {
+		return db.addBatchLocked(m.Segments)
+	}
 	return db.loadLocked(m)
 }
 
@@ -88,44 +91,20 @@ func ParseTIGER(r io.Reader, cfccPrefixes ...string) (*MapData, error) {
 	return &MapData{Name: "TIGER import", Class: "imported", Segments: segs}, nil
 }
 
-// LoadPacked bulk-loads the map into an empty R-tree-backed database with
-// Sort-Tile-Recursive packing instead of one-at-a-time insertion — far
-// fewer build disk accesses and a tighter tree. Databases backed by other
-// index kinds fall back to Load (their structures are built
-// incrementally, as in the paper).
+// LoadPacked bulk-loads the map into an empty database through the bulk
+// pipeline — Sort-Tile-Recursive packing for the R-tree kinds, a k-d
+// partition pack for the R+-tree kinds, a single decomposition sweep for
+// the PMR quadtree, and a one-pass fill for the grid — instead of
+// one-at-a-time insertion: far fewer build disk accesses and tighter
+// structures for every kind. (Before PR 5, only the two R-tree kinds
+// were packed; every other kind silently fell back to incremental
+// insertion. All six kinds now take the bulk path; there is no fallback
+// here — use Load for the paper-exact incremental build.)
 func (db *DB) LoadPacked(m *MapData) ([]SegmentID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if n := db.index.Table().Len(); n != 0 {
 		return nil, fmt.Errorf("segdb: LoadPacked requires an empty database (have %d segments)", n)
 	}
-	var cfg rstar.Config
-	switch db.kind {
-	case RStarTree:
-		cfg = rstar.DefaultConfig()
-	case ClassicRTree:
-		cfg = rstar.GuttmanConfig()
-	default:
-		return db.loadLocked(m)
-	}
-	ids := make([]SegmentID, 0, len(m.Segments))
-	for _, s := range m.Segments {
-		if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
-			return nil, fmt.Errorf("segdb: segment %v outside the world", s)
-		}
-		id, err := db.table.Append(s)
-		if err != nil {
-			return nil, err
-		}
-		ids = append(ids, id)
-	}
-	// Pack into a fresh disk, replacing the empty index.
-	pool := store.NewShardedPool(store.NewDisk(db.opts.PageSize), db.opts.PoolPages, db.opts.PoolShards)
-	ix, err := rstar.BulkLoad(pool, db.table, cfg, ids)
-	if err != nil {
-		return nil, err
-	}
-	db.pool = pool
-	db.index = ix
-	return ids, nil
+	return db.addBatchLocked(m.Segments)
 }

@@ -73,6 +73,15 @@ func WithGridCells(n int32) Option {
 	return optionFunc(func(o *Options) { o.GridCells = n })
 }
 
+// WithBulkLoad makes Load build the index bottom-up through the bulk
+// pipeline instead of per-segment insertion (see AddBatch). A build-time
+// switch only: it is not serialized by SaveTo, and it leaves Add,
+// Delete, and every query exactly as they are. Keep it off to reproduce
+// the paper's build costs (Table 1 measures one-at-a-time insertion).
+func WithBulkLoad() Option {
+	return optionFunc(func(o *Options) { o.BulkLoad = true })
+}
+
 // WithFaultPolicy attaches a fault-injection policy to both of the
 // database's simulated disks at open time (equivalent to calling
 // SetFaultPolicy immediately after Open).

@@ -179,6 +179,10 @@ type Options struct {
 	PMRStoreMBR bool
 	// GridCells is the uniform grid resolution per side (default 64).
 	GridCells int32
+	// BulkLoad makes Load build the index bottom-up through the bulk
+	// pipeline instead of per-segment insertion (see WithBulkLoad and
+	// AddBatch). A build-time switch: not serialized by SaveTo.
+	BulkLoad bool
 	// FaultPolicy, if non-nil, is attached to both disks at open time
 	// (see WithFaultPolicy). Runtime state, not serialized by SaveTo.
 	FaultPolicy *FaultPolicy
