@@ -1,10 +1,10 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck race fuzz-smoke bench bench-smoke
+.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke
 
 # check is the full local gate: what CI runs.
-check: vet staticcheck build race fuzz-smoke
+check: vet staticcheck govulncheck build race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
+# govulncheck scans the module against the Go vulnerability database if
+# the binary is installed (locally: go install
+# golang.org/x/vuln/cmd/govulncheck@latest). Skipping when absent keeps
+# `make check` usable on hermetic machines.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -29,9 +40,10 @@ race:
 	$(GO) test -race ./...
 
 # fuzz-smoke runs each fuzz target briefly — a regression net for the
-# image parsers, not a bug hunt.
+# image parsers and the WAL replay path, not a bug hunt.
 fuzz-smoke:
 	$(GO) test -run=FuzzReadDiskFrom -fuzz=FuzzReadDiskFrom -fuzztime=10s ./internal/store
+	$(GO) test -run=FuzzWALReplay -fuzz=FuzzWALReplay -fuzztime=20s ./internal/store
 	$(GO) test -run=FuzzLoad -fuzz=FuzzLoad -fuzztime=10s .
 
 # bench regenerates the BENCH_queries.json perf artifact: the scaling

@@ -37,7 +37,9 @@ func (db *DB) AddBatch(segs []Segment) ([]SegmentID, error) {
 
 func (db *DB) addBatchLocked(segs []Segment) ([]SegmentID, error) {
 	if db.table.Len() != 0 {
-		// Incremental fallback: the index already holds segments.
+		// Incremental fallback: the index already holds segments. The
+		// whole batch is sealed by one WAL commit, so after a crash the
+		// batch either fully recovers or fully rolls back.
 		ids := make([]SegmentID, 0, len(segs))
 		for _, s := range segs {
 			id, err := db.addLocked(s)
@@ -46,7 +48,7 @@ func (db *DB) addBatchLocked(segs []Segment) ([]SegmentID, error) {
 			}
 			ids = append(ids, id)
 		}
-		return ids, nil
+		return ids, db.walCommit()
 	}
 	ids := make([]SegmentID, 0, len(segs))
 	for _, s := range segs {
@@ -62,6 +64,14 @@ func (db *DB) addBatchLocked(segs []Segment) ([]SegmentID, error) {
 	if err := db.rebuildBulk(ids); err != nil {
 		return nil, err
 	}
+	if db.walfs != nil {
+		// The bulk build replaced the index disk wholesale, so incremental
+		// page logging cannot describe it; cut a full checkpoint instead.
+		db.walSeq++
+		if err := db.checkpointLocked(); err != nil {
+			return nil, err
+		}
+	}
 	return ids, nil
 }
 
@@ -72,6 +82,14 @@ func (db *DB) rebuildBulk(ids []seg.ID) error {
 	disk := store.NewDisk(db.opts.PageSize)
 	if p := db.pool.Disk().FaultPolicy(); p != nil {
 		disk.SetFaultPolicy(p)
+	}
+	// Runtime disk state carries over to the successor disk: the retry
+	// policy, and write journaling when a WAL is attached.
+	if rp := db.pool.Disk().RetryPolicy(); rp != nil {
+		disk.SetRetryPolicy(rp)
+	}
+	if db.walfs != nil {
+		disk.SetJournal(true)
 	}
 	pool := store.NewShardedPool(disk, db.opts.PoolPages, db.opts.PoolShards)
 	var (

@@ -10,6 +10,8 @@
 //	lsdb query   -county Charles   -index rstar -type polygon -x 4000 -y 9000
 //	lsdb query   -county Cecil     -index rplus -type window -x 100 -y 100 -w 164 -h 164
 //	lsdb query   -county Garrett   -index grid  -type incident -x 8000 -y 8000
+//	lsdb verify  -load db.segdb
+//	lsdb recover -dir /var/lib/segdb
 package main
 
 import (
@@ -44,6 +46,10 @@ func main() {
 		err = build(os.Args[2:])
 	case "query":
 		err = query(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	case "recover":
+		err = recoverCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -58,7 +64,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lsdb counties
   lsdb build -county NAME -index rstar|rtree|rplus|pmr|kdb|grid [-save FILE]
-  lsdb query -county NAME -index KIND -type nearest|polygon|window|incident -x X -y Y [-w W -h H] [-load FILE]`)
+  lsdb query -county NAME -index KIND -type nearest|polygon|window|incident -x X -y Y [-w W -h H] [-load FILE]
+  lsdb verify [-load FILE | -county NAME -index KIND]
+  lsdb recover -dir DIR [-scrub]`)
 }
 
 func counties() error {
@@ -125,6 +133,92 @@ func build(args []string) error {
 		st, _ := os.Stat(*save)
 		fmt.Printf("saved to %s (%d KB)\n", *save, st.Size()/1024)
 	}
+	return nil
+}
+
+// verify opens a database (a saved image via -load, or a freshly built
+// county) and runs the full integrity check, printing every problem.
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	county := fs.String("county", "Charles", "county name")
+	index := fs.String("index", "pmr", "index kind")
+	file := fs.String("load", "", "verify a saved database file instead of building one")
+	fs.Parse(args)
+
+	var db *segdb.DB
+	var err error
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			return ferr
+		}
+		db, err = segdb.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("load (corruption is detected here too): %w", err)
+		}
+		fmt.Printf("opened %s: %v with %d segments\n", *file, db.Kind(), db.Len())
+	} else {
+		db, err = load(*county, *index)
+		if err != nil {
+			return err
+		}
+	}
+	rep := db.CheckIntegrity()
+	fmt.Printf("kind %v, %d segments, %d index pages, %d table pages\n",
+		rep.Kind, rep.Segments, rep.IndexPages, rep.TablePages)
+	if rep.Healthy() {
+		fmt.Println("integrity: OK (every check passed)")
+		return nil
+	}
+	fmt.Printf("integrity: %d problem(s)\n", len(rep.Problems))
+	for _, p := range rep.Problems {
+		fmt.Println("  -", p)
+	}
+	return fmt.Errorf("database failed verification")
+}
+
+// recoverCmd replays a WAL directory (checkpoint + log) into a live
+// database, reports what was rolled forward, optionally scrubs, and
+// verifies the result.
+func recoverCmd(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dir := fs.String("dir", "", "WAL directory (from segdb.Open with WithWAL)")
+	scrub := fs.Bool("scrub", true, "verify page checksums and repair quarantined pages after recovery")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("recover: -dir is required")
+	}
+	db, rep, err := segdb.Recover(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered %v with %d segments from %s\n", db.Kind(), db.Len(), *dir)
+	fmt.Printf("checkpoint: epoch %d, %d committed mutations\n", rep.CheckpointEpoch, rep.CheckpointSeq)
+	fmt.Printf("rolled forward: %d transactions, %d pages (now at mutation %d)\n",
+		rep.Transactions, rep.PagesReplayed, rep.Seq)
+	if rep.TornTail {
+		fmt.Println("log ended in a torn, uncommitted tail (discarded — expected after a crash)")
+	}
+	if *scrub {
+		srep, err := db.Scrub()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrub: %d pages checked, %d bad index pages, %d bad table pages, %d repaired, %d unrepairable\n",
+			srep.CheckedPages, len(srep.BadIndexPages), len(srep.BadTablePages), srep.Repaired, srep.Unrepairable)
+		if srep.Unrepairable > 0 {
+			return fmt.Errorf("%d page(s) could not be repaired from the checkpoint and log", srep.Unrepairable)
+		}
+	}
+	irep := db.CheckIntegrity()
+	if !irep.Healthy() {
+		for _, p := range irep.Problems {
+			fmt.Println("  -", p)
+		}
+		return fmt.Errorf("recovered database failed verification")
+	}
+	fmt.Println("integrity: OK (every check passed)")
 	return nil
 }
 

@@ -159,3 +159,86 @@ func TestUnflushedSnapshotDetected(t *testing.T) {
 		t.Fatal("unflushed snapshot reloaded as healthy")
 	}
 }
+
+// TestCrashSimulationBulk runs the crash sweep over the bulk-build
+// pipeline: AddBatch on an empty database replaces the index disk
+// wholesale, so the crash points cover the bottom-up builders and the
+// disk hand-off, not the incremental insert path. The contract is the
+// same: a clean typed error or a checkable structure, never a panic.
+func TestCrashSimulationBulk(t *testing.T) {
+	segs := crashSegments(400, 44)
+	for _, kind := range crashKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			counter := store.NewFaultPolicy(store.FaultConfig{})
+			db, err := Open(kind, nil)
+			if err != nil {
+				t.Fatalf("Open(%v): %v", kind, err)
+			}
+			db.SetFaultPolicy(counter)
+			if _, err := db.AddBatch(segs); err != nil {
+				t.Fatalf("fault-free bulk build: %v", err)
+			}
+			if err := db.Save(io.Discard); err != nil {
+				t.Fatalf("fault-free save: %v", err)
+			}
+			total := counter.Writes()
+			if total == 0 {
+				t.Fatal("no writes observed")
+			}
+			stride := total / 20
+			if stride == 0 {
+				stride = 1
+			}
+			var points []uint64
+			for n := uint64(1); n <= total; n += stride {
+				points = append(points, n)
+			}
+			points = append(points, total+10)
+
+			for _, n := range points {
+				pol := store.NewFaultPolicy(store.FaultConfig{Seed: int64(n), CrashAfterWrites: n})
+				db, err := Open(kind, nil)
+				if err != nil {
+					t.Fatalf("N=%d: Open: %v", n, err)
+				}
+				db.SetFaultPolicy(pol)
+				var buf bytes.Buffer
+				_, saveErr := db.AddBatch(segs)
+				if saveErr == nil {
+					saveErr = db.Save(&buf)
+				}
+				if saveErr == nil {
+					if pol.Crashed() {
+						t.Fatalf("N=%d: save succeeded on a crashed disk", n)
+					}
+					db2, err := Load(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatalf("N=%d: load of cleanly saved db: %v", n, err)
+					}
+					if rep := db2.CheckIntegrity(); !rep.Healthy() {
+						t.Fatalf("N=%d: clean save, unhealthy reload: %v", n, rep.Err())
+					}
+					continue
+				}
+				if !errors.Is(saveErr, store.ErrInjectedFault) {
+					t.Fatalf("N=%d: bulk build/save failed with non-injected error: %v", n, saveErr)
+				}
+				buf.Reset()
+				if err := db.writeSnapshot(&buf); err != nil {
+					t.Fatalf("N=%d: snapshot of crashed db: %v", n, err)
+				}
+				db2, err := Load(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					continue // corruption detected at load: good
+				}
+				rep := db2.CheckIntegrity()
+				if rep.Healthy() {
+					if err := db2.Window(World(), func(SegmentID, Segment) bool { return true }); err != nil {
+						t.Fatalf("N=%d: healthy reload but window failed: %v", n, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -129,6 +129,10 @@ type Metrics struct {
 	NodeComps    uint64
 	PoolHits     uint64
 	PoolRequests uint64
+	// Retries counts disk operations reattempted under the store's
+	// RetryPolicy (transient injected faults absorbed instead of
+	// surfacing to the caller).
+	Retries uint64
 }
 
 // HitRatio returns the fraction of page requests served from the buffer
@@ -150,6 +154,7 @@ func Snapshot(ix Index) Metrics {
 		NodeComps:    ix.NodeComps(),
 		PoolHits:     ixStats.Hits + tabStats.Hits,
 		PoolRequests: ixStats.Requests() + tabStats.Requests(),
+		Retries:      ixStats.Retries + tabStats.Retries,
 	}
 }
 
@@ -161,6 +166,7 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		NodeComps:    m.NodeComps - prev.NodeComps,
 		PoolHits:     m.PoolHits - prev.PoolHits,
 		PoolRequests: m.PoolRequests - prev.PoolRequests,
+		Retries:      m.Retries - prev.Retries,
 	}
 }
 
@@ -172,6 +178,7 @@ func (m Metrics) Add(o Metrics) Metrics {
 		NodeComps:    m.NodeComps + o.NodeComps,
 		PoolHits:     m.PoolHits + o.PoolHits,
 		PoolRequests: m.PoolRequests + o.PoolRequests,
+		Retries:      m.Retries + o.Retries,
 	}
 }
 
@@ -198,6 +205,7 @@ func StatsSnapshot(ix Index) obs.Stats {
 		PoolRequests: ixStats.Requests() + tabStats.Requests(),
 		SegComps:     ix.Table().Comparisons(),
 		NodeComps:    ix.NodeComps(),
+		Retries:      ixStats.Retries + tabStats.Retries,
 	}
 }
 
@@ -210,5 +218,6 @@ func MetricsOf(s obs.Stats) Metrics {
 		NodeComps:    s.NodeComps,
 		PoolHits:     s.PoolHits,
 		PoolRequests: s.PoolRequests,
+		Retries:      s.Retries,
 	}
 }

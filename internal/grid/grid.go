@@ -221,7 +221,12 @@ func (g *Grid) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 			members, err := g.cellMembers(cx, cy, (*mp)[:0], o)
 			*mp = members[:0]
 			if err != nil {
-				return err
+				if !store.IsUnavailable(err) {
+					return err
+				}
+				// Degraded mode: the cell's B-tree page is quarantined.
+				// Keep whatever members the scan reached and move on to
+				// the next cell (partial results).
 			}
 			for _, id := range members {
 				if _, dup := seen[id]; dup {
@@ -229,6 +234,9 @@ func (g *Grid) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 				}
 				s, err := g.table.GetObs(id, o)
 				if err != nil {
+					if store.IsUnavailable(err) {
+						continue // degraded: segment's table page is gone
+					}
 					return err
 				}
 				if !r.IntersectsSegment(s) {
@@ -342,7 +350,11 @@ func (g *Grid) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 		members, err := g.cellMembers(cx, cy, (*mp)[:0], o)
 		*mp = members[:0]
 		if err != nil {
-			return err
+			if !store.IsUnavailable(err) {
+				return err
+			}
+			// Degraded: rank the members gathered before the quarantined
+			// page; the lost remainder is skipped.
 		}
 		for _, id := range members {
 			if _, dup := seen[id]; dup {
@@ -351,6 +363,9 @@ func (g *Grid) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 			seen[id] = struct{}{}
 			s, err := g.table.GetObs(id, o)
 			if err != nil {
+				if store.IsUnavailable(err) {
+					continue // degraded: segment's table page is gone
+				}
 				return err
 			}
 			pqPush(&q, pqItem{

@@ -49,6 +49,14 @@ type Stats struct {
 	// NodeComps counts bounding box (R-trees) or bounding bucket
 	// (PMR/grid) computations — the paper's third currency.
 	NodeComps uint64
+	// Retries counts disk operations that were retried after a transient
+	// fault (and eventually succeeded or exhausted their RetryPolicy).
+	Retries uint64
+	// SkippedPages counts page fetches skipped under degraded-read mode:
+	// the page was quarantined (checksum failure or exhausted retries)
+	// and the query returned partial results instead of aborting. Always
+	// zero outside degraded mode.
+	SkippedPages uint64
 	// Wall is the elapsed wall-clock time of the query, filled in by
 	// Op.Finish.
 	Wall time.Duration
@@ -68,6 +76,8 @@ func (s Stats) Add(o Stats) Stats {
 		PoolRequests: s.PoolRequests + o.PoolRequests,
 		SegComps:     s.SegComps + o.SegComps,
 		NodeComps:    s.NodeComps + o.NodeComps,
+		Retries:      s.Retries + o.Retries,
+		SkippedPages: s.SkippedPages + o.SkippedPages,
 		Wall:         s.Wall + o.Wall,
 	}
 }
@@ -82,6 +92,8 @@ func (s Stats) Sub(o Stats) Stats {
 		PoolRequests: s.PoolRequests - o.PoolRequests,
 		SegComps:     s.SegComps - o.SegComps,
 		NodeComps:    s.NodeComps - o.NodeComps,
+		Retries:      s.Retries - o.Retries,
+		SkippedPages: s.SkippedPages - o.SkippedPages,
 		Wall:         s.Wall - o.Wall,
 	}
 }
@@ -111,11 +123,18 @@ type Op struct {
 	start  time.Time
 	end    time.Time
 
+	// degraded is set once by the facade before the query runs (and read
+	// concurrently by the buffer pools): quarantine-and-skip instead of
+	// aborting on an unreadable page.
+	degraded bool
+
 	diskReads  atomic.Uint64
 	diskWrites atomic.Uint64
 	poolHits   atomic.Uint64
 	segComps   atomic.Uint64
 	nodeComps  atomic.Uint64
+	retries    atomic.Uint64
+	skipped    atomic.Uint64
 }
 
 // opPool recycles Op allocations across queries, so a warm query's hot
@@ -136,6 +155,7 @@ func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
 	o.start = time.Now()
 	o.end = time.Time{}
 	o.done = nil
+	o.degraded = false
 	if ctx != nil {
 		o.done = ctx.Done()
 	}
@@ -144,6 +164,8 @@ func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
 	o.poolHits.Store(0)
 	o.segComps.Store(0)
 	o.nodeComps.Store(0)
+	o.retries.Store(0)
+	o.skipped.Store(0)
 	if tracer != nil {
 		tracer.QueryStart(info)
 	}
@@ -170,6 +192,30 @@ func (o *Op) Info() QueryInfo {
 		return QueryInfo{}
 	}
 	return o.info
+}
+
+// SetDegraded marks the query as running in degraded-read mode. It must
+// be called before the query's first page request (the facade sets it
+// right after Begin); the flag is then only read.
+func (o *Op) SetDegraded(on bool) {
+	if o == nil {
+		return
+	}
+	o.degraded = on
+}
+
+// Degraded reports whether the query runs in degraded-read mode.
+func (o *Op) Degraded() bool { return o != nil && o.degraded }
+
+// Done exposes the query context's cancellation channel (nil when the
+// query cannot be canceled, which blocks forever in a select — the
+// desired behavior). The disk retry loop waits on it during backoff so a
+// canceled query does not sit out its remaining sleeps.
+func (o *Op) Done() <-chan struct{} {
+	if o == nil {
+		return nil
+	}
+	return o.done
 }
 
 // Canceled returns the context's error once it has been canceled or its
@@ -218,6 +264,22 @@ func (o *Op) DiskWrite() {
 	o.diskWrites.Add(1)
 }
 
+// Retry charges one retried disk operation.
+func (o *Op) Retry() {
+	if o == nil {
+		return
+	}
+	o.retries.Add(1)
+}
+
+// PageSkipped charges one page fetch skipped under degraded-read mode.
+func (o *Op) PageSkipped() {
+	if o == nil {
+		return
+	}
+	o.skipped.Add(1)
+}
+
 // SegComps charges n segment comparisons (segment-table fetches).
 func (o *Op) SegComps(n uint64) {
 	if o == nil {
@@ -259,6 +321,8 @@ func (o *Op) Stats() Stats {
 		PoolRequests: hits + reads,
 		SegComps:     o.segComps.Load(),
 		NodeComps:    o.nodeComps.Load(),
+		Retries:      o.retries.Load(),
+		SkippedPages: o.skipped.Load(),
 		Wall:         o.wall(),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"segdb/internal/geom"
 	"segdb/internal/obs"
 	"segdb/internal/seg"
+	"segdb/internal/store"
 )
 
 // Query-scratch pools: the duplicate-suppression set, block code sets,
@@ -97,7 +98,12 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 		// cover's key range; point location on the corner finds it.
 		leaf, ok, err := t.locate(corner, o)
 		if err != nil {
-			return err
+			if !store.IsUnavailable(err) {
+				return err
+			}
+			// Degraded mode: point location hit a quarantined page; fall
+			// back to scanning the cover block for partial results.
+			ok = false
 		}
 		if ok && leaf.Depth() < depth {
 			if _, dup := scannedLeaf[leaf]; dup {
@@ -152,7 +158,11 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		members = append(members, keySeg(k))
 		return true
 	}, o); err != nil {
-		return false, err
+		if !store.IsUnavailable(err) {
+			return false, err
+		}
+		// Degraded mode: the scan stopped at a quarantined B-tree page;
+		// report the members gathered before it (partial results).
 	}
 	for _, id := range members {
 		if _, dup := seen[id]; dup {
@@ -160,6 +170,9 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		}
 		s, err := t.table.GetObs(id, o)
 		if err != nil {
+			if store.IsUnavailable(err) {
+				continue // degraded: this segment's table page is gone
+			}
 			return false, err
 		}
 		if !r.IntersectsSegment(s) {
@@ -202,8 +215,14 @@ func (t *Tree) locate(p geom.Point, o *obs.Op) (geom.Code, bool, error) {
 
 func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o *obs.Op) error {
 	c, ok, err := t.locate(p, o)
-	if err != nil || !ok {
+	if err != nil {
+		if store.IsUnavailable(err) {
+			return nil // degraded: point location lost; empty partial result
+		}
 		return err
+	}
+	if !ok {
+		return nil
 	}
 	exLo, exHi := exactRange(c)
 	mp := membersPool.Get().(*[]seg.ID)
@@ -221,12 +240,18 @@ func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o
 		members = append(members, keySeg(k))
 		return true
 	}, o); err != nil {
-		return err
+		if !store.IsUnavailable(err) {
+			return err
+		}
+		// Degraded: keep the members gathered before the quarantined page.
 	}
 	pt := geom.Rect{Min: p, Max: p}
 	for _, id := range members {
 		s, err := t.table.GetObs(id, o)
 		if err != nil {
+			if store.IsUnavailable(err) {
+				continue // degraded: this segment's table page is gone
+			}
 			return err
 		}
 		if !pt.IntersectsSegment(s) {
@@ -364,7 +389,12 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 	// in unoccupied space (common for one-stage points) the search falls
 	// back to a full top-down descent.
 	if leaf, ok, err := t.locate(p, o); err != nil {
-		return dst, err
+		if !store.IsUnavailable(err) {
+			return dst, err
+		}
+		// Degraded: seed a full descent; unreachable blocks are skipped
+		// as the search encounters them.
+		pqPush(&q, pqItem{distSq: 0, kind: pqRegion, code: geom.RootCode()})
 	} else if ok {
 		pqPush(&q, pqItem{distSq: 0, kind: pqBucket, code: leaf})
 		for c := leaf; c.Depth() > 0; c = c.Parent() {
@@ -406,7 +436,10 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 					it.members = append(it.members, ref)
 					return true
 				}, o); err != nil {
-					return dst, err
+					if !store.IsUnavailable(err) {
+						return dst, err
+					}
+					// Degraded: rank whatever members were gathered.
 				}
 			}
 			for _, ref := range it.members {
@@ -432,6 +465,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 				seen[ref.id] = struct{}{}
 				s, err := t.table.GetObs(ref.id, o)
 				if err != nil {
+					if store.IsUnavailable(err) {
+						continue // degraded: segment's table page is gone
+					}
 					return dst, err
 				}
 				pqPush(&q, pqItem{
@@ -449,6 +485,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 			seen[it.id] = struct{}{}
 			s, err := t.table.GetObs(it.id, o)
 			if err != nil {
+				if store.IsUnavailable(err) {
+					continue // degraded: segment's table page is gone
+				}
 				return dst, err
 			}
 			pqPush(&q, pqItem{
@@ -486,7 +525,11 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 				g.members = append(g.members, ref)
 				return count <= limit
 			}, o); err != nil {
-				return dst, err
+				if !store.IsUnavailable(err) {
+					return dst, err
+				}
+				// Degraded: enumerate the groups gathered before the
+				// quarantined page; the lost remainder is skipped.
 			}
 			if count > limit {
 				for qd := 0; qd < 4; qd++ {

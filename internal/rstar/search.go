@@ -62,6 +62,12 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID, geom.Segment) bool, o *obs.Op, examined *uint64) (bool, error) {
 	n, err := t.readNodeObs(id, o)
 	if err != nil {
+		if store.IsUnavailable(err) {
+			// Degraded mode: the node's page is quarantined. Skip the whole
+			// subtree but keep visiting siblings — partial results, with the
+			// skip already charged to o by the pool.
+			return true, nil
+		}
 		return false, err
 	}
 	defer rpage.Release(n)
@@ -73,6 +79,9 @@ func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID
 		if n.Leaf {
 			s, err := t.table.GetObs(seg.ID(e.Ptr), o)
 			if err != nil {
+				if store.IsUnavailable(err) {
+					continue // degraded: this segment's table page is gone
+				}
 				return false, err
 			}
 			if !r.IntersectsSegment(s) {
@@ -198,6 +207,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 		}
 		n, err := t.readNodeObs(store.PageID(it.ptr), o)
 		if err != nil {
+			if store.IsUnavailable(err) {
+				continue // degraded: skip the quarantined subtree
+			}
 			return dst, err
 		}
 		for _, e := range n.Entries {
@@ -206,6 +218,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 			if n.Leaf {
 				s, err := t.table.GetObs(seg.ID(e.Ptr), o)
 				if err != nil {
+					if store.IsUnavailable(err) {
+						continue // degraded: segment's table page is gone
+					}
 					rpage.Release(n)
 					return dst, err
 				}

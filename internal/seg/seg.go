@@ -81,6 +81,15 @@ func (t *Table) SizeBytes() int64 { return t.pool.Disk().SizeBytes() }
 // injection attach here).
 func (t *Table) Disk() *store.Disk { return t.pool.Disk() }
 
+// Pool exposes the table's buffer pool (the durability layer captures
+// its dirty frames into the WAL and discards repaired pages).
+func (t *Table) Pool() *store.Pool { return t.pool }
+
+// SetLen overrides the record count during crash recovery, after WAL
+// replay has restored the underlying pages. n must be consistent with
+// the pages actually present (CheckIntegrity verifies).
+func (t *Table) SetLen(n int) { t.count = n }
+
 // DropCache empties the table's buffer pool (cold restart between
 // experiment phases), flushing dirty frames first.
 func (t *Table) DropCache() error { return t.pool.DropAll() }

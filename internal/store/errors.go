@@ -24,6 +24,13 @@ var (
 	// ErrBadPage is returned when an I/O operation names a page id outside
 	// the disk (a dangling pointer in a corrupted structure).
 	ErrBadPage = errors.New("store: page id out of range")
+
+	// ErrPageUnavailable is the sentinel wrapped by PageUnavailableError:
+	// under degraded-read mode, a page failing its checksum or exhausting
+	// its retries is quarantined and its fetch reports this instead of the
+	// underlying fault. Index traversals treat it as "skip this page" and
+	// return partial results.
+	ErrPageUnavailable = errors.New("store: page unavailable (quarantined)")
 )
 
 // ChecksumError reports a page whose stored CRC32 does not match its
@@ -41,6 +48,35 @@ func (e *ChecksumError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrChecksum) true.
 func (e *ChecksumError) Unwrap() error { return ErrChecksum }
+
+// PageUnavailableError reports a quarantined page skipped under
+// degraded-read mode. It wraps ErrPageUnavailable and the fault that
+// condemned the page (nil when the page was already quarantined).
+type PageUnavailableError struct {
+	Page PageID
+	Err  error
+}
+
+// Error implements error.
+func (e *PageUnavailableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("store: page %d unavailable: %v", e.Page, e.Err)
+	}
+	return fmt.Sprintf("store: page %d unavailable (quarantined)", e.Page)
+}
+
+// Unwrap makes errors.Is(err, ErrPageUnavailable) true, and keeps the
+// condemning fault matchable too.
+func (e *PageUnavailableError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrPageUnavailable, e.Err}
+	}
+	return []error{ErrPageUnavailable}
+}
+
+// IsUnavailable reports whether err means "page quarantined, skip it" —
+// the condition degraded index traversals absorb.
+func IsUnavailable(err error) bool { return errors.Is(err, ErrPageUnavailable) }
 
 // FaultKind classifies an injected fault.
 type FaultKind int

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"segdb/internal/obs"
+)
+
+// RetryPolicy makes the disk absorb transient faults: a read or write
+// failed by an injected FaultRead/FaultWrite is reattempted up to
+// MaxAttempts times with exponential backoff. Permanent failures —
+// checksum mismatches, out-of-range pages, the post-crash state — are
+// never retried. The zero value (and a nil policy) means one attempt, no
+// retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 1 behave as 1.
+	MaxAttempts int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it, capped by MaxBackoff. Zero retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// OpTimeout bounds one logical operation across all its attempts and
+	// backoffs: once exceeded, the operation fails with the last fault
+	// rather than starting another attempt (0 = no bound).
+	OpTimeout time.Duration
+}
+
+// attempts returns the effective attempt budget.
+func (rp *RetryPolicy) attempts() int {
+	if rp == nil || rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// backoffFor returns the sleep before the n-th retry (1-based).
+func (rp *RetryPolicy) backoffFor(n int) time.Duration {
+	if rp.Backoff <= 0 {
+		return 0
+	}
+	d := rp.Backoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if rp.MaxBackoff > 0 && d >= rp.MaxBackoff {
+			return rp.MaxBackoff
+		}
+	}
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		return rp.MaxBackoff
+	}
+	return d
+}
+
+// retryable reports whether err is a transient injected fault worth
+// reattempting. Crashes are terminal (every later operation fails the
+// same way) and checksum mismatches are data corruption, not transience.
+func retryable(err error) bool {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind == FaultRead || fe.Kind == FaultWrite
+	}
+	return false
+}
+
+// SetRetryPolicy attaches (or, with nil, detaches) a retry policy to the
+// disk. Safe to call while operations are in flight; in-flight
+// operations keep the policy they started with.
+func (d *Disk) SetRetryPolicy(rp *RetryPolicy) {
+	if rp == nil {
+		d.retry.Store(nil)
+		return
+	}
+	cp := *rp
+	d.retry.Store(&cp)
+}
+
+// RetryPolicy returns the currently attached retry policy, or nil.
+func (d *Disk) RetryPolicy() *RetryPolicy { return d.retry.Load() }
+
+// withRetry runs one disk operation under the attached RetryPolicy,
+// charging each reattempt to the disk counters and to o. The backoff
+// sleeps select on o's cancellation, so a canceled query stops waiting
+// immediately; the returned error then joins the context error with the
+// last fault (both errors.Is(err, context.Canceled) and
+// errors.Is(err, ErrInjectedFault) hold).
+func (d *Disk) withRetry(opName string, id PageID, o *obs.Op, fn func() error) error {
+	rp := d.retry.Load()
+	attempts := rp.attempts()
+	err := fn()
+	if err == nil || attempts == 1 || !retryable(err) {
+		return err
+	}
+	var deadline time.Time
+	if rp.OpTimeout > 0 {
+		deadline = time.Now().Add(rp.OpTimeout)
+	}
+	for n := 1; n < attempts; n++ {
+		if wait := rp.backoffFor(n); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-o.Done():
+				timer.Stop()
+				return errors.Join(o.Canceled(), err)
+			}
+		} else if cerr := o.Canceled(); cerr != nil {
+			return errors.Join(cerr, err)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("store: %s of page %d exceeded retry timeout %v after %d attempts: %w", opName, id, rp.OpTimeout, n, err)
+		}
+		d.stats.retries.Add(1)
+		o.Retry()
+		if err = fn(); err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("store: %s of page %d failed after %d attempts: %w", opName, id, attempts, err)
+}

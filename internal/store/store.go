@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -55,11 +56,12 @@ const NilPage = invalidPage
 
 // Stats is a point-in-time snapshot of potential disk activity.
 type Stats struct {
-	Reads  uint64 // pages fetched into the pool (buffer-pool misses)
-	Writes uint64 // dirty pages written back (eviction or flush)
-	Allocs uint64 // pages ever allocated
-	Frees  uint64 // pages returned to the free list
-	Hits   uint64 // pool requests satisfied without touching the disk
+	Reads   uint64 // pages fetched into the pool (buffer-pool misses)
+	Writes  uint64 // dirty pages written back (eviction or flush)
+	Allocs  uint64 // pages ever allocated
+	Frees   uint64 // pages returned to the free list
+	Hits    uint64 // pool requests satisfied without touching the disk
+	Retries uint64 // operations reattempted under the RetryPolicy
 }
 
 // Accesses returns the total number of potential disk accesses, the
@@ -84,11 +86,12 @@ func (s Stats) HitRatio() float64 {
 // Sub returns the counter deltas since an earlier snapshot.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Reads:  s.Reads - prev.Reads,
-		Writes: s.Writes - prev.Writes,
-		Allocs: s.Allocs - prev.Allocs,
-		Frees:  s.Frees - prev.Frees,
-		Hits:   s.Hits - prev.Hits,
+		Reads:   s.Reads - prev.Reads,
+		Writes:  s.Writes - prev.Writes,
+		Allocs:  s.Allocs - prev.Allocs,
+		Frees:   s.Frees - prev.Frees,
+		Hits:    s.Hits - prev.Hits,
+		Retries: s.Retries - prev.Retries,
 	}
 }
 
@@ -97,18 +100,20 @@ func (s Stats) Sub(prev Stats) Stats {
 // is a consistent total only once those operations complete (Measure and
 // the harness snapshot around quiesced phases).
 type counters struct {
-	reads  atomic.Uint64
-	writes atomic.Uint64
-	allocs atomic.Uint64
-	frees  atomic.Uint64
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	allocs  atomic.Uint64
+	frees   atomic.Uint64
+	retries atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Reads:  c.reads.Load(),
-		Writes: c.writes.Load(),
-		Allocs: c.allocs.Load(),
-		Frees:  c.frees.Load(),
+		Reads:   c.reads.Load(),
+		Writes:  c.writes.Load(),
+		Allocs:  c.allocs.Load(),
+		Frees:   c.frees.Load(),
+		Retries: c.retries.Load(),
 	}
 }
 
@@ -120,7 +125,7 @@ func (c *counters) snapshot() Stats {
 // concurrent readers; writers of the same page must still be externally
 // coordinated (the buffer pool above provides that).
 type Disk struct {
-	mu       sync.Mutex // guards pages, sums, free
+	mu       sync.Mutex // guards pages, sums, free, quar, journal
 	pageSize int
 	pages    [][]byte
 	sums     []uint32 // per-page CRC32 of the last intended contents
@@ -128,6 +133,19 @@ type Disk struct {
 	stats    counters
 	faults   *FaultPolicy
 	zeroSum  uint32 // CRC32 of an all-zero page
+
+	// retry is outside the latch: the retry loop's backoff sleeps must
+	// not hold d.mu (each attempt re-acquires it).
+	retry atomic.Pointer[RetryPolicy]
+
+	// quar is the quarantine set of degraded-read mode: pages whose
+	// fetch failed a checksum or exhausted retries. Lazily allocated.
+	quar map[PageID]struct{}
+
+	// journal, when enabled, records every page written since the last
+	// drain — the WAL layer's capture set.
+	journalOn bool
+	journal   map[PageID]struct{}
 }
 
 // NewDisk creates an empty disk with the given page size. It panics on a
@@ -188,7 +206,8 @@ func (d *Disk) FaultPolicy() *FaultPolicy {
 	return d.faults
 }
 
-// allocate reserves a zeroed page and returns its id.
+// allocate reserves a zeroed page and returns its id. Reusing a freed
+// page lifts any quarantine on it — the fresh zero contents are valid.
 func (d *Disk) allocate() PageID {
 	d.stats.allocs.Add(1)
 	d.mu.Lock()
@@ -198,6 +217,7 @@ func (d *Disk) allocate() PageID {
 		d.free = d.free[:n-1]
 		clear(d.pages[id])
 		d.sums[id] = d.zeroSum
+		delete(d.quar, id)
 		return id
 	}
 	d.pages = append(d.pages, make([]byte, d.pageSize))
@@ -213,10 +233,22 @@ func (d *Disk) release(id PageID) {
 	d.free = append(d.free, id)
 }
 
-// read copies the page contents into buf, counting one disk read. It
-// fails with a typed error on an out-of-range id, an injected fault, or a
-// checksum mismatch (torn write or bit rot detected).
+// read copies the page contents into buf, reattempting transient faults
+// under the attached RetryPolicy. It fails with a typed error on an
+// out-of-range id, an unabsorbed injected fault, or a checksum mismatch
+// (torn write or bit rot detected).
 func (d *Disk) read(id PageID, buf []byte) error {
+	return d.readObs(id, buf, nil)
+}
+
+// readObs is read with per-query observation: retries are charged to o,
+// and a canceled query abandons the backoff immediately.
+func (d *Disk) readObs(id PageID, buf []byte, o *obs.Op) error {
+	return d.withRetry("read", id, o, func() error { return d.readOnce(id, buf) })
+}
+
+// readOnce is one read attempt, counting one disk read.
+func (d *Disk) readOnce(id PageID, buf []byte) error {
 	d.stats.reads.Add(1)
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -235,11 +267,23 @@ func (d *Disk) read(id PageID, buf []byte) error {
 	return nil
 }
 
-// write copies buf onto the page, counting one disk write. The page's
+// write copies buf onto the page, reattempting rejected writes under the
+// attached RetryPolicy.
+func (d *Disk) write(id PageID, buf []byte) error {
+	return d.writeObs(id, buf, nil)
+}
+
+// writeObs is write with per-query observation (see readObs).
+func (d *Disk) writeObs(id PageID, buf []byte, o *obs.Op) error {
+	return d.withRetry("write", id, o, func() error { return d.writeOnce(id, buf) })
+}
+
+// writeOnce is one write attempt, counting one disk write. The page's
 // checksum is recorded from the intended contents before any injected
 // tear or bit flip lands, so silent corruption is caught by the next
-// read.
-func (d *Disk) write(id PageID, buf []byte) error {
+// read. A write that reaches the page (even torn) lands in the journal
+// and lifts the page's quarantine — the caller replaced the contents.
+func (d *Disk) writeOnce(id PageID, buf []byte) error {
 	d.stats.writes.Add(1)
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -249,6 +293,7 @@ func (d *Disk) write(id PageID, buf []byte) error {
 	if d.faults == nil {
 		copy(d.pages[id], buf)
 		d.sums[id] = crc32.ChecksumIEEE(d.pages[id])
+		d.noteWrite(id)
 		return nil
 	}
 	dec := d.faults.beforeWrite(id, d.pageSize)
@@ -264,7 +309,17 @@ func (d *Disk) write(id PageID, buf []byte) error {
 	if dec.flipBit >= 0 {
 		d.pages[id][dec.flipBit/8] ^= 1 << (dec.flipBit % 8)
 	}
+	d.noteWrite(id)
 	return dec.err
+}
+
+// noteWrite records a write's page in the journal (when enabled) and
+// lifts any quarantine. Caller holds d.mu.
+func (d *Disk) noteWrite(id PageID) {
+	if d.journalOn {
+		d.journal[id] = struct{}{}
+	}
+	delete(d.quar, id)
 }
 
 // CorruptPage flips one bit of the stored page without updating its
@@ -278,6 +333,149 @@ func (d *Disk) CorruptPage(id PageID, bit int) error {
 	bit %= d.pageSize * 8
 	d.pages[id][bit/8] ^= 1 << (bit % 8)
 	return nil
+}
+
+// quarantine marks a page unreadable for degraded-read mode.
+func (d *Disk) quarantine(id PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.quar == nil {
+		d.quar = make(map[PageID]struct{})
+	}
+	d.quar[id] = struct{}{}
+}
+
+// isQuarantined reports whether the page is quarantined.
+func (d *Disk) isQuarantined(id PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.quar[id]
+	return ok
+}
+
+// Quarantined returns the quarantined pages in ascending order: pages
+// whose fetch failed a checksum or exhausted retries while a
+// degraded-read query was running. Scrub repairs and clears them.
+func (d *Disk) Quarantined() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, 0, len(d.quar))
+	for id := range d.quar {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ClearQuarantine empties the quarantine set (after an external repair).
+func (d *Disk) ClearQuarantine() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clear(d.quar)
+}
+
+// SetJournal enables or disables the write journal. Enabling resets it.
+func (d *Disk) SetJournal(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journalOn = on
+	if on {
+		d.journal = make(map[PageID]struct{})
+	} else {
+		d.journal = nil
+	}
+}
+
+// DrainJournal returns the pages written since the last drain, in
+// ascending order, and resets the journal.
+func (d *Disk) DrainJournal() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, 0, len(d.journal))
+	for id := range d.journal {
+		out = append(out, id)
+	}
+	clear(d.journal)
+	slices.Sort(out)
+	return out
+}
+
+// RawPage returns a copy of the page's stored bytes with no checksum
+// verification, fault injection, or accounting — the recovery and WAL
+// layers' view of the medium itself.
+func (d *Disk) RawPage(id PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		return nil, fmt.Errorf("store: raw read of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
+	}
+	return append([]byte(nil), d.pages[id]...), nil
+}
+
+// RawRestore overwrites the page with recovered contents, recomputing
+// its checksum and lifting any quarantine — again bypassing faults and
+// accounting. data must be exactly one page.
+func (d *Disk) RawRestore(id PageID, data []byte) error {
+	if len(data) != d.pageSize {
+		return fmt.Errorf("store: raw restore of %d bytes onto %d-byte page", len(data), d.pageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("store: raw restore of page %d beyond disk end (%d pages): %w", id, len(d.pages), ErrBadPage)
+	}
+	copy(d.pages[id], data)
+	d.sums[id] = crc32.ChecksumIEEE(d.pages[id])
+	delete(d.quar, id)
+	return nil
+}
+
+// EnsurePages grows the disk to at least n pages (zeroed, valid
+// checksums). Recovery uses it before restoring page images past the
+// checkpoint's end of disk; it never shrinks.
+func (d *Disk) EnsurePages(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pages) < n {
+		d.pages = append(d.pages, make([]byte, d.pageSize))
+		d.sums = append(d.sums, d.zeroSum)
+	}
+}
+
+// FreeList returns a copy of the free list (recovery state capture).
+func (d *Disk) FreeList() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]PageID(nil), d.free...)
+}
+
+// SetFreeList replaces the free list with recovered state.
+func (d *Disk) SetFreeList(ids []PageID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.free = append(d.free[:0], ids...)
+}
+
+// BadPages returns every in-use page whose contents fail their recorded
+// CRC32, in ascending order (the scrub's damage survey; compare
+// VerifyChecksums, which stops at the first).
+func (d *Disk) BadPages() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	onFree := make(map[PageID]struct{}, len(d.free))
+	for _, id := range d.free {
+		onFree[id] = struct{}{}
+	}
+	var bad []PageID
+	for i, p := range d.pages {
+		if _, free := onFree[PageID(i)]; free {
+			continue
+		}
+		if crc32.ChecksumIEEE(p) != d.sums[i] {
+			bad = append(bad, PageID(i))
+		}
+	}
+	return bad
 }
 
 // CheckFreeList verifies the free list references each page at most once
@@ -538,6 +736,12 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 	if err := o.Canceled(); err != nil {
 		return nil, err
 	}
+	if o.Degraded() && p.disk.isQuarantined(id) {
+		// Fail fast: the page is known bad; skip without charging the
+		// disk another doomed read.
+		o.PageSkipped()
+		return nil, &PageUnavailableError{Page: id}
+	}
 	sh := p.shardFor(id)
 	if p.lru {
 		sh.mu.Lock()
@@ -551,7 +755,7 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 		}
 		f, err := sh.install(p, id, true, o)
 		if err != nil {
-			return nil, err
+			return nil, p.degrade(id, err, o)
 		}
 		o.PoolMiss(uint32(id))
 		f.pins.Add(1)
@@ -591,13 +795,85 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 		}
 		sh.mu.Unlock()
 		if attempt >= clockEvictRetries || !errors.Is(err, ErrAllPinned) {
-			return nil, err
+			return nil, p.degrade(id, err, o)
 		}
 		// Every frame of the shard pinned: pins are held only across a
 		// page decode, so yield and retry the whole request (the page may
 		// even arrive via a racer, turning the retry into a hit).
 		runtime.Gosched()
 	}
+}
+
+// degrade converts a failed page fetch into quarantine-and-skip when the
+// query runs in degraded-read mode and the failure is the page's own —
+// a checksum mismatch or a transient read fault that exhausted its
+// retries. Other failures (crash, cancellation, pinned-out pool, a
+// victim's write-back fault) pass through untouched, as does every
+// failure of a non-degraded query.
+func (p *Pool) degrade(id PageID, err error, o *obs.Op) error {
+	if !o.Degraded() || !quarantineable(err) {
+		return err
+	}
+	p.disk.quarantine(id)
+	o.PageSkipped()
+	return &PageUnavailableError{Page: id, Err: err}
+}
+
+// quarantineable reports whether a read failure condemns the page itself.
+func quarantineable(err error) bool {
+	if errors.Is(err, ErrChecksum) {
+		return true
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe.Kind == FaultRead
+	}
+	return false
+}
+
+// ForEachDirty calls fn with every dirty resident frame, in ascending
+// page order. The data slice aliases the frame: fn must not retain it
+// past the call. The caller must hold the database's structural writer
+// lock (no concurrent query may be modifying frames) — this is the WAL
+// layer's capture of not-yet-flushed state.
+func (p *Pool) ForEachDirty(fn func(id PageID, data []byte)) {
+	type dirtyFrame struct {
+		id PageID
+		f  *frame
+	}
+	var dirty []dirtyFrame
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for id, f := range sh.frames {
+			if f.dirty.Load() {
+				dirty = append(dirty, dirtyFrame{id, f})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	slices.SortFunc(dirty, func(a, b dirtyFrame) int { return int(a.id) - int(b.id) })
+	for _, d := range dirty {
+		fn(d.id, d.f.data)
+	}
+}
+
+// Discard drops the page's frame without writing it back, so the next
+// request re-reads the disk — used after an external repair lands newer
+// bytes under a stale frame. It reports false (and leaves the frame) if
+// the page is pinned; a missing frame is a successful no-op.
+func (p *Pool) Discard(id PageID) bool {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
+	if !ok {
+		return true
+	}
+	if f.pins.Load() > 0 {
+		return false
+	}
+	sh.remove(f)
+	return true
 }
 
 // Unpin releases one pin on the page, marking it dirty if the caller
@@ -732,7 +1008,7 @@ func (sh *shard) install(p *Pool, id PageID, readFromDisk bool, o *obs.Op) (*fra
 	}
 	f := &frame{id: id, data: buf, slot: slot}
 	if readFromDisk {
-		if err := p.disk.read(id, f.data); err != nil {
+		if err := p.disk.readObs(id, f.data, o); err != nil {
 			return nil, err
 		}
 	}
@@ -764,7 +1040,7 @@ func (sh *shard) evictOne(p *Pool, o *obs.Op) (int, []byte, error) {
 				continue
 			}
 			if f.dirty.Load() {
-				if err := p.disk.write(f.id, f.data); err != nil {
+				if err := p.disk.writeObs(f.id, f.data, o); err != nil {
 					return -1, nil, err
 				}
 				o.DiskWrite()
@@ -791,7 +1067,7 @@ func (sh *shard) evictOne(p *Pool, o *obs.Op) (int, []byte, error) {
 			continue
 		}
 		if f.dirty.Load() {
-			if err := p.disk.write(f.id, f.data); err != nil {
+			if err := p.disk.writeObs(f.id, f.data, o); err != nil {
 				return -1, nil, err
 			}
 			o.DiskWrite()

@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// walPage builds a deterministic page image of the given size.
+func walPage(size int, fill byte) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = fill + byte(i%7)
+	}
+	return data
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	mfs := NewMemWALFS()
+	w, err := CreateWAL(mfs, "wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := walPage(128, 1), walPage(128, 2)
+	if err := w.AppendPage(WALDiskIndex, 3, p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPage(WALDiskTable, 0, p1); err != nil {
+		t.Fatal(err)
+	}
+	c1 := WALCommit{
+		Epoch:      1,
+		Seq:        1,
+		TableCount: 9,
+		Meta:       []uint64{7, 8, 9},
+		Disks: [2]WALDiskState{
+			WALDiskIndex: {Pages: 4, Free: []PageID{2}},
+			WALDiskTable: {Pages: 1},
+		},
+	}
+	if err := w.AppendCommit(c1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := walPage(128, 3)
+	if err := w.AppendPage(WALDiskIndex, 1, p2); err != nil {
+		t.Fatal(err)
+	}
+	c2 := c1
+	c2.Seq = 2
+	if err := w.AppendCommit(c2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mfs.ReadFile("wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txns, torn, err := ReadWAL(data, 0)
+	if err != nil {
+		t.Fatalf("ReadWAL: %v", err)
+	}
+	if torn {
+		t.Error("clean log reported torn")
+	}
+	if len(txns) != 2 {
+		t.Fatalf("got %d transactions, want 2", len(txns))
+	}
+	if got := txns[0]; len(got.Pages) != 2 ||
+		got.Pages[0].Disk != WALDiskIndex || got.Pages[0].Page != 3 || !bytes.Equal(got.Pages[0].Data, p0) ||
+		got.Pages[1].Disk != WALDiskTable || got.Pages[1].Page != 0 || !bytes.Equal(got.Pages[1].Data, p1) {
+		t.Errorf("txn 0 pages mismatch: %+v", got.Pages)
+	}
+	got := txns[0].Commit
+	if got.Epoch != 1 || got.Seq != 1 || got.TableCount != 9 {
+		t.Errorf("commit fields = %+v, want %+v", got, c1)
+	}
+	if len(got.Meta) != 3 || got.Meta[0] != 7 || got.Meta[2] != 9 {
+		t.Errorf("commit meta = %v", got.Meta)
+	}
+	if got.Disks[WALDiskIndex].Pages != 4 || len(got.Disks[WALDiskIndex].Free) != 1 || got.Disks[WALDiskIndex].Free[0] != 2 {
+		t.Errorf("commit disk state = %+v", got.Disks)
+	}
+	if txns[1].Commit.Seq != 2 || len(txns[1].Pages) != 1 || !bytes.Equal(txns[1].Pages[0].Data, p2) {
+		t.Errorf("txn 1 mismatch: %+v", txns[1])
+	}
+}
+
+// TestWALTornTail cuts a valid two-transaction log at every byte length
+// and requires prefix-valid replay: zero, one, or two transactions, torn
+// whenever bytes were discarded, and never an error or panic.
+func TestWALTornTail(t *testing.T) {
+	mfs := NewMemWALFS()
+	w, _ := CreateWAL(mfs, "wal.log")
+	if err := w.AppendPage(WALDiskIndex, 0, walPage(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCommit(WALCommit{Epoch: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPage(WALDiskTable, 1, walPage(64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCommit(WALCommit{Epoch: 1, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := mfs.ReadFile("wal.log")
+	fullTxns, torn, err := ReadWAL(data, 0)
+	if err != nil || torn || len(fullTxns) != 2 {
+		t.Fatalf("full log: txns=%d torn=%v err=%v", len(fullTxns), torn, err)
+	}
+	// commitEnds[i] is the byte offset just past the i-th commit record:
+	// a cut at or beyond it must yield i+1 transactions.
+	commitEnds := walCommitEnds(data)
+	if len(commitEnds) != 2 {
+		t.Fatalf("found %d commit boundaries, want 2", len(commitEnds))
+	}
+	for cut := 8; cut < len(data); cut++ {
+		txns, torn, err := ReadWAL(data[:cut], 0)
+		if err != nil {
+			t.Fatalf("cut=%d: unexpected error %v", cut, err)
+		}
+		want := 0
+		for _, end := range commitEnds {
+			if cut >= end {
+				want++
+			}
+		}
+		if len(txns) != want {
+			t.Fatalf("cut=%d: %d transactions, want %d", cut, len(txns), want)
+		}
+		wantTorn := cut != 8 && (want == 0 || cut != commitEnds[want-1])
+		if torn != wantTorn {
+			t.Fatalf("cut=%d: torn=%v, want %v", cut, torn, wantTorn)
+		}
+	}
+	// Below the magic the log is not a WAL at all.
+	if _, _, err := ReadWAL(data[:4], 0); err == nil {
+		t.Error("short magic accepted")
+	}
+}
+
+// walCommitEnds walks the frame structure of a well-formed log and
+// returns the offset just past each commit record.
+func walCommitEnds(data []byte) []int {
+	var ends []int
+	off := 8 // magic
+	for off+8 <= len(data) {
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		if off+8+n > len(data) {
+			break
+		}
+		if data[off+8] == walRecCommit {
+			ends = append(ends, off+8+n)
+		}
+		off += 8 + n
+	}
+	return ends
+}
+
+func TestWALEpochFilter(t *testing.T) {
+	mfs := NewMemWALFS()
+	w, _ := CreateWAL(mfs, "wal.log")
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		if err := w.AppendPage(WALDiskIndex, PageID(epoch), walPage(32, byte(epoch))); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendCommit(WALCommit{Epoch: epoch, Seq: epoch}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _ := mfs.ReadFile("wal.log")
+	for after := uint64(0); after <= 3; after++ {
+		txns, torn, err := ReadWAL(data, after)
+		if err != nil || torn {
+			t.Fatalf("after=%d: torn=%v err=%v", after, torn, err)
+		}
+		if got, want := len(txns), int(3-after); got != want {
+			t.Errorf("after=%d: %d txns, want %d", after, got, want)
+		}
+		for _, txn := range txns {
+			if txn.Commit.Epoch <= after {
+				t.Errorf("after=%d: replayed epoch %d", after, txn.Commit.Epoch)
+			}
+		}
+	}
+}
+
+func TestWALUncommittedTailDiscarded(t *testing.T) {
+	mfs := NewMemWALFS()
+	w, _ := CreateWAL(mfs, "wal.log")
+	if err := w.AppendPage(WALDiskIndex, 0, walPage(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCommit(WALCommit{Epoch: 1, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPage(WALDiskIndex, 1, walPage(32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := mfs.ReadFile("wal.log")
+	txns, torn, err := ReadWAL(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Error("trailing uncommitted page not reported as torn")
+	}
+	if len(txns) != 1 {
+		t.Fatalf("got %d txns, want 1", len(txns))
+	}
+}
+
+func TestMemWALFSCrash(t *testing.T) {
+	mfs := NewMemWALFS()
+	f, err := mfs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfs.SetCrashAfterWrites(2, 42)
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	n, err := f.Write([]byte("second"))
+	if !errors.Is(err, ErrWALCrash) {
+		t.Fatalf("crash write: n=%d err=%v, want ErrWALCrash", n, err)
+	}
+	if n < 0 || n > len("second") {
+		t.Fatalf("torn length %d out of range", n)
+	}
+	if !mfs.Crashed() {
+		t.Fatal("Crashed() false after crash")
+	}
+	if _, err := mfs.Create("b"); !errors.Is(err, ErrWALCrash) {
+		t.Errorf("Create after crash: %v", err)
+	}
+	if err := mfs.Rename("a", "c"); !errors.Is(err, ErrWALCrash) {
+		t.Errorf("Rename after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrWALCrash) {
+		t.Errorf("Sync after crash: %v", err)
+	}
+	// Reads survive the crash: recovery reads what landed.
+	data, err := mfs.ReadFile("a")
+	if err != nil {
+		t.Fatalf("ReadFile after crash: %v", err)
+	}
+	if want := "first" + "second"[:n]; string(data) != want {
+		t.Errorf("post-crash contents %q, want %q", data, want)
+	}
+	mfs.Reboot()
+	if mfs.Crashed() {
+		t.Error("Crashed() true after Reboot")
+	}
+	if _, err := f.Write([]byte("more")); err != nil {
+		t.Errorf("write after Reboot: %v", err)
+	}
+	if _, err := mfs.ReadFile("missing"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file: %v, want fs.ErrNotExist", err)
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL reader: it must never
+// panic, and whatever transactions it accepts must be internally
+// consistent (bounded metadata and free lists).
+func FuzzWALReplay(f *testing.F) {
+	mfs := NewMemWALFS()
+	w, _ := CreateWAL(mfs, "wal.log")
+	w.AppendPage(WALDiskIndex, 0, walPage(64, 1))
+	w.AppendCommit(WALCommit{
+		Epoch: 1, Seq: 1, TableCount: 4, Meta: []uint64{1, 2, 3},
+		Disks: [2]WALDiskState{{Pages: 1, Free: []PageID{0}}, {Pages: 2}},
+	})
+	seed, _ := mfs.ReadFile("wal.log")
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add([]byte("SDBWAL01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		txns, _, err := ReadWAL(data, 0)
+		if err != nil {
+			return
+		}
+		for _, txn := range txns {
+			if len(txn.Commit.Meta) > maxWALMetaWords {
+				t.Fatalf("accepted commit with %d meta words", len(txn.Commit.Meta))
+			}
+			for _, d := range txn.Commit.Disks {
+				if len(d.Free) > maxWALFreePages {
+					t.Fatalf("accepted commit with %d free pages", len(d.Free))
+				}
+			}
+			for _, p := range txn.Pages {
+				if len(p.Data) > MaxWALRecord {
+					t.Fatalf("accepted page of %d bytes", len(p.Data))
+				}
+			}
+		}
+	})
+}

@@ -67,7 +67,9 @@ func (db *DB) loadLocked(m *MapData) ([]SegmentID, error) {
 		}
 		ids = append(ids, id)
 	}
-	return ids, nil
+	// One WAL commit seals the whole map: a crash mid-load rolls the
+	// database back to its pre-load state.
+	return ids, db.walCommit()
 }
 
 // ParseTIGER reads US Census TIGER/Line Record Type 1 data (the format

@@ -95,6 +95,44 @@ func WithTracer(t Tracer) Option {
 	return optionFunc(func(o *Options) { o.Tracer = t })
 }
 
+// WithWAL makes the database durable: every mutation is written ahead
+// to a CRC-framed log in dir (created if needed) and synced before the
+// mutation returns, and checkpoints are replaced atomically. After a
+// crash, Recover(dir) replays the log onto the last checkpoint. Open
+// refuses a directory that already holds a checkpoint — reopen that
+// state with Recover instead.
+func WithWAL(dir string) Option {
+	return optionFunc(func(o *Options) { o.WALDir = dir })
+}
+
+// WithWALFS is WithWAL over an explicit log filesystem instead of a
+// directory path. Crash-recovery harnesses pass a MemWALFS, whose
+// deterministic torn-write injection simulates power loss at any chosen
+// write.
+func WithWALFS(fs WALFS) Option {
+	return optionFunc(func(o *Options) { o.WALFS = fs })
+}
+
+// WithRetryPolicy attaches a retry policy to both of the database's
+// disks at open time (equivalent to calling SetRetryPolicy immediately
+// after Open): transient injected read/write faults are retried with
+// exponential backoff, and retries are counted in Metrics.Retries and
+// QueryStats.Retries.
+func WithRetryPolicy(rp *RetryPolicy) Option {
+	return optionFunc(func(o *Options) { o.RetryPolicy = rp })
+}
+
+// WithDegradedReads opens the database in degraded-read mode: a page
+// that fails its checksum or exhausts its retries is quarantined and
+// skipped instead of aborting the query, which then returns partial
+// results with the skips counted in QueryStats.SkippedPages. Scrub
+// repairs quarantined pages from the last checkpoint plus the
+// write-ahead log. Mutations are never degraded: a write that cannot
+// read its pages still fails loudly.
+func WithDegradedReads(on bool) Option {
+	return optionFunc(func(o *Options) { o.DegradedReads = on })
+}
+
 // resolveOptions folds the options over a zero Options and fills in the
 // paper's defaults for fields left at zero.
 func resolveOptions(opts []Option) Options {

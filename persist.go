@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"segdb/internal/core"
 	"segdb/internal/grid"
 	"segdb/internal/pmr"
 	"segdb/internal/rplus"
@@ -89,24 +90,46 @@ func (db *DB) writeSnapshot(w io.Writer) error {
 
 // Load reopens a database serialized with Save.
 func Load(r io.Reader) (*DB, error) {
+	kind, opts, meta, table, disk, err := loadImage(r)
+	if err != nil {
+		return nil, err
+	}
+	pool := store.NewShardedPool(disk, opts.PoolPages, opts.PoolShards)
+	ix, err := restoreIndex(kind, opts, pool, table, meta)
+	if err != nil {
+		return nil, err
+	}
+	// The sequence number fixes the lock order for two-DB overlays; a
+	// loaded DB needs one just like a freshly opened one.
+	return &DB{seq: dbSeq.Add(1), kind: kind, table: table, opts: opts, pool: pool, index: ix}, nil
+}
+
+// loadImage parses a Save image up to (but not including) index
+// restoration: the validated header and options, the index metadata
+// words, the reconstructed segment table, and the raw index disk. Load
+// restores the index immediately; crash recovery first replays the WAL
+// over the disks and only then restores the index, from the newest
+// committed metadata.
+func loadImage(r io.Reader) (Kind, Options, []uint64, *seg.Table, *store.Disk, error) {
+	var opts Options
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("segdb: reading file magic: %w", err)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: reading file magic: %w", err)
 	}
 	if magic == fileMagicV1 {
-		return nil, fmt.Errorf("segdb: file uses the old unchecksummed format %q; re-save with this version", magic[:])
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: file uses the old unchecksummed format %q; re-save with this version", magic[:])
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("segdb: not a segdb file (magic %q)", magic[:])
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: not a segdb file (magic %q)", magic[:])
 	}
 	var header [7]uint32
 	for i := range header {
 		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
-			return nil, fmt.Errorf("segdb: reading header: %w", err)
+			return 0, opts, nil, nil, nil, fmt.Errorf("segdb: reading header: %w", err)
 		}
 	}
 	kind := Kind(header[0])
-	opts := Options{
+	opts = Options{
 		PageSize:     int(header[1]),
 		PoolPages:    int(header[2]),
 		PMRThreshold: int(header[3]),
@@ -117,23 +140,23 @@ func Load(r io.Reader) (*DB, error) {
 		PoolShards: 1,
 	}
 	if opts.PageSize < 64 || opts.PageSize > 1<<20 {
-		return nil, fmt.Errorf("segdb: implausible page size %d", opts.PageSize)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: implausible page size %d", opts.PageSize)
 	}
 	if opts.PoolPages < 1 || opts.PoolPages > maxPoolPages {
-		return nil, fmt.Errorf("segdb: implausible pool size %d", opts.PoolPages)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: implausible pool size %d", opts.PoolPages)
 	}
 	if header[6] > maxMetaWords {
-		return nil, fmt.Errorf("segdb: implausible index metadata length %d", header[6])
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: implausible index metadata length %d", header[6])
 	}
 	switch kind {
 	case RStarTree, ClassicRTree, RPlusTree, KDBTree, PMRQuadtree, UniformGrid:
 	default:
-		return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
 	}
 	meta := make([]uint64, header[6])
 	for i := range meta {
 		if err := binary.Read(r, binary.LittleEndian, &meta[i]); err != nil {
-			return nil, fmt.Errorf("segdb: reading index metadata: %w", err)
+			return 0, opts, nil, nil, nil, fmt.Errorf("segdb: reading index metadata: %w", err)
 		}
 	}
 	var hdr bytes.Buffer
@@ -146,26 +169,30 @@ func Load(r io.Reader) (*DB, error) {
 	}
 	var sum uint32
 	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
-		return nil, fmt.Errorf("segdb: reading header checksum: %w", err)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: reading header checksum: %w", err)
 	}
 	if got := crc32.ChecksumIEEE(hdr.Bytes()); got != sum {
-		return nil, fmt.Errorf("segdb: file header checksum mismatch (file %#08x, computed %#08x): %w", sum, got, store.ErrChecksum)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: file header checksum mismatch (file %#08x, computed %#08x): %w", sum, got, store.ErrChecksum)
 	}
 	table, err := seg.RestoreTableSharded(r, opts.PoolPages, opts.PoolShards)
 	if err != nil {
-		return nil, err
+		return 0, opts, nil, nil, nil, err
 	}
 	disk, err := store.ReadDiskFrom(r)
 	if err != nil {
-		return nil, err
+		return 0, opts, nil, nil, nil, err
 	}
 	if disk.PageSize() != opts.PageSize {
-		return nil, fmt.Errorf("segdb: index image page size %d, header says %d", disk.PageSize(), opts.PageSize)
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: index image page size %d, header says %d", disk.PageSize(), opts.PageSize)
 	}
-	pool := store.NewShardedPool(disk, opts.PoolPages, opts.PoolShards)
-	// The sequence number fixes the lock order for two-DB overlays; a
-	// loaded DB needs one just like a freshly opened one.
-	db := &DB{seq: dbSeq.Add(1), kind: kind, table: table, opts: opts, pool: pool}
+	return kind, opts, meta, table, disk, nil
+}
+
+// restoreIndex reconstructs the index of the given kind over an
+// already-populated pool and table from its persist metadata. Shared by
+// Load (metadata from the image header) and crash recovery (metadata
+// from the newest committed WAL transaction).
+func restoreIndex(kind Kind, opts Options, pool *store.Pool, table *seg.Table, meta []uint64) (core.Index, error) {
 	switch kind {
 	case RStarTree, ClassicRTree:
 		cfg := rstar.DefaultConfig()
@@ -176,10 +203,7 @@ func Load(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.index, err = rstar.Restore(pool, table, cfg, m)
-		if err != nil {
-			return nil, err
-		}
+		return rstar.Restore(pool, table, cfg, m)
 	case RPlusTree, KDBTree:
 		cfg := rplus.DefaultConfig()
 		if kind == KDBTree {
@@ -189,10 +213,7 @@ func Load(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.index, err = rplus.Restore(pool, table, cfg, m)
-		if err != nil {
-			return nil, err
-		}
+		return rplus.Restore(pool, table, cfg, m)
 	case PMRQuadtree:
 		cfg := pmr.DefaultConfig()
 		cfg.SplittingThreshold = opts.PMRThreshold
@@ -201,23 +222,15 @@ func Load(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		db.index, err = pmr.Restore(pool, table, cfg, m)
-		if err != nil {
-			return nil, err
-		}
+		return pmr.Restore(pool, table, cfg, m)
 	case UniformGrid:
 		m, err := meta4(meta)
 		if err != nil {
 			return nil, err
 		}
-		db.index, err = grid.Restore(pool, table, grid.Config{CellsPerSide: opts.GridCells}, m)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
+		return grid.Restore(pool, table, grid.Config{CellsPerSide: opts.GridCells}, m)
 	}
-	return db, nil
+	return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
 }
 
 func (db *DB) indexMeta() ([]uint64, error) {

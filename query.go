@@ -78,10 +78,12 @@ func (db *DB) SetTracer(t Tracer) {
 // warm query allocates nothing here; every per-counter charge on the hot
 // path is a nil-checked atomic add.
 func (db *DB) begin(ctx context.Context, qk queryKind) *obs.Op {
-	return obs.Begin(ctx, db.tracer, obs.QueryInfo{
+	o := obs.Begin(ctx, db.tracer, obs.QueryInfo{
 		ID:   db.qid.Add(1),
 		Kind: qk.String(),
 	})
+	o.SetDegraded(db.opts.DegradedReads)
+	return o
 }
 
 // finish closes the observation, folds the query into the per-kind

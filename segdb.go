@@ -189,6 +189,19 @@ type Options struct {
 	// Tracer, if non-nil, is installed at open time (see WithTracer).
 	// Runtime state, not serialized by SaveTo.
 	Tracer Tracer
+	// WALDir, if non-empty, makes the database durable: a write-ahead
+	// log and checkpoint are kept in this directory (see WithWAL).
+	WALDir string
+	// WALFS, if non-nil, overrides WALDir with an explicit log
+	// filesystem (see WithWALFS); crash harnesses pass a MemWALFS.
+	WALFS WALFS
+	// RetryPolicy, if non-nil, is attached to both disks at open time
+	// (see WithRetryPolicy). Runtime state, not serialized by SaveTo.
+	RetryPolicy *RetryPolicy
+	// DegradedReads makes queries skip quarantined pages and report them
+	// in QueryStats.SkippedPages instead of failing (see
+	// WithDegradedReads).
+	DegradedReads bool
 }
 
 // DB is a line segment database: a disk-resident segment table plus one
@@ -220,6 +233,12 @@ type DB struct {
 	tracer Tracer                     // read under RLock; swapped under Lock
 	qid    atomic.Uint64              // query IDs for QueryInfo
 	prof   [numQueryKinds]kindProfile // per-kind latency/disk histograms
+
+	// Durability state (nil/zero without WithWAL); guarded by mu.
+	walfs    store.WALFS // filesystem holding the checkpoint and the log
+	wal      *store.WAL  // open write-ahead log
+	walEpoch uint64      // epoch stamped on commits (checkpoint epoch + 1)
+	walSeq   uint64      // mutations committed so far
 }
 
 // dbSeq hands every DB a unique sequence number so operations over two
@@ -265,7 +284,24 @@ func Open(kind Kind, opts ...Option) (*DB, error) {
 		pool.Disk().SetFaultPolicy(o.FaultPolicy)
 		table.Disk().SetFaultPolicy(o.FaultPolicy)
 	}
-	return &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix, tracer: o.Tracer}, nil
+	if o.RetryPolicy != nil {
+		pool.Disk().SetRetryPolicy(o.RetryPolicy)
+		table.Disk().SetRetryPolicy(o.RetryPolicy)
+	}
+	db := &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix, tracer: o.Tracer}
+	wfs := o.WALFS
+	if wfs == nil && o.WALDir != "" {
+		wfs, err = store.NewDirWALFS(o.WALDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if wfs != nil {
+		if err := db.initWAL(wfs); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // Kind returns the index kind backing the database.
@@ -283,7 +319,11 @@ func (db *DB) Len() int {
 func (db *DB) Add(s Segment) (SegmentID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.addLocked(s)
+	id, err := db.addLocked(s)
+	if err != nil {
+		return id, err
+	}
+	return id, db.walCommit()
 }
 
 func (db *DB) addLocked(s Segment) (SegmentID, error) {
@@ -313,7 +353,10 @@ func (db *DB) Get(id SegmentID) (Segment, error) {
 func (db *DB) Delete(id SegmentID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.index.Delete(id)
+	if err := db.index.Delete(id); err != nil {
+		return err
+	}
+	return db.walCommit()
 }
 
 // Window visits every segment intersecting r (query 5 of the paper).
