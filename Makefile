@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke
+.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels
 
 # check is the full local gate: what CI runs.
 check: vet staticcheck govulncheck build race fuzz-smoke
@@ -82,3 +82,23 @@ bench-smoke:
 	$(GO) test -count=1 ./cmd/bench
 	$(GO) run ./cmd/bench -quick -o BENCH_smoke.json
 	@grep -q '"build"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the build-metrics section"; exit 1; }
+	@grep -q '"kernels"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the kernels section"; exit 1; }
+
+# bench-kernels is the kernel-level perf smoke: the scalar-reference,
+# SoA-lane, and SWAR-packed compare kernels benchmarked side by side
+# (summarized through benchstat when installed; locally: go install
+# golang.org/x/perf/cmd/benchstat@latest), then the enforced gate — the
+# packed kernel, the form every in-domain page search runs, must stay
+# within 5% of the scalar reference (it currently beats it by ~1.7x, so
+# tripping the gate means the optimization was lost, not that noise
+# moved). The gate test compares medians of repeated in-process runs and
+# is env-gated so plain `go test` never makes wall-clock assertions.
+bench-kernels:
+	$(GO) test -run xxx -bench 'IntersectMask|MinDistLB' -benchtime 0.25s -count 4 ./internal/kernel | tee BENCH_kernels.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_kernels.txt; \
+	else \
+		echo "benchstat not installed; skipping summary (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+	fi
+	@rm -f BENCH_kernels.txt
+	SEGDB_BENCH_KERNELS=1 $(GO) test -run TestKernelRegressionGate -v -count=1 ./internal/kernel

@@ -1,0 +1,105 @@
+// Kernel microbenchmarks for the artifact's "kernels" section: the
+// scalar reference, the int32-lane SoA kernel, and the SWAR packed
+// kernel timed over the same node-sized rectangle set, plus the
+// decode-once cache counters observed during the per-kind query
+// workload. The section exists so a PR that regresses the compare
+// kernels or the cache hit ratio shows up in the committed artifact
+// diff, not only in wall clock.
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/kernel"
+	"segdb/internal/rpage"
+)
+
+// kernelsResult is the artifact's "kernels" section. The ns/node
+// numbers time one IntersectMask call over a full node's entry lanes;
+// the query window cycles per call so the branch predictor cannot
+// memorize a fixed hit/miss pattern (see internal/kernel's benchmarks).
+// Decode counters come from the R*-tree row of the per-kind workload:
+// hits are node visits that skipped the binary page decode entirely.
+type kernelsResult struct {
+	EntriesPerNode  int     `json:"entries_per_node"`
+	ScalarNsPerNode float64 `json:"scalar_ns_per_node"`
+	LaneNsPerNode   float64 `json:"lane_ns_per_node"`
+	PackedNsPerNode float64 `json:"packed_ns_per_node"`
+	PackedSpeedup   float64 `json:"packed_speedup_vs_scalar"`
+	// KernelRefBuild flags an artifact generated under -tags kernelref,
+	// where every column above times the same scalar code.
+	KernelRefBuild    bool    `json:"kernelref_build,omitempty"`
+	DecodeCacheHits   uint64  `json:"decode_cache_hits"`
+	DecodeCacheMisses uint64  `json:"decode_cache_misses"`
+	DecodeSkipRatio   float64 `json:"decode_skip_ratio"`
+}
+
+// benchKernelWindows mirrors the kernel package's benchmark shape: many
+// distinct windows cycled per call, over one node at the default page
+// size's capacity.
+const benchKernelWindows = 512
+
+var kernelBenchSink uint64
+
+// collectKernelStats times the three IntersectMask forms over an
+// identical node and folds in the decode-cache counters the caller
+// observed on the R*-tree query workload.
+func collectKernelStats(decodeHits, decodeMisses uint64) kernelsResult {
+	entries := rpage.Capacity(1024)
+	rng := rand.New(rand.NewSource(1992))
+	xmin := make([]int32, entries)
+	ymin := make([]int32, entries)
+	xmax := make([]int32, entries)
+	ymax := make([]int32, entries)
+	packed := make([]uint64, entries)
+	for i := 0; i < entries; i++ {
+		x := rng.Int31n(geom.WorldSize - 800)
+		y := rng.Int31n(geom.WorldSize - 800)
+		xmin[i], ymin[i] = x, y
+		xmax[i], ymax[i] = x+rng.Int31n(800), y+rng.Int31n(800)
+		packed[i], _ = kernel.PackRect(xmin[i], ymin[i], xmax[i], ymax[i])
+	}
+	qs := make([]geom.Rect, benchKernelWindows)
+	for i := range qs {
+		x := rng.Int31n(geom.WorldSize - 1024)
+		y := rng.Int31n(geom.WorldSize - 1024)
+		w := rng.Int31n(1024)
+		qs[i] = geom.Rect{Min: geom.Pt(x, y), Max: geom.Pt(x+w, y+w)}
+	}
+
+	time := func(mask func(q geom.Rect) uint64) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= mask(qs[i%benchKernelWindows])
+			}
+			kernelBenchSink = sink
+		})
+		return float64(r.NsPerOp())
+	}
+
+	res := kernelsResult{
+		EntriesPerNode: entries,
+		ScalarNsPerNode: time(func(q geom.Rect) uint64 {
+			return kernel.RefIntersectMask(xmin, ymin, xmax, ymax, q)
+		}),
+		LaneNsPerNode: time(func(q geom.Rect) uint64 {
+			return kernel.IntersectMask(xmin, ymin, xmax, ymax, q)
+		}),
+		PackedNsPerNode: time(func(q geom.Rect) uint64 {
+			return kernel.IntersectMaskPacked(packed, q)
+		}),
+		KernelRefBuild:    kernel.UsingRef,
+		DecodeCacheHits:   decodeHits,
+		DecodeCacheMisses: decodeMisses,
+	}
+	if res.PackedNsPerNode > 0 {
+		res.PackedSpeedup = res.ScalarNsPerNode / res.PackedNsPerNode
+	}
+	if total := decodeHits + decodeMisses; total > 0 {
+		res.DecodeSkipRatio = float64(decodeHits) / float64(total)
+	}
+	return res
+}

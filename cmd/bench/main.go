@@ -3,7 +3,7 @@
 // perf trajectory: each PR can rerun `make bench` and diff against the
 // committed artifact.
 //
-// Four experiments run:
+// Five experiments run:
 //
 //   - per-kind query stats: a fixed 512-window workload over a mid-size
 //     (~12k segment) county, reporting ops/sec, disk accesses per query,
@@ -12,6 +12,10 @@
 //     rows reflect each kind's own construction algorithm — bulk packing
 //     would give the R-tree and R*-tree the same STR tree and therefore
 //     byte-identical rows;
+//   - kernels: the scalar-reference, int32-lane, and SWAR-packed
+//     IntersectMask forms timed over one node's entries with a cycling
+//     query window, plus the decode-once cache hit/decode counters
+//     observed on the R*-tree query workload, as the "kernels" section;
 //   - build comparison: the full ~50k-segment county constructed twice
 //     per kind — one-at-a-time insertion versus the bulk pipeline
 //     (AddBatch), both ingesting the same seeded-shuffled segment order
@@ -48,6 +52,7 @@ type artifact struct {
 	GeneratedAt string               `json:"generated_at"`
 	GoVersion   string               `json:"go_version"`
 	Kinds       []kindResult         `json:"query_stats"`
+	Kernels     *kernelsResult       `json:"kernels"`
 	Build       []buildKindResult    `json:"build"`
 	WindowBatch *batchResult         `json:"window_batch"`
 	Scaling     []*scalingExperiment `json:"scaling"`
@@ -137,6 +142,7 @@ func run(out string, windows int, quick bool) error {
 	gomaxprocs := runtime.GOMAXPROCS(0)
 
 	rects := makeWindows(windows, 1992)
+	var decodeHits, decodeMisses uint64
 	for _, k := range allKinds() {
 		db, err := segdb.Open(k, nil)
 		if err != nil {
@@ -154,10 +160,24 @@ func run(out string, windows int, quick bool) error {
 		}
 		row.Kind = k.String()
 		art.Kinds = append(art.Kinds, row)
+		if k == segdb.RStarTree {
+			// Decode-once cache counters for the "kernels" section, read
+			// after the query workload so they cover the build plus the
+			// warm and timed window passes.
+			decodeHits, decodeMisses = db.DecodeCacheStats()
+		}
 		fmt.Printf("%-14s %9.0f ops/s  %6.2f accesses/query  %5.1f%% hit ratio  p50/p99 %d/%dus\n",
 			k, row.OpsPerSec, row.DiskAccPerQuery, 100*row.PoolHitRatio,
 			row.LatencyP50Micros, row.LatencyP99Micros)
 	}
+
+	// Kernel microbenchmarks: scalar reference vs lane vs packed compare
+	// kernels over one node, plus the decode-cache counters above.
+	art.Kernels = new(kernelsResult)
+	*art.Kernels = collectKernelStats(decodeHits, decodeMisses)
+	fmt.Printf("kernels        scalar %.0fns  lanes %.0fns  packed %.0fns per node (%.2fx), decode skip %.1f%%\n",
+		art.Kernels.ScalarNsPerNode, art.Kernels.LaneNsPerNode, art.Kernels.PackedNsPerNode,
+		art.Kernels.PackedSpeedup, 100*art.Kernels.DecodeSkipRatio)
 
 	// Build comparison: the ~50k-segment county constructed by
 	// one-at-a-time insertion versus the bulk pipeline, per kind.

@@ -1,0 +1,106 @@
+package segdb
+
+import (
+	"testing"
+)
+
+// The decode-once node cache must serve warm R-tree queries without
+// re-decoding, and must never serve a stale node after a scrub repair or
+// across a crash recovery. Kinds without R-tree pages report zero on
+// both counters.
+func TestDecodeCacheWarmQueriesAndFreshness(t *testing.T) {
+	for _, kind := range []Kind{RStarTree, RPlusTree, ClassicRTree, KDBTree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			wfs := NewMemWALFS()
+			db, err := Open(kind, WithWALFS(wfs), WithDegradedReads(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs := crashSegments(200, 37)
+			for _, s := range segs {
+				if _, err := db.Add(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := windowIDs(t, db, World())
+			_, misses0 := db.DecodeCacheStats()
+			if misses0 == 0 {
+				t.Fatal("window query over an R-tree recorded no node decodes")
+			}
+			// A repeat of the same window over warm frames must be served
+			// from the decode cache: hits move, misses do not.
+			hits1, misses1 := db.DecodeCacheStats()
+			windowIDs(t, db, World())
+			hits2, misses2 := db.DecodeCacheStats()
+			if hits2 <= hits1 {
+				t.Errorf("warm window recorded no decode hits (%d -> %d)", hits1, hits2)
+			}
+			if misses2 != misses1 {
+				t.Errorf("warm window re-decoded %d nodes", misses2-misses1)
+			}
+
+			// Corrupt an index page at rest, quarantine it through a
+			// degraded query, repair with Scrub: the post-repair window must
+			// see the repaired bytes, not a cached decode of the old frame.
+			if err := db.DropCaches(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.pool.Disk().CorruptPage(0, 123); err != nil {
+				t.Fatal(err)
+			}
+			st, err := db.WindowCtx(t.Context(), World(), func(SegmentID, Segment) bool { return true })
+			if err != nil {
+				t.Fatalf("degraded window: %v", err)
+			}
+			if st.SkippedPages == 0 {
+				t.Fatal("degraded query skipped nothing over a corrupt root")
+			}
+			if rep, err := db.Scrub(); err != nil || rep.Repaired == 0 {
+				t.Fatalf("Scrub: rep=%+v err=%v", rep, err)
+			}
+			if after := windowIDs(t, db, World()); !sameIDs(after, want) {
+				t.Fatalf("post-scrub window: %d ids, want %d", len(after), len(want))
+			}
+
+			// Crash (drop the DB without closing) and recover: the new pool
+			// starts with an empty decode cache and correct contents.
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			rdb, _, err := RecoverFS(wfs)
+			if err != nil {
+				t.Fatalf("RecoverFS: %v", err)
+			}
+			if h, m := rdb.DecodeCacheStats(); h != 0 || m != 0 {
+				t.Fatalf("recovered DB starts with decode stats %d/%d, want 0/0", h, m)
+			}
+			if after := windowIDs(t, rdb, World()); !sameIDs(after, want) {
+				t.Fatalf("post-recover window: %d ids, want %d", len(after), len(want))
+			}
+			if _, m := rdb.DecodeCacheStats(); m == 0 {
+				t.Error("post-recover window decoded nothing")
+			}
+		})
+	}
+}
+
+// Kinds with no R-tree pages never touch the decode cache.
+func TestDecodeCacheZeroForNonRTreeKinds(t *testing.T) {
+	for _, kind := range []Kind{UniformGrid, PMRQuadtree} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db, err := Open(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range crashSegments(60, 5) {
+				if _, err := db.Add(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			windowIDs(t, db, World())
+			if h, m := db.DecodeCacheStats(); h != 0 || m != 0 {
+				t.Errorf("decode stats %d/%d for %v, want 0/0", h, m, kind)
+			}
+		})
+	}
+}

@@ -1,25 +1,77 @@
 package pmr
 
 import (
+	"math"
+	"math/bits"
 	"sync"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/kernel"
 	"segdb/internal/obs"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
 
 // Query-scratch pools: the duplicate-suppression set, block code sets,
-// candidate member buffers, and the nearest-neighbor priority queue are
-// recycled across queries so warm window/nearest searches allocate
-// nothing.
+// candidate member buffers, the StoreMBR filter lanes, and the
+// nearest-neighbor priority queue are recycled across queries so warm
+// window/nearest searches allocate nothing.
 var (
 	seenPool    = sync.Pool{New: func() any { return make(map[seg.ID]struct{}) }}
 	codeSetPool = sync.Pool{New: func() any { return make(map[geom.Code]struct{}) }}
 	membersPool = sync.Pool{New: func() any { return new([]seg.ID) }}
+	lanesPool   = sync.Pool{New: func() any { return new(rectLanes) }}
 	pqPool      = sync.Pool{New: func() any { return new([]pqItem) }}
 )
+
+// rectLanes holds the stored q-edge rectangles of a scan's candidates as
+// struct-of-arrays coordinate lanes, so the StoreMBR filter runs as one
+// branch-free kernel sweep per 64 candidates instead of a branchy
+// rect-vs-window test per B-tree value.
+type rectLanes struct {
+	xmin, ymin, xmax, ymax []int32
+}
+
+func (ln *rectLanes) push(r geom.Rect) {
+	ln.xmin = append(ln.xmin, r.Min.X)
+	ln.ymin = append(ln.ymin, r.Min.Y)
+	ln.xmax = append(ln.xmax, r.Max.X)
+	ln.ymax = append(ln.ymax, r.Max.Y)
+}
+
+func (ln *rectLanes) reset() {
+	ln.xmin, ln.ymin = ln.xmin[:0], ln.ymin[:0]
+	ln.xmax, ln.ymax = ln.xmax[:0], ln.ymax[:0]
+}
+
+// allPass is the filter rectangle of a candidate whose stored rect could
+// not be decoded: it intersects every query, so the candidate is kept —
+// exactly what the scalar filter did by skipping the test.
+var allPass = geom.Rect{
+	Min: geom.Point{X: math.MinInt32, Y: math.MinInt32},
+	Max: geom.Point{X: math.MaxInt32, Y: math.MaxInt32},
+}
+
+// filterMembers compacts members, in place and preserving scan order, to
+// the candidates whose filter rectangle intersects r, via chunked
+// IntersectMask sweeps over the lanes. ln must hold one rectangle per
+// member.
+func filterMembers(members []seg.ID, ln *rectLanes, r geom.Rect) []seg.ID {
+	kept := members[:0]
+	N := len(members)
+	for base := 0; base < N; base += kernel.LaneWidth {
+		end := base + kernel.LaneWidth
+		if end > N {
+			end = N
+		}
+		m := kernel.IntersectMask(ln.xmin[base:end], ln.ymin[base:end], ln.xmax[base:end], ln.ymax[base:end], r)
+		for ; m != 0; m &= m - 1 {
+			kept = append(kept, members[base+bits.TrailingZeros64(m)])
+		}
+	}
+	return kept
+}
 
 func acquireSeen() map[seg.ID]struct{} { return seenPool.Get().(map[seg.ID]struct{}) }
 
@@ -133,6 +185,11 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 	mp := membersPool.Get().(*[]seg.ID)
 	members := (*mp)[:0]
 	defer func() { *mp = members[:0]; membersPool.Put(mp) }()
+	var ln *rectLanes
+	if t.cfg.StoreMBR {
+		ln = lanesPool.Get().(*rectLanes)
+		defer func() { ln.reset(); lanesPool.Put(ln) }()
+	}
 	var lastBlock geom.Code
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
@@ -148,11 +205,16 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 			return true
 		}
 		// In the StoreMBR variant the stored q-edge rectangle rejects
-		// candidates without a segment-table fetch.
-		if qr, ok := decodeQEdgeRect(bc, v); ok {
-			examined++
-			if !qr.Intersects(r) {
-				return true
+		// candidates without a segment-table fetch; the rects are gathered
+		// into lanes here and rejected in one batched kernel sweep after
+		// the scan, keeping the filter (and its bucket-computation
+		// charges) equivalent to the per-value scalar test.
+		if ln != nil {
+			if qr, ok := decodeQEdgeRect(bc, v); ok {
+				examined++
+				ln.push(qr)
+			} else {
+				ln.push(allPass)
 			}
 		}
 		members = append(members, keySeg(k))
@@ -163,6 +225,9 @@ func (t *Tree) scanBlockEntries(c geom.Code, r geom.Rect, seen map[seg.ID]struct
 		}
 		// Degraded mode: the scan stopped at a quarantined B-tree page;
 		// report the members gathered before it (partial results).
+	}
+	if ln != nil {
+		members = filterMembers(members, ln, r)
 	}
 	for _, id := range members {
 		if _, dup := seen[id]; dup {
@@ -228,13 +293,23 @@ func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o
 	mp := membersPool.Get().(*[]seg.ID)
 	members := (*mp)[:0]
 	defer func() { *mp = members[:0]; membersPool.Put(mp) }()
+	var ln *rectLanes
+	if t.cfg.StoreMBR {
+		ln = lanesPool.Get().(*rectLanes)
+		defer func() { ln.reset(); lanesPool.Put(ln) }()
+	}
 	var examined uint64
 	defer func() { t.comps(o, examined) }()
 	if err := t.bt.ScanValuesObs(exLo, exHi, func(k uint64, v []byte) bool {
-		if qr, ok := decodeQEdgeRect(c, v); ok {
-			examined++
-			if !qr.ContainsPoint(p) {
-				return true
+		// StoreMBR: gather the stored rects for the batched point filter
+		// (rect contains p ⟺ rect intersects the degenerate window
+		// {p,p}, so the same intersect kernel serves both query shapes).
+		if ln != nil {
+			if qr, ok := decodeQEdgeRect(c, v); ok {
+				examined++
+				ln.push(qr)
+			} else {
+				ln.push(allPass)
 			}
 		}
 		members = append(members, keySeg(k))
@@ -246,6 +321,9 @@ func (t *Tree) pointQuery(p geom.Point, visit func(seg.ID, geom.Segment) bool, o
 		// Degraded: keep the members gathered before the quarantined page.
 	}
 	pt := geom.Rect{Min: p, Max: p}
+	if ln != nil {
+		members = filterMembers(members, ln, pt)
+	}
 	for _, id := range members {
 		s, err := t.table.GetObs(id, o)
 		if err != nil {

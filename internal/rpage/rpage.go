@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"segdb/internal/geom"
+	"segdb/internal/kernel"
 )
 
 // EntrySize is the 20-byte footprint of one (rect, pointer) tuple.
@@ -28,10 +29,94 @@ type Entry struct {
 	Ptr  uint32
 }
 
-// Node is the decoded form of an R-tree page.
+// Node is the decoded array-of-entries form of an R-tree page, used by
+// the structural paths (insert, delete, validation) where entries are
+// manipulated as tuples.
 type Node struct {
 	Leaf    bool
 	Entries []Entry
+
+	// pageCap is the entry capacity of the page this node was last
+	// decoded from; Release uses it to trim pathologically grown entry
+	// slices before pooling.
+	pageCap int
+}
+
+// SoA is the decoded struct-of-arrays form of an R-tree page: the
+// entries' rectangle coordinates live in parallel lanes so the compare
+// kernels (internal/kernel) can sweep them branch-free, one cache line
+// of a single coordinate at a time. SoA nodes are immutable after
+// DecodeSoA and are shared — the buffer pool's decode-once cache hands
+// the same *SoA to every traversal of a warm page — so holders must
+// never modify the lanes.
+type SoA struct {
+	Leaf                   bool
+	Xmin, Ymin, Xmax, Ymax []int32
+	Ptr                    []uint32
+
+	// Packed holds the SWAR form of every rectangle (kernel.PackRect)
+	// when all of the node's coordinates fit the packable world domain,
+	// and is nil otherwise. The search paths prefer the packed kernels
+	// when it is present and fall back to the int32 lanes when it is not
+	// (out-of-world coordinates can only come from corrupt or foreign
+	// page images; both paths return identical masks).
+	Packed []uint64
+}
+
+// Len returns the number of entries in the node.
+func (n *SoA) Len() int { return len(n.Ptr) }
+
+// Rect reassembles entry i's rectangle from the lanes.
+func (n *SoA) Rect(i int) geom.Rect {
+	return geom.Rect{
+		Min: geom.Point{X: n.Xmin[i], Y: n.Ymin[i]},
+		Max: geom.Point{X: n.Xmax[i], Y: n.Ymax[i]},
+	}
+}
+
+// DecodeSoA decodes a page into a freshly allocated struct-of-arrays
+// node. All four coordinate lanes share one backing array, so a decode
+// costs two allocations (plus the node itself) and the lanes stay
+// adjacent in memory. Validation matches ReadInto: a node type byte
+// above 1 or an entry count beyond the page's capacity is rejected as
+// corruption.
+func DecodeSoA(data []byte) (*SoA, error) {
+	if data[0] > 1 {
+		return nil, fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+	}
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	if max := Capacity(len(data)); count > max {
+		return nil, fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
+	}
+	lanes := make([]int32, 4*count)
+	n := &SoA{
+		Leaf: data[0] == 1,
+		Xmin: lanes[0*count : 1*count : 1*count],
+		Ymin: lanes[1*count : 2*count : 2*count],
+		Xmax: lanes[2*count : 3*count : 3*count],
+		Ymax: lanes[3*count : 4*count : 4*count],
+		Ptr:  make([]uint32, count),
+	}
+	off := HeaderSize
+	packed := make([]uint64, count)
+	packable := true
+	for i := 0; i < count; i++ {
+		n.Xmin[i] = int32(binary.LittleEndian.Uint32(data[off+0:]))
+		n.Ymin[i] = int32(binary.LittleEndian.Uint32(data[off+4:]))
+		n.Xmax[i] = int32(binary.LittleEndian.Uint32(data[off+8:]))
+		n.Ymax[i] = int32(binary.LittleEndian.Uint32(data[off+12:]))
+		n.Ptr[i] = binary.LittleEndian.Uint32(data[off+16:])
+		if packable {
+			var ok bool
+			packed[i], ok = kernel.PackRect(n.Xmin[i], n.Ymin[i], n.Xmax[i], n.Ymax[i])
+			packable = ok
+		}
+		off += EntrySize
+	}
+	if packable {
+		n.Packed = packed
+	}
+	return n, nil
 }
 
 // Capacity returns the maximum number of entries a page of the given size
@@ -68,10 +153,18 @@ var nodePool = sync.Pool{New: func() any { return new(Node) }}
 func Acquire() *Node { return nodePool.Get().(*Node) }
 
 // Release hands a node back to the decode pool. The caller must not
-// retain n, its Entries slice, or pointers into it afterwards.
+// retain n, its Entries slice, or pointers into it afterwards. An entry
+// slice that has grown pathologically large relative to the page it was
+// last decoded from (more than twice the page's entry capacity —
+// possible when one pool serves databases with very different page
+// sizes) is dropped rather than pooled, so a single oversized decode
+// does not pin its memory for the life of the pool.
 func Release(n *Node) {
 	if n == nil {
 		return
+	}
+	if n.pageCap > 0 && cap(n.Entries) > 2*n.pageCap {
+		n.Entries = nil
 	}
 	nodePool.Put(n)
 }
@@ -101,6 +194,7 @@ func ReadInto(data []byte, n *Node) error {
 		return fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
 	}
 	n.Leaf = data[0] == 1
+	n.pageCap = Capacity(len(data))
 	if cap(n.Entries) < count {
 		n.Entries = make([]Entry, count)
 	} else {

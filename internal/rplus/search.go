@@ -1,34 +1,35 @@
 package rplus
 
 import (
+	"math/bits"
 	"sync"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/kernel"
 	"segdb/internal/obs"
 	"segdb/internal/rpage"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
 
-// readNodeObs is readNode with the page request charged to o and a
-// NodeVisit trace event on success. The returned node comes from the
-// rpage decode pool; search paths hand it back with rpage.Release once
-// done with its entries.
-func (t *Tree) readNodeObs(id store.PageID, o *obs.Op) (*rpage.Node, error) {
-	data, err := t.pool.GetObs(id, o)
+// decodeNode is the store.DecodeFunc for R-tree pages. It is a
+// package-level func value so passing it to GetDecodedObs allocates
+// nothing on the warm path.
+func decodeNode(data []byte) (any, error) { return rpage.DecodeSoA(data) }
+
+// readSoAObs fetches a node in its decoded struct-of-arrays form through
+// the pool's decode-once cache: the page request (hit or miss) is
+// charged to o exactly as a byte fetch would be, but a warm page skips
+// the binary decode entirely and returns the cached immutable *SoA. The
+// caller must not modify the node and owes no release.
+func (t *Tree) readSoAObs(id store.PageID, o *obs.Op) (*rpage.SoA, error) {
+	v, err := t.pool.GetDecodedObs(id, o, decodeNode)
 	if err != nil {
-		return nil, err
-	}
-	n := rpage.Acquire()
-	err = rpage.ReadInto(data, n)
-	t.pool.Unpin(id, false)
-	if err != nil {
-		rpage.Release(n)
 		return nil, err
 	}
 	o.NodeVisit(uint32(id))
-	return n, nil
+	return v.(*rpage.SoA), nil
 }
 
 // seenPool recycles the per-query duplicate-suppression sets the R+-tree
@@ -73,7 +74,7 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 }
 
 func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, visit func(seg.ID, geom.Segment) bool, o *obs.Op, examined *uint64) (bool, error) {
-	n, err := t.readNodeObs(id, o)
+	n, err := t.readSoAObs(id, o)
 	if err != nil {
 		if store.IsUnavailable(err) {
 			// Degraded mode: the node's page is quarantined. Skip the whole
@@ -83,37 +84,69 @@ func (t *Tree) window(id store.PageID, r geom.Rect, seen map[seg.ID]struct{}, vi
 		}
 		return false, err
 	}
-	defer rpage.Release(n)
-	for _, e := range n.Entries {
-		*examined++
-		if !e.Rect.Intersects(r) {
-			continue
+	// One branch-free kernel call per 64-entry chunk; hits are walked in
+	// ascending entry order so traversal order matches the scalar loop,
+	// and the counted watermark keeps the examined total per-entry
+	// identical at every early return (see rstar.window).
+	N := n.Len()
+	counted := 0
+	for base := 0; base < N; base += kernel.LaneWidth {
+		end := base + kernel.LaneWidth
+		if end > N {
+			end = N
 		}
-		if n.Leaf {
-			sid := seg.ID(e.Ptr)
-			if _, dup := seen[sid]; dup {
-				continue
+		var m uint64
+		if n.Packed != nil {
+			m = kernel.IntersectMaskPacked(n.Packed[base:end], r)
+		} else {
+			m = kernel.IntersectMask(n.Xmin[base:end], n.Ymin[base:end], n.Xmax[base:end], n.Ymax[base:end], r)
+		}
+		var cm uint64
+		if n.Leaf && m != 0 {
+			// Containment fast path: a leaf rect fully inside the window
+			// bounds a piece of its segment that is also inside, so the
+			// exact segment/window clip below is guaranteed to pass and
+			// can be skipped. This changes no counter — the clip test is
+			// not a charged comparison.
+			if n.Packed != nil {
+				cm = kernel.ContainsMaskPacked(n.Packed[base:end], r)
+			} else {
+				cm = kernel.ContainsMask(n.Xmin[base:end], n.Ymin[base:end], n.Xmax[base:end], n.Ymax[base:end], r)
 			}
-			s, err := t.table.GetObs(sid, o)
-			if err != nil {
-				if store.IsUnavailable(err) {
-					continue // degraded: this segment's table page is gone
+		}
+		for ; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			if n.Leaf {
+				sid := seg.ID(n.Ptr[i])
+				if _, dup := seen[sid]; dup {
+					continue
 				}
-				return false, err
-			}
-			if !r.IntersectsSegment(s) {
+				s, err := t.table.GetObs(sid, o)
+				if err != nil {
+					if store.IsUnavailable(err) {
+						continue // degraded: this segment's table page is gone
+					}
+					*examined += uint64(i + 1 - counted)
+					return false, err
+				}
+				if cm>>uint(i-base)&1 == 0 && !r.IntersectsSegment(s) {
+					continue
+				}
+				seen[sid] = struct{}{}
+				if !visit(sid, s) {
+					*examined += uint64(i + 1 - counted)
+					return false, nil
+				}
 				continue
 			}
-			seen[sid] = struct{}{}
-			if !visit(sid, s) {
-				return false, nil
+			cont, err := t.window(store.PageID(n.Ptr[i]), r, seen, visit, o, examined)
+			if err != nil || !cont {
+				*examined += uint64(i + 1 - counted)
+				return cont, err
 			}
-			continue
 		}
-		cont, err := t.window(store.PageID(e.Ptr), r, seen, visit, o, examined)
-		if err != nil || !cont {
-			return cont, err
-		}
+		*examined += uint64(end - counted)
+		counted = end
 	}
 	return true, nil
 }
@@ -178,6 +211,9 @@ func pqPop(q *[]pqItem) pqItem {
 // queries.
 var pqPool = sync.Pool{New: func() any { return new([]pqItem) }}
 
+// distPool recycles the k-NN lower-bound lanes MinDistLB writes into.
+var distPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Nearest returns the segment closest to p via the incremental
 // priority-queue search. The disjoint decomposition means the start region
 // containing p is found on a single path, which is why the R+-tree tends
@@ -207,6 +243,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 	qp := pqPool.Get().(*[]pqItem)
 	q := (*qp)[:0]
 	defer func() { *qp = q[:0]; pqPool.Put(qp) }()
+	dp := distPool.Get().(*[]float64)
+	dist := *dp
+	defer func() { *dp = dist[:0]; distPool.Put(dp) }()
 	seen := acquireSeen()
 	defer releaseSeen(seen)
 	pqPush(&q, pqItem{distSq: 0, ptr: uint32(t.root)})
@@ -221,17 +260,18 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 			})
 			continue
 		}
-		n, err := t.readNodeObs(store.PageID(it.ptr), o)
+		n, err := t.readSoAObs(store.PageID(it.ptr), o)
 		if err != nil {
 			if store.IsUnavailable(err) {
 				continue // degraded: skip the quarantined subtree
 			}
 			return dst, err
 		}
-		for _, e := range n.Entries {
-			examined++
-			if n.Leaf {
-				sid := seg.ID(e.Ptr)
+		N := n.Len()
+		if n.Leaf {
+			for i := 0; i < N; i++ {
+				examined++
+				sid := seg.ID(n.Ptr[i])
 				if _, dup := seen[sid]; dup {
 					continue
 				}
@@ -241,20 +281,29 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 					if store.IsUnavailable(err) {
 						continue // degraded: segment's table page is gone
 					}
-					rpage.Release(n)
 					return dst, err
 				}
 				pqPush(&q, pqItem{
 					distSq: geom.DistSqPointSegment(p, s),
 					isSeg:  true,
-					ptr:    e.Ptr,
+					ptr:    n.Ptr[i],
 					s:      s,
 				})
-				continue
 			}
-			pqPush(&q, pqItem{distSq: e.Rect.DistSqToPoint(p), ptr: e.Ptr})
+			continue
 		}
-		rpage.Release(n)
+		// Internal node: one branch-free MinDistLB sweep over the lanes
+		// (bit-equivalent to per-entry Rect.DistSqToPoint), children
+		// pushed in entry order so pop order matches the scalar loop.
+		if cap(dist) < N {
+			dist = make([]float64, N)
+		}
+		dist = dist[:N]
+		kernel.MinDistLB(n.Xmin, n.Ymin, n.Xmax, n.Ymax, p, dist)
+		examined += uint64(N)
+		for i := 0; i < N; i++ {
+			pqPush(&q, pqItem{distSq: dist[i], ptr: n.Ptr[i]})
+		}
 	}
 	return dst, nil
 }

@@ -1,34 +1,35 @@
 package rstar
 
 import (
+	"math/bits"
 	"sync"
 
 	"segdb/internal/core"
 	"segdb/internal/geom"
+	"segdb/internal/kernel"
 	"segdb/internal/obs"
 	"segdb/internal/rpage"
 	"segdb/internal/seg"
 	"segdb/internal/store"
 )
 
-// readNodeObs is readNode with the page request charged to o and a
-// NodeVisit trace event on success. The returned node comes from the
-// rpage decode pool; search paths hand it back with rpage.Release once
-// done with its entries.
-func (t *Tree) readNodeObs(id store.PageID, o *obs.Op) (*rpage.Node, error) {
-	data, err := t.pool.GetObs(id, o)
+// decodeNode is the store.DecodeFunc for R-tree pages. It is a
+// package-level func value so passing it to GetDecodedObs allocates
+// nothing on the warm path.
+func decodeNode(data []byte) (any, error) { return rpage.DecodeSoA(data) }
+
+// readSoAObs fetches a node in its decoded struct-of-arrays form through
+// the pool's decode-once cache: the page request (hit or miss) is
+// charged to o exactly as a byte fetch would be, but a warm page skips
+// the binary decode entirely and returns the cached immutable *SoA. The
+// caller must not modify the node and owes no release.
+func (t *Tree) readSoAObs(id store.PageID, o *obs.Op) (*rpage.SoA, error) {
+	v, err := t.pool.GetDecodedObs(id, o, decodeNode)
 	if err != nil {
-		return nil, err
-	}
-	n := rpage.Acquire()
-	err = rpage.ReadInto(data, n)
-	t.pool.Unpin(id, false)
-	if err != nil {
-		rpage.Release(n)
 		return nil, err
 	}
 	o.NodeVisit(uint32(id))
-	return n, nil
+	return v.(*rpage.SoA), nil
 }
 
 // comps charges n bounding box computations to both the tree's global
@@ -60,7 +61,7 @@ func (t *Tree) WindowObs(r geom.Rect, visit func(id seg.ID, s geom.Segment) bool
 }
 
 func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID, geom.Segment) bool, o *obs.Op, examined *uint64) (bool, error) {
-	n, err := t.readNodeObs(id, o)
+	n, err := t.readSoAObs(id, o)
 	if err != nil {
 		if store.IsUnavailable(err) {
 			// Degraded mode: the node's page is quarantined. Skip the whole
@@ -70,32 +71,67 @@ func (t *Tree) window(id store.PageID, level int, r geom.Rect, visit func(seg.ID
 		}
 		return false, err
 	}
-	defer rpage.Release(n)
-	for _, e := range n.Entries {
-		*examined++
-		if !e.Rect.Intersects(r) {
-			continue
+	// The per-entry rect-vs-window tests run as one branch-free kernel
+	// call per 64-entry chunk; only the hits are walked, in ascending
+	// entry order (so traversal order — and with it page access order —
+	// matches the scalar loop exactly). The examined count stays
+	// per-entry-identical to the scalar loop via the counted watermark:
+	// every early return charges the entries up to and including the one
+	// it returned from, a completed chunk charges all of its entries.
+	N := n.Len()
+	counted := 0
+	for base := 0; base < N; base += kernel.LaneWidth {
+		end := base + kernel.LaneWidth
+		if end > N {
+			end = N
 		}
-		if n.Leaf {
-			s, err := t.table.GetObs(seg.ID(e.Ptr), o)
-			if err != nil {
-				if store.IsUnavailable(err) {
-					continue // degraded: this segment's table page is gone
-				}
-				return false, err
+		var m uint64
+		if n.Packed != nil {
+			m = kernel.IntersectMaskPacked(n.Packed[base:end], r)
+		} else {
+			m = kernel.IntersectMask(n.Xmin[base:end], n.Ymin[base:end], n.Xmax[base:end], n.Ymax[base:end], r)
+		}
+		var cm uint64
+		if n.Leaf && m != 0 {
+			// Containment fast path: a leaf rect fully inside the window
+			// bounds a piece of its segment that is also inside, so the
+			// exact segment/window clip below is guaranteed to pass and
+			// can be skipped. This changes no counter — the clip test is
+			// not a charged comparison.
+			if n.Packed != nil {
+				cm = kernel.ContainsMaskPacked(n.Packed[base:end], r)
+			} else {
+				cm = kernel.ContainsMask(n.Xmin[base:end], n.Ymin[base:end], n.Xmax[base:end], n.Ymax[base:end], r)
 			}
-			if !r.IntersectsSegment(s) {
+		}
+		for ; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			if n.Leaf {
+				s, err := t.table.GetObs(seg.ID(n.Ptr[i]), o)
+				if err != nil {
+					if store.IsUnavailable(err) {
+						continue // degraded: this segment's table page is gone
+					}
+					*examined += uint64(i + 1 - counted)
+					return false, err
+				}
+				if cm>>uint(i-base)&1 == 0 && !r.IntersectsSegment(s) {
+					continue
+				}
+				if !visit(seg.ID(n.Ptr[i]), s) {
+					*examined += uint64(i + 1 - counted)
+					return false, nil
+				}
 				continue
 			}
-			if !visit(seg.ID(e.Ptr), s) {
-				return false, nil
+			cont, err := t.window(store.PageID(n.Ptr[i]), level-1, r, visit, o, examined)
+			if err != nil || !cont {
+				*examined += uint64(i + 1 - counted)
+				return cont, err
 			}
-			continue
 		}
-		cont, err := t.window(store.PageID(e.Ptr), level-1, r, visit, o, examined)
-		if err != nil || !cont {
-			return cont, err
-		}
+		*examined += uint64(end - counted)
+		counted = end
 	}
 	return true, nil
 }
@@ -164,6 +200,9 @@ func pqPop(q *[]pqItem) pqItem {
 // queries.
 var pqPool = sync.Pool{New: func() any { return new([]pqItem) }}
 
+// distPool recycles the k-NN lower-bound lanes MinDistLB writes into.
+var distPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Nearest returns the segment closest to p using the incremental
 // priority-queue search of Hoel & Samet [11]: nodes and segments are
 // ordered by distance and the first segment popped is the answer.
@@ -193,6 +232,9 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 	qp := pqPool.Get().(*[]pqItem)
 	q := (*qp)[:0]
 	defer func() { *qp = q[:0]; pqPool.Put(qp) }()
+	dp := distPool.Get().(*[]float64)
+	dist := *dp
+	defer func() { *dp = dist[:0]; distPool.Put(dp) }()
 	pqPush(&q, pqItem{distSq: 0, isSeg: false, ptr: uint32(t.root), level: t.height})
 	for len(q) > 0 && len(dst)-base < k {
 		it := pqPop(&q)
@@ -205,36 +247,47 @@ func (t *Tree) NearestKAppendObs(p geom.Point, k int, dst []core.NearestResult, 
 			})
 			continue
 		}
-		n, err := t.readNodeObs(store.PageID(it.ptr), o)
+		n, err := t.readSoAObs(store.PageID(it.ptr), o)
 		if err != nil {
 			if store.IsUnavailable(err) {
 				continue // degraded: skip the quarantined subtree
 			}
 			return dst, err
 		}
-		for _, e := range n.Entries {
-			examined++
-			d := e.Rect.DistSqToPoint(p)
-			if n.Leaf {
-				s, err := t.table.GetObs(seg.ID(e.Ptr), o)
+		N := n.Len()
+		if n.Leaf {
+			for i := 0; i < N; i++ {
+				examined++
+				s, err := t.table.GetObs(seg.ID(n.Ptr[i]), o)
 				if err != nil {
 					if store.IsUnavailable(err) {
 						continue // degraded: segment's table page is gone
 					}
-					rpage.Release(n)
 					return dst, err
 				}
 				pqPush(&q, pqItem{
 					distSq: geom.DistSqPointSegment(p, s),
 					isSeg:  true,
-					ptr:    e.Ptr,
+					ptr:    n.Ptr[i],
 					s:      s,
 				})
-				continue
 			}
-			pqPush(&q, pqItem{distSq: d, ptr: e.Ptr, level: it.level - 1})
+			continue
 		}
-		rpage.Release(n)
+		// Internal node: the k-NN lower bounds for every child come from
+		// one branch-free MinDistLB sweep over the coordinate lanes
+		// (bit-equivalent to per-entry Rect.DistSqToPoint), then the
+		// children are pushed in entry order, so pop order and page
+		// access order match the scalar loop exactly.
+		if cap(dist) < N {
+			dist = make([]float64, N)
+		}
+		dist = dist[:N]
+		kernel.MinDistLB(n.Xmin, n.Ymin, n.Xmax, n.Ymax, p, dist)
+		examined += uint64(N)
+		for i := 0; i < N; i++ {
+			pqPush(&q, pqItem{distSq: dist[i], ptr: n.Ptr[i], level: it.level - 1})
+		}
 	}
 	return dst, nil
 }

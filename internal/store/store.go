@@ -530,6 +530,18 @@ type frame struct {
 	ref        atomic.Bool // CLOCK second-chance reference bit
 	slot       int         // CLOCK ring position
 	prev, next *frame      // LRU list; most recently used at head
+
+	// decoded is the frame's decode-once cache slot: the immutable
+	// in-memory form of the page bytes (e.g. an *rpage.SoA), built by the
+	// first GetDecodedObs after the frame came in and served to every
+	// later one, so warm traversals skip the binary decode entirely. It
+	// is cleared whenever the bytes change (Unpin with dirty=true,
+	// MarkDirty) and vanishes with the frame on eviction, Discard, Free,
+	// and DropAll — install always builds a fresh frame struct even when
+	// it reuses the victim's byte buffer. Recovery builds a whole new
+	// Pool, and Scrub repairs end in Discard, so a recovered or repaired
+	// page can never serve a stale decode.
+	decoded atomic.Pointer[any]
 }
 
 // shard is one independent slice of a sharded pool: its own latch, frame
@@ -573,6 +585,12 @@ type Pool struct {
 	shift    uint32
 	shards   []*shard
 	hits     atomic.Uint64
+
+	// Decode-once cache counters: decodeHits counts GetDecodedObs calls
+	// served from a frame's cached decoded node (the binary decode was
+	// skipped), decodeMisses those that had to decode.
+	decodeHits   atomic.Uint64
+	decodeMisses atomic.Uint64
 }
 
 // minAutoShardFrames is the smallest per-shard frame count the automatic
@@ -730,6 +748,18 @@ func (p *Pool) Get(id PageID) ([]byte, error) {
 // cancellation granularity of the whole query layer. A nil o makes this
 // identical to Get.
 func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
+	f, err := p.pin(id, o)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// pin is the shared request path behind GetObs and GetDecodedObs: it
+// brings the page into the pool if needed, charges the request (hit or
+// miss) to o and the pool's counters, and returns the frame with one pin
+// taken.
+func (p *Pool) pin(id PageID, o *obs.Op) (*frame, error) {
 	if id == NilPage {
 		return nil, fmt.Errorf("store: get of nil page: %w", ErrBadPage)
 	}
@@ -751,7 +781,7 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 			o.PoolHit()
 			sh.touch(f)
 			f.pins.Add(1)
-			return f.data, nil
+			return f, nil
 		}
 		f, err := sh.install(p, id, true, o)
 		if err != nil {
@@ -759,7 +789,7 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 		}
 		o.PoolMiss(uint32(id))
 		f.pins.Add(1)
-		return f.data, nil
+		return f, nil
 	}
 	for attempt := 0; ; attempt++ {
 		// CLOCK hit path: shard read lock, pin, mark referenced. Eviction
@@ -772,7 +802,7 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 			sh.mu.RUnlock()
 			p.hits.Add(1)
 			o.PoolHit()
-			return f.data, nil
+			return f, nil
 		}
 		sh.mu.RUnlock()
 		sh.mu.Lock()
@@ -784,14 +814,14 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 			sh.mu.Unlock()
 			p.hits.Add(1)
 			o.PoolHit()
-			return f.data, nil
+			return f, nil
 		}
 		f, err := sh.install(p, id, true, o)
 		if err == nil {
 			f.pins.Add(1)
 			sh.mu.Unlock()
 			o.PoolMiss(uint32(id))
-			return f.data, nil
+			return f, nil
 		}
 		sh.mu.Unlock()
 		if attempt >= clockEvictRetries || !errors.Is(err, ErrAllPinned) {
@@ -802,6 +832,54 @@ func (p *Pool) GetObs(id PageID, o *obs.Op) ([]byte, error) {
 		// even arrive via a racer, turning the retry into a hit).
 		runtime.Gosched()
 	}
+}
+
+// DecodeFunc builds the immutable in-memory form of a page from its raw
+// bytes, for the decode-once cache. The returned value is shared across
+// every later request for the page while its frame stays resident and
+// clean, so it must be immutable and must not alias data.
+type DecodeFunc func(data []byte) (any, error)
+
+// GetDecodedObs returns the page's decoded form, building it with decode
+// on the first request after the page comes into the pool (or after its
+// bytes changed) and serving the cached value on every later one — the
+// warm path skips the binary decode entirely. The request is charged to
+// o and the pool's counters exactly like GetObs: the decode cache never
+// changes which requests hit the disk, only whether a hit re-decodes.
+//
+// The returned value does not alias the frame, so no pin is held on
+// return and no Unpin is owed. Callers that modify page bytes must be
+// serialized against readers (the database's structural writer lock
+// provides this); under that contract a request can never observe — or
+// cache — a decoded value that is stale relative to the page's bytes.
+func (p *Pool) GetDecodedObs(id PageID, o *obs.Op, decode DecodeFunc) (any, error) {
+	f, err := p.pin(id, o)
+	if err != nil {
+		return nil, err
+	}
+	if dp := f.decoded.Load(); dp != nil {
+		f.pins.Add(-1)
+		p.decodeHits.Add(1)
+		return *dp, nil
+	}
+	v, err := decode(f.data)
+	if err != nil {
+		f.pins.Add(-1)
+		return nil, err
+	}
+	dp := new(any)
+	*dp = v
+	f.decoded.Store(dp)
+	f.pins.Add(-1)
+	p.decodeMisses.Add(1)
+	return v, nil
+}
+
+// DecodeStats returns the decode-once cache counters: requests served
+// from a frame's cached decoded node (the decode was skipped) and
+// requests that had to decode.
+func (p *Pool) DecodeStats() (hits, misses uint64) {
+	return p.decodeHits.Load(), p.decodeMisses.Load()
 }
 
 // degrade converts a failed page fetch into quarantine-and-skip when the
@@ -890,6 +968,7 @@ func (p *Pool) Unpin(id PageID, dirty bool) {
 	}
 	if dirty {
 		f.dirty.Store(true)
+		f.decoded.Store(nil) // the bytes changed; drop the stale decode
 	}
 	f.pins.Add(-1)
 }
@@ -906,6 +985,7 @@ func (p *Pool) MarkDirty(id PageID) {
 		panic(fmt.Sprintf("store: mark dirty of non-resident page %d", id))
 	}
 	f.dirty.Store(true)
+	f.decoded.Store(nil) // the bytes changed; drop the stale decode
 }
 
 // Free returns the page to the disk free list. The page must be unpinned

@@ -426,6 +426,20 @@ func (db *DB) Measure(f func() error) (Metrics, error) {
 	return core.MetricsOf(core.StatsSnapshot(db.index).Sub(before)), err
 }
 
+// DecodeCacheStats reports the decode-once node cache's counters on the
+// index buffer pool: hits are page requests served from a frame's cached
+// decoded struct-of-arrays node (the binary decode was skipped), misses
+// are requests that had to decode. The cache sits behind the disk-access
+// accounting — it changes neither reads, writes, nor pool hits — so
+// these counters are pure CPU-cost observability. Index kinds that do
+// not use the SoA node layout (grid, the B-tree interiors of the PMR
+// quadtree) report zeros.
+func (db *DB) DecodeCacheStats() (hits, misses uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.pool.DecodeStats()
+}
+
 // IndexSizeBytes returns the storage footprint of the index pages
 // (excluding the segment table).
 func (db *DB) IndexSizeBytes() int64 {
