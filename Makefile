@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels
+.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels serve-smoke
 
 # check is the full local gate: what CI runs.
 check: vet staticcheck govulncheck build race fuzz-smoke
@@ -83,6 +83,14 @@ bench-smoke:
 	$(GO) run ./cmd/bench -quick -o BENCH_smoke.json
 	@grep -q '"build"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the build-metrics section"; exit 1; }
 	@grep -q '"kernels"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the kernels section"; exit 1; }
+	@grep -q '"serve"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the serve section"; exit 1; }
+
+# serve-smoke drives the serving tier end to end through the real lsdb
+# binary: `lsdb serve` on an ephemeral port, one of each query type plus
+# a cache-hit repeat, a metrics check, and a SIGTERM graceful shutdown.
+# The test is env-gated so plain `go test` stays hermetic.
+serve-smoke:
+	SEGDB_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v -count=1 ./api
 
 # bench-kernels is the kernel-level perf smoke: the scalar-reference,
 # SoA-lane, and SWAR-packed compare kernels benchmarked side by side

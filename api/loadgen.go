@@ -1,0 +1,149 @@
+package api
+
+import (
+	"math/rand"
+
+	"segdb"
+)
+
+// LoadConfig parameterizes the deterministic load generator. Zero
+// values select defaults; only Seed distinguishes two streams.
+type LoadConfig struct {
+	// Seed makes the stream reproducible: the same seed and config
+	// always yield the same op sequence.
+	Seed int64
+	// HotRegions is the number of map hot spots; sessions pick their
+	// region zipfian-distributed, so a few regions absorb most traffic —
+	// the skew that makes a result cache worth having. Default 16.
+	HotRegions int
+	// ZipfS is the zipf exponent (> 1; larger = hotter head). Default 1.3.
+	ZipfS float64
+	// SessionLen is the number of ops in one pan/zoom burst before the
+	// next session jumps to a fresh region. Default 12.
+	SessionLen int
+	// BaseSide is the starting window side of a session. Default 512.
+	BaseSide int32
+	// NearestFrac and IncidentFrac are the probabilities that an op is a
+	// k-NN or incidence probe instead of a window. Defaults 0.15, 0.05.
+	NearestFrac, IncidentFrac float64
+	// Endpoints, when non-empty, is the pool incidence probes draw from
+	// (real segment endpoints hit the incidence index; random points
+	// almost never would).
+	Endpoints []segdb.Point
+}
+
+// OpKind discriminates generated ops.
+type OpKind int
+
+const (
+	OpWindow OpKind = iota
+	OpNearest
+	OpIncident
+)
+
+// Op is one generated request.
+type Op struct {
+	Kind OpKind
+	// Window coordinates (OpWindow).
+	X1, Y1, X2, Y2 int32
+	// Probe point (OpNearest, OpIncident) and neighbor count (OpNearest).
+	X, Y int32
+	K    int
+}
+
+// LoadGen produces a deterministic stream of map-browsing traffic:
+// sessions jump to zipfian-hot regions and then pan and zoom in bursts,
+// the access pattern a tile server actually sees (and the one that
+// separates a cached serving tier from cold fan-out on every request).
+type LoadGen struct {
+	cfg  LoadConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	hot  []segdb.Point
+
+	// Current session state.
+	remaining int
+	cx, cy    int32
+	side      int32
+}
+
+// NewLoadGen validates and defaults cfg and seeds the stream.
+func NewLoadGen(cfg LoadConfig) *LoadGen {
+	if cfg.HotRegions <= 0 {
+		cfg.HotRegions = 16
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+	if cfg.SessionLen <= 0 {
+		cfg.SessionLen = 12
+	}
+	if cfg.BaseSide <= 0 {
+		cfg.BaseSide = 512
+	}
+	if cfg.NearestFrac <= 0 {
+		cfg.NearestFrac = 0.15
+	}
+	if cfg.IncidentFrac <= 0 {
+		cfg.IncidentFrac = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &LoadGen{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.HotRegions-1)),
+		hot:  make([]segdb.Point, cfg.HotRegions),
+	}
+	for i := range g.hot {
+		g.hot[i] = segdb.Pt(int32(rng.Intn(segdb.WorldSize)), int32(rng.Intn(segdb.WorldSize)))
+	}
+	return g
+}
+
+// Next returns the next op of the stream.
+func (g *LoadGen) Next() Op {
+	if g.remaining == 0 {
+		// New session: zipfian region choice, jittered start, fresh zoom.
+		h := g.hot[g.zipf.Uint64()]
+		g.side = g.cfg.BaseSide << uint(g.rng.Intn(3))
+		g.cx = clampWorld(h.X + int32(g.rng.Intn(int(g.side))) - g.side/2)
+		g.cy = clampWorld(h.Y + int32(g.rng.Intn(int(g.side))) - g.side/2)
+		g.remaining = g.cfg.SessionLen
+	}
+	g.remaining--
+
+	roll := g.rng.Float64()
+	switch {
+	case roll < g.cfg.NearestFrac:
+		return Op{
+			Kind: OpNearest,
+			X:    clampWorld(g.cx + int32(g.rng.Intn(int(g.side))) - g.side/2),
+			Y:    clampWorld(g.cy + int32(g.rng.Intn(int(g.side))) - g.side/2),
+			K:    []int{1, 5, 10}[g.rng.Intn(3)],
+		}
+	case roll < g.cfg.NearestFrac+g.cfg.IncidentFrac && len(g.cfg.Endpoints) > 0:
+		p := g.cfg.Endpoints[g.rng.Intn(len(g.cfg.Endpoints))]
+		return Op{Kind: OpIncident, X: p.X, Y: p.Y}
+	}
+	op := Op{
+		Kind: OpWindow,
+		X1:   clampWorld(g.cx - g.side/2),
+		Y1:   clampWorld(g.cy - g.side/2),
+		X2:   clampWorld(g.cx + g.side/2),
+		Y2:   clampWorld(g.cy + g.side/2),
+	}
+	// Advance the session: mostly pans, occasional zooms.
+	switch g.rng.Intn(4) {
+	case 0, 1, 2: // pan by half a window in a random direction
+		dx := int32(g.rng.Intn(3)-1) * g.side / 2
+		dy := int32(g.rng.Intn(3)-1) * g.side / 2
+		g.cx, g.cy = clampWorld(g.cx+dx), clampWorld(g.cy+dy)
+	case 3: // zoom in or out, clamped to a sane range
+		if g.rng.Intn(2) == 0 {
+			g.side = max(g.side/2, 64)
+		} else {
+			g.side = min(g.side*2, 4096)
+		}
+	}
+	return op
+}

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end serving-tier smoke behind `make
+// serve-smoke`: it builds the real lsdb binary, starts `lsdb serve` on
+// an ephemeral port, runs one of each query type plus a cache-hit
+// repeat, checks the metrics endpoint, and asserts a clean SIGTERM
+// shutdown. Env-gated so plain `go test` stays hermetic.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("SEGDB_SERVE_SMOKE") == "" {
+		t.Skip("set SEGDB_SERVE_SMOKE=1 to run the serving-tier smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "lsdb")
+	build := exec.Command("go", "build", "-o", bin, "segdb/cmd/lsdb")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building lsdb: %v", err)
+	}
+
+	cmd := exec.Command(bin, "serve",
+		"-county", "Charles", "-index", "rstar", "-shards", "3",
+		"-addr", "127.0.0.1:0", "-quantum", "256")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Parse the printed listen address, collecting the rest of stdout in
+	// the background so the final shutdown line can be asserted.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("lsdb: %s", line)
+		if after, ok := strings.CutPrefix(line, "listening on "); ok {
+			base = after
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server never printed its listen address (scan err: %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		tail <- strings.Join(lines, "\n")
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := NewClient(base, &http.Client{Timeout: 10 * time.Second})
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Shards != 3 {
+		t.Fatalf("healthz: %+v, err %v", h, err)
+	}
+
+	// One of each query type.
+	win, err := c.Window(ctx, 4000, 4000, 5000, 5000)
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	if win.Cache != "miss" {
+		t.Fatalf("first window: cache %q, want miss", win.Cache)
+	}
+	hit, err := c.Window(ctx, 3900, 3900, 4990, 5050)
+	if err != nil {
+		t.Fatalf("window repeat: %v", err)
+	}
+	if hit.Cache != "hit" {
+		t.Fatalf("tile-sharing window: cache %q, want hit", hit.Cache)
+	}
+	nn, err := c.Nearest(ctx, 8000, 8000, 5)
+	if err != nil || len(nn.Results) == 0 {
+		t.Fatalf("nearest: %d results, err %v", len(nn.Results), err)
+	}
+	if len(win.Segments) > 0 {
+		s := win.Segments[0]
+		inc, err := c.Incident(ctx, s.X1, s.Y1)
+		if err != nil || inc.Count == 0 {
+			t.Fatalf("incident at a known endpoint: %+v, err %v", inc, err)
+		}
+	}
+	batch, err := c.Batch(ctx, []RectJSON{{X1: 0, Y1: 0, X2: 2000, Y2: 2000}, {X1: 8000, Y1: 8000, X2: 8200, Y2: 8200}})
+	if err != nil || len(batch.Queries) != 2 {
+		t.Fatalf("batch: %v", err)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m.CacheHits < 1 || m.CacheMisses < 1 {
+		t.Fatalf("metrics cache counters: %d hits / %d misses", m.CacheHits, m.CacheMisses)
+	}
+	if m.Shards != 3 || len(m.PerShard) != 3 || m.Requests < 6 {
+		t.Fatalf("metrics shape: %+v", m)
+	}
+	var fanned uint64
+	for _, sh := range m.PerShard {
+		fanned += sh.SegComps
+	}
+	if fanned == 0 {
+		t.Fatal("per-shard metrics show no query work")
+	}
+
+	// Graceful shutdown: SIGTERM must produce a clean exit and the
+	// shutdown line.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit within 15s of SIGTERM")
+	}
+	if rest := <-tail; !strings.Contains(rest, "shut down cleanly") {
+		t.Fatalf("missing clean-shutdown line; tail:\n%s", rest)
+	}
+	fmt.Println("serve smoke: window miss+hit, nearest, incident, batch, metrics, SIGTERM shutdown all OK")
+}

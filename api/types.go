@@ -1,0 +1,161 @@
+// Package api is the transport layer of the segdb serving tier: an
+// HTTP server exposing a sharded router.Router's query surface as a
+// small JSON API, a matching Go client, and a deterministic load
+// generator for benchmarking it.
+//
+// The wire protocol is deliberately flat — explicit integer coordinate
+// fields, no nested geometry objects — so responses diff cleanly and
+// any HTTP client can drive the server:
+//
+//	GET  /v1/window?x1=..&y1=..&x2=..&y2=..   segments intersecting a window
+//	POST /v1/window/batch                      many windows in one request
+//	GET  /v1/nearest?x=..&y=..&k=..            k nearest segments to a point
+//	GET  /v1/incident?x=..&y=..                segments with an endpoint at a point
+//	GET  /metrics                              server + per-shard counters, profiles
+//	GET  /healthz                              liveness
+//
+// Errors come back as an ErrorResponse whose code field is the stable
+// segdb.ErrCode wire spelling; the HTTP status is ErrCode.HTTPStatus().
+package api
+
+// RectJSON is a closed rectangle on the wire: inclusive corner
+// coordinates in world units.
+type RectJSON struct {
+	X1 int32 `json:"x1"`
+	Y1 int32 `json:"y1"`
+	X2 int32 `json:"x2"`
+	Y2 int32 `json:"y2"`
+}
+
+// SegmentJSON is one line segment with its global ID.
+type SegmentJSON struct {
+	ID uint32 `json:"id"`
+	X1 int32  `json:"x1"`
+	Y1 int32  `json:"y1"`
+	X2 int32  `json:"x2"`
+	Y2 int32  `json:"y2"`
+}
+
+// StatsJSON reports one query's cost in the paper's currencies plus
+// pool effectiveness and wall time.
+type StatsJSON struct {
+	DiskAccesses uint64 `json:"disk_accesses"`
+	SegComps     uint64 `json:"seg_comps"`
+	NodeComps    uint64 `json:"node_comps"`
+	PoolHits     uint64 `json:"pool_hits"`
+	PoolRequests uint64 `json:"pool_requests"`
+	WallMicros   int64  `json:"wall_micros"`
+}
+
+// WindowResponse answers /v1/window. Window is the effective window
+// served: requests are snapped outward to the server's cache quantum
+// (tile semantics), so the answer can be a superset of the request's
+// exact intersection set and identical requests within one tile share a
+// cache entry. Cache is "hit" or "miss"; on a hit, Stats price the
+// execution that populated the entry.
+type WindowResponse struct {
+	Window   RectJSON      `json:"window"`
+	Count    int           `json:"count"`
+	Segments []SegmentJSON `json:"segments"`
+	Stats    StatsJSON     `json:"stats"`
+	Cache    string        `json:"cache,omitempty"`
+}
+
+// BatchRequest is the POST body of /v1/window/batch.
+type BatchRequest struct {
+	Windows []RectJSON `json:"windows"`
+}
+
+// BatchResponse answers /v1/window/batch: one entry per requested
+// window, in request order. Batch queries bypass the result cache.
+type BatchResponse struct {
+	Queries []WindowResponse `json:"queries"`
+}
+
+// NearestHitJSON is one ranked neighbor.
+type NearestHitJSON struct {
+	ID     uint32  `json:"id"`
+	DistSq float64 `json:"dist_sq"`
+	X1     int32   `json:"x1"`
+	Y1     int32   `json:"y1"`
+	X2     int32   `json:"x2"`
+	Y2     int32   `json:"y2"`
+}
+
+// NearestResponse answers /v1/nearest: up to K segments in ascending
+// (distance, ID) order.
+type NearestResponse struct {
+	X       int32            `json:"x"`
+	Y       int32            `json:"y"`
+	K       int              `json:"k"`
+	Results []NearestHitJSON `json:"results"`
+	Stats   StatsJSON        `json:"stats"`
+	Cache   string           `json:"cache,omitempty"`
+}
+
+// IncidentResponse answers /v1/incident: the segments with an endpoint
+// at (X, Y), ascending by ID.
+type IncidentResponse struct {
+	X        int32         `json:"x"`
+	Y        int32         `json:"y"`
+	Count    int           `json:"count"`
+	Segments []SegmentJSON `json:"segments"`
+	Stats    StatsJSON     `json:"stats"`
+	Cache    string        `json:"cache,omitempty"`
+}
+
+// ShardMetricsJSON is one shard's cumulative counters for /metrics.
+type ShardMetricsJSON struct {
+	Shard        int      `json:"shard"`
+	Segments     int      `json:"segments"`
+	Coverage     RectJSON `json:"coverage"`
+	DiskAccesses uint64   `json:"disk_accesses"`
+	SegComps     uint64   `json:"seg_comps"`
+	NodeComps    uint64   `json:"node_comps"`
+	PoolHits     uint64   `json:"pool_hits"`
+	PoolRequests uint64   `json:"pool_requests"`
+}
+
+// ProfileKindJSON is one query kind's router-level aggregate for
+// /metrics: latency of the whole fan-out+merge.
+type ProfileKindJSON struct {
+	Kind           string  `json:"kind"`
+	Count          uint64  `json:"count"`
+	Errors         uint64  `json:"errors"`
+	LatencyP50     uint64  `json:"latency_p50_micros"`
+	LatencyP95     uint64  `json:"latency_p95_micros"`
+	LatencyP99     uint64  `json:"latency_p99_micros"`
+	MeanDiskAccess float64 `json:"mean_disk_accesses"`
+}
+
+// MetricsResponse answers /metrics.
+type MetricsResponse struct {
+	Kind          string             `json:"kind"`
+	Shards        int                `json:"shards"`
+	Segments      int                `json:"segments"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Requests      uint64             `json:"requests"`
+	CacheHits     uint64             `json:"cache_hits"`
+	CacheMisses   uint64             `json:"cache_misses"`
+	CacheHitRatio float64            `json:"cache_hit_ratio"`
+	DiskAccesses  uint64             `json:"disk_accesses"`
+	PoolHitRatio  float64            `json:"pool_hit_ratio"`
+	PerShard      []ShardMetricsJSON `json:"per_shard"`
+	Profile       []ProfileKindJSON  `json:"profile"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Kind     string `json:"kind"`
+	Shards   int    `json:"shards"`
+	Segments int    `json:"segments"`
+}
+
+// ErrorResponse is the body of every non-2xx answer. Code is the stable
+// segdb.ErrCode wire spelling ("invalid_argument", "deadline_exceeded",
+// "unavailable", ...).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}

@@ -53,7 +53,7 @@ func (db *DB) addBatchLocked(segs []Segment) ([]SegmentID, error) {
 	ids := make([]SegmentID, 0, len(segs))
 	for _, s := range segs {
 		if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
-			return nil, fmt.Errorf("segdb: segment %v outside the %dx%d world", s, WorldSize, WorldSize)
+			return nil, fmt.Errorf("%w: segment %v outside the %dx%d world", ErrInvalidArgument, s, WorldSize, WorldSize)
 		}
 		id, err := db.table.Append(s)
 		if err != nil {

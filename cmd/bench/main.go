@@ -3,7 +3,7 @@
 // perf trajectory: each PR can rerun `make bench` and diff against the
 // committed artifact.
 //
-// Five experiments run:
+// Six experiments run:
 //
 //   - per-kind query stats: a fixed 512-window workload over a mid-size
 //     (~12k segment) county, reporting ops/sec, disk accesses per query,
@@ -29,7 +29,12 @@
 //   - goroutine sweeps: WindowBatch and the Overlay spatial join timed at
 //     1, 2, 4, 8, and 16 workers, emitted as the artifact's "scaling"
 //     section. The recorded gomaxprocs says how many cores the numbers
-//     were taken on — on a single-core host every speedup sits near 1.0x.
+//     were taken on — on a single-core host every speedup sits near 1.0x;
+//   - serving tier: the full county behind a 4-shard router and the HTTP
+//     server, driven over loopback by the deterministic zipfian pan/zoom
+//     load generator from 4 client goroutines, reporting p50/p95/p99
+//     request latency, throughput, the result-cache hit ratio, and the
+//     per-shard disk-access balance, as the artifact's "serve" section.
 //
 // Usage:
 //
@@ -56,6 +61,7 @@ type artifact struct {
 	Build       []buildKindResult    `json:"build"`
 	WindowBatch *batchResult         `json:"window_batch"`
 	Scaling     []*scalingExperiment `json:"scaling"`
+	Serve       *serveResult         `json:"serve"`
 }
 
 // sweepWorkers is the goroutine-count sweep of the scaling experiments.
@@ -144,7 +150,7 @@ func run(out string, windows int, quick bool) error {
 	rects := makeWindows(windows, 1992)
 	var decodeHits, decodeMisses uint64
 	for _, k := range allKinds() {
-		db, err := segdb.Open(k, nil)
+		db, err := segdb.Open(k)
 		if err != nil {
 			return err
 		}
@@ -197,7 +203,7 @@ func run(out string, windows int, quick bool) error {
 
 	// WindowBatch scaling on the full county in a packed R*-tree with a
 	// pool big enough to hold the working set.
-	db, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	db, err := segdb.Open(segdb.RStarTree, segdb.WithPoolPages(4096))
 	if err != nil {
 		return err
 	}
@@ -256,14 +262,14 @@ func run(out string, windows int, quick bool) error {
 
 	// Overlay sweep: a spatial join between two different counties, both
 	// in packed R*-trees sized so the working sets stay pool-resident.
-	ovA, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	ovA, err := segdb.Open(segdb.RStarTree, segdb.WithPoolPages(4096))
 	if err != nil {
 		return err
 	}
 	if _, err := ovA.LoadPacked(subsample(county, overlaySize)); err != nil {
 		return err
 	}
-	ovB, err := segdb.Open(segdb.RStarTree, &segdb.Options{PoolPages: 4096})
+	ovB, err := segdb.Open(segdb.RStarTree, segdb.WithPoolPages(4096))
 	if err != nil {
 		return err
 	}
@@ -276,6 +282,21 @@ func run(out string, windows int, quick bool) error {
 	}
 	art.Scaling = append(art.Scaling, overlaySweep)
 	printSweep(overlaySweep)
+
+	// Serving tier: the sharded router behind the HTTP server, driven by
+	// the zipfian pan/zoom load generator over real loopback HTTP.
+	serveMap, serveReqs := county, 3000
+	if quick {
+		serveMap, serveReqs = subsample(county, 8000), 400
+	}
+	art.Serve, err = collectServeStats(serveMap, 4, serveReqs, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve          %9.0f ops/s x%d, p50/p95/p99 %d/%d/%dus, %.1f%% cache hits (%d win, %d nn, %d inc)\n",
+		art.Serve.OpsPerSec, art.Serve.Concurrency,
+		art.Serve.LatencyP50Micros, art.Serve.LatencyP95Micros, art.Serve.LatencyP99Micros,
+		100*art.Serve.CacheHitRatio, art.Serve.WindowOps, art.Serve.NearestOps, art.Serve.IncidentOps)
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

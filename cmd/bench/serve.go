@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"segdb"
+	"segdb/api"
+	"segdb/internal/router"
+)
+
+// serveResult is the artifact's "serve" section: the serving tier
+// driven end to end — sharded router, HTTP server, result cache — by
+// the deterministic zipfian pan/zoom load generator, over real loopback
+// HTTP.
+type serveResult struct {
+	Segments    int     `json:"segments"`
+	Shards      int     `json:"shards"`
+	IndexKind   string  `json:"index_kind"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	// Client-observed request latency over loopback, microseconds.
+	LatencyP50Micros int64 `json:"latency_p50_micros"`
+	LatencyP95Micros int64 `json:"latency_p95_micros"`
+	LatencyP99Micros int64 `json:"latency_p99_micros"`
+	// Result-cache effectiveness under the zipfian workload.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// Workload mix actually generated.
+	WindowOps   int `json:"window_ops"`
+	NearestOps  int `json:"nearest_ops"`
+	IncidentOps int `json:"incident_ops"`
+	// PerShardDiskAccesses is each shard's cumulative disk accesses after
+	// the run (build included), in shard order — the balance check.
+	PerShardDiskAccesses []uint64 `json:"per_shard_disk_accesses"`
+}
+
+// collectServeStats builds a sharded server over the county, serves it
+// on an ephemeral loopback port, and replays a deterministic
+// browsing-session workload against it from several client goroutines.
+func collectServeStats(m *segdb.MapData, shards, requests, concurrency int) (*serveResult, error) {
+	r, err := router.Build(segdb.RStarTree, m.Segments, shards)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := api.NewServer(api.Config{Router: r})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, l) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	// Incidence probes draw from real endpoints.
+	endpoints := make([]segdb.Point, 0, 512)
+	for i := 0; i < len(m.Segments) && len(endpoints) < 512; i += len(m.Segments)/512 + 1 {
+		endpoints = append(endpoints, m.Segments[i].P1)
+	}
+
+	base := "http://" + l.Addr().String()
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		mix       [3]int
+		firstErr  error
+	)
+	perWorker := requests / concurrency
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			c := api.NewClient(base, &http.Client{Timeout: 30 * time.Second})
+			gen := api.NewLoadGen(api.LoadConfig{Seed: int64(worker + 1), Endpoints: endpoints})
+			local := make([]time.Duration, 0, perWorker)
+			var localMix [3]int
+			for i := 0; i < perWorker; i++ {
+				op := gen.Next()
+				opStart := time.Now()
+				var err error
+				switch op.Kind {
+				case api.OpWindow:
+					_, err = c.Window(ctx, op.X1, op.Y1, op.X2, op.Y2)
+				case api.OpNearest:
+					_, err = c.Nearest(ctx, op.X, op.Y, op.K)
+				case api.OpIncident:
+					_, err = c.Incident(ctx, op.X, op.Y)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(opStart))
+				localMix[op.Kind]++
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			for k, n := range localMix {
+				mix[k] += n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, fmt.Errorf("serve workload: %w", firstErr)
+	}
+
+	metrics, err := api.NewClient(base, nil).Metrics(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quantile := func(q float64) int64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return int64(latencies[i] / time.Microsecond)
+	}
+	res := &serveResult{
+		Segments:         r.Len(),
+		Shards:           shards,
+		IndexKind:        segdb.RStarTree.String(),
+		Requests:         len(latencies),
+		Concurrency:      concurrency,
+		OpsPerSec:        float64(len(latencies)) / elapsed.Seconds(),
+		LatencyP50Micros: quantile(0.50),
+		LatencyP95Micros: quantile(0.95),
+		LatencyP99Micros: quantile(0.99),
+		CacheHitRatio:    metrics.CacheHitRatio,
+		WindowOps:        mix[api.OpWindow],
+		NearestOps:       mix[api.OpNearest],
+		IncidentOps:      mix[api.OpIncident],
+	}
+	for _, sh := range metrics.PerShard {
+		res.PerShardDiskAccesses = append(res.PerShardDiskAccesses, sh.DiskAccesses)
+	}
+	return res, nil
+}

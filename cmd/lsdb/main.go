@@ -12,6 +12,7 @@
 //	lsdb query   -county Garrett   -index grid  -type incident -x 8000 -y 8000
 //	lsdb verify  -load db.segdb
 //	lsdb recover -dir /var/lib/segdb
+//	lsdb serve   -county Baltimore -index rstar -shards 4 -addr 127.0.0.1:8080
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		err = verify(os.Args[2:])
 	case "recover":
 		err = recoverCmd(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +69,8 @@ func usage() {
   lsdb build -county NAME -index rstar|rtree|rplus|pmr|kdb|grid [-save FILE]
   lsdb query -county NAME -index KIND -type nearest|polygon|window|incident -x X -y Y [-w W -h H] [-load FILE]
   lsdb verify [-load FILE | -county NAME -index KIND]
-  lsdb recover -dir DIR [-scrub]`)
+  lsdb recover -dir DIR [-scrub]
+  lsdb serve -county NAME -index KIND -shards N -addr HOST:PORT [-cache N] [-quantum N] [-timeout D]`)
 }
 
 func counties() error {
@@ -90,7 +94,7 @@ func load(county, index string) (*segdb.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := segdb.Open(kind, nil)
+	db, err := segdb.Open(kind)
 	if err != nil {
 		return nil, err
 	}

@@ -48,22 +48,6 @@ type (
 	MemWALFS = store.MemWALFS
 	// PageID identifies a page of one of the database's simulated disks.
 	PageID = store.PageID
-	// PageUnavailableError reports a page skipped in degraded-read mode;
-	// it matches ErrPageUnavailable via errors.Is.
-	PageUnavailableError = store.PageUnavailableError
-)
-
-// Durability error sentinels; match with errors.Is.
-var (
-	// ErrPageUnavailable marks a quarantined page skipped by a
-	// degraded-mode query.
-	ErrPageUnavailable = store.ErrPageUnavailable
-	// ErrWALCrash marks operations against a MemWALFS after its
-	// simulated power loss fired.
-	ErrWALCrash = store.ErrWALCrash
-	// ErrNoWAL is returned by Checkpoint and Scrub on a database opened
-	// without a write-ahead log.
-	ErrNoWAL = errors.New("segdb: database has no write-ahead log (open with WithWAL)")
 )
 
 // NewMemWALFS returns an empty in-memory WAL filesystem (crash-injection

@@ -26,7 +26,7 @@ func grid() []segdb.Segment {
 
 func main() {
 	// 1. Build fault-free, save, reload, and check integrity.
-	db, err := segdb.Open(segdb.PMRQuadtree, nil)
+	db, err := segdb.Open(segdb.PMRQuadtree)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func main() {
 	// pool is write-back), so a small build crashes when Save flushes.
 	// The disk halts at the Nth write; everything after fails with a
 	// typed injected-fault error.
-	db3, err := segdb.Open(segdb.RStarTree, nil)
+	db3, err := segdb.Open(segdb.RStarTree)
 	if err != nil {
 		log.Fatal(err)
 	}

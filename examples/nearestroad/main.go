@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("%-14s | %10s %12s | %10s %10s %12s\n",
 		"index", "build", "size KB", "disk/q", "segcmp/q", "query time")
 	for _, kind := range kinds {
-		db, err := segdb.Open(kind, nil)
+		db, err := segdb.Open(kind)
 		if err != nil {
 			log.Fatal(err)
 		}

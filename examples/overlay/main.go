@@ -38,11 +38,11 @@ func main() {
 		len(roads.Segments), len(utilities.Segments))
 
 	for _, kind := range []segdb.Kind{segdb.PMRQuadtree, segdb.RStarTree} {
-		a, err := segdb.Open(kind, nil)
+		a, err := segdb.Open(kind)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b, err := segdb.Open(kind, nil)
+		b, err := segdb.Open(kind)
 		if err != nil {
 			log.Fatal(err)
 		}

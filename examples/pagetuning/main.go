@@ -36,7 +36,7 @@ func main() {
 		for _, page := range pages {
 			fmt.Printf("%10d", page)
 			for _, pool := range pools {
-				db, err := segdb.Open(kind, &segdb.Options{PageSize: page, PoolPages: pool})
+				db, err := segdb.Open(kind, segdb.WithPageSize(page), segdb.WithPoolPages(pool))
 				if err != nil {
 					log.Fatal(err)
 				}

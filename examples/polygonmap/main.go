@@ -20,7 +20,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		db, err := segdb.Open(segdb.PMRQuadtree, nil)
+		db, err := segdb.Open(segdb.PMRQuadtree)
 		if err != nil {
 			log.Fatal(err)
 		}

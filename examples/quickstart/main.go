@@ -14,7 +14,7 @@ func main() {
 	// Any of segdb.RStarTree, segdb.RPlusTree, segdb.PMRQuadtree,
 	// segdb.KDBTree, segdb.UniformGrid; nil options = the paper's
 	// defaults (1 KB pages, 16-page buffer pool).
-	db, err := segdb.Open(segdb.PMRQuadtree, nil)
+	db, err := segdb.Open(segdb.PMRQuadtree)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -76,8 +76,8 @@ func (db *DB) WindowBatchCtx(ctx context.Context, rects []Rect, parallelism int,
 	return stats, err
 }
 
-// WindowBatch is WindowBatchCtx with a background context and the
-// per-query stats discarded.
+// WindowBatch is a convenience wrapper over WindowBatchCtx with a
+// background context and the per-query stats discarded.
 func (db *DB) WindowBatch(rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) error {
 	_, err := db.WindowBatchCtx(context.Background(), rects, parallelism, visit)
 	return err

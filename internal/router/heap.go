@@ -1,0 +1,88 @@
+package router
+
+import "segdb"
+
+// nnHeap is the bounded max-heap merging per-shard k-NN answers: it
+// keeps the k best results seen so far under the total order
+// (DistSq, global ID), with the worst kept result at the root so an
+// incoming better result replaces it in O(log k). Typed and
+// index-based — no container/heap interface boxing — so the merge
+// allocates only the backing slice, once, per merge.
+type nnHeap struct {
+	k     int
+	items []segdb.NearestResult
+}
+
+// after reports whether a orders after b under (DistSq, ID) — a is the
+// worse of the two.
+func after(a, b segdb.NearestResult) bool {
+	if a.DistSq != b.DistSq {
+		return a.DistSq > b.DistSq
+	}
+	return a.ID > b.ID
+}
+
+// bound returns the worst kept distance and whether the heap is full;
+// shards whose lower bound strictly exceeds it cannot contribute.
+func (h *nnHeap) bound() (float64, bool) {
+	if len(h.items) < h.k {
+		return 0, false
+	}
+	return h.items[0].DistSq, true
+}
+
+// push offers a result: it is kept if the heap is not yet full or if it
+// orders before the current worst, which it then evicts.
+func (h *nnHeap) push(r segdb.NearestResult) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, r)
+		// Sift up.
+		i := len(h.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !after(h.items[i], h.items[parent]) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+		return
+	}
+	if !after(h.items[0], r) {
+		return // r is no better than the worst kept
+	}
+	h.items[0] = r
+	h.siftDown(0, len(h.items))
+}
+
+func (h *nnHeap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		worst := l
+		if r := l + 1; r < n && after(h.items[r], h.items[l]) {
+			worst = r
+		}
+		if !after(h.items[worst], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// appendSorted drains the heap into dst in ascending (DistSq, ID) order
+// via in-place heap-sort, leaving the heap empty.
+func (h *nnHeap) appendSorted(dst []segdb.NearestResult) []segdb.NearestResult {
+	// Repeatedly swap the worst remaining to the end: the slice ends up
+	// ascending.
+	for n := len(h.items); n > 1; n-- {
+		h.items[0], h.items[n-1] = h.items[n-1], h.items[0]
+		h.siftDown(0, n-1)
+	}
+	dst = append(dst, h.items...)
+	h.items = h.items[:0]
+	return dst
+}

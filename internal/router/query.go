@@ -1,0 +1,481 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb"
+)
+
+// The Router's query surface mirrors the DB's Ctx-first API: every
+// method takes a context, fans across the shards whose coverage
+// rectangle can contribute, merges the partial answers into global-ID
+// space, and returns the summed per-shard QueryStats (counter fields
+// are added; Wall is the router's own fan-out+merge wall time, since
+// summing per-shard wall times would report busy time, not latency).
+//
+// Result determinism: a DB delivers window hits in traversal order,
+// which depends on the index kind. The Router instead delivers window
+// and incident results sorted by ascending global ID, and k-NN results
+// by ascending (distance, global ID) — total orders, so the same query
+// over the same Router always yields the same sequence regardless of
+// shard count or fan-out interleaving.
+//
+// One behavioral divergence from the DB: the Router materializes each
+// shard's answer before invoking the caller's visitor, so a visitor
+// returning false stops delivery but not traversal — the QueryStats
+// still price the full answer. Callers that need traversal-level early
+// exit should query a shard DB directly.
+
+// Buffer pools for the fan-out paths: each shard's partial answer lands
+// in a recycled slice, so warm routed queries allocate only when an
+// answer outgrows every pooled buffer.
+var (
+	windowBufPool = sync.Pool{New: func() any { return new([]segdb.WindowHit) }}
+	nnBufPool     = sync.Pool{New: func() any { return new([]segdb.NearestResult) }}
+)
+
+// addCounters folds src's counter fields into dst, leaving dst.Wall
+// alone (record stamps the router-level wall time at the end).
+func addCounters(dst *segdb.QueryStats, src segdb.QueryStats) {
+	wall := dst.Wall
+	*dst = dst.Add(src)
+	dst.Wall = wall
+}
+
+// firstError returns the first non-nil error in shard order, so the
+// reported error is deterministic however the fan-out interleaved.
+func firstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// WindowAppendCtx runs the window query across every shard whose
+// coverage intersects r, appending the merged hits (global IDs,
+// ascending) to dst and returning the extended slice. Shards are
+// queried in parallel; passing a reused buffer makes warm repeated
+// windows allocation-light.
+func (r *Router) WindowAppendCtx(ctx context.Context, rect segdb.Rect, dst []segdb.WindowHit) ([]segdb.WindowHit, segdb.QueryStats, error) {
+	start := time.Now()
+	dst, st, err := r.windowAppend(ctx, rect, dst)
+	r.record(qkWindow, start, &st, err)
+	return dst, st, err
+}
+
+// windowAppend is the shared fan-out core of WindowAppendCtx, WindowCtx
+// and the per-rectangle body of WindowBatchCtx (the batch records under
+// its own kind).
+func (r *Router) windowAppend(ctx context.Context, rect segdb.Rect, dst []segdb.WindowHit) ([]segdb.WindowHit, segdb.QueryStats, error) {
+	var st segdb.QueryStats
+	var cand []*Shard
+	for _, sh := range r.shards {
+		if sh.nonempty && sh.coverage.Intersects(rect) {
+			cand = append(cand, sh)
+		}
+	}
+	switch len(cand) {
+	case 0:
+		return dst, st, nil
+	case 1:
+		sh := cand[0]
+		base := len(dst)
+		dst, st, err := sh.db.WindowAppendCtx(ctx, rect, dst)
+		for i := base; i < len(dst); i++ {
+			dst[i].ID = sh.global[dst[i].ID]
+		}
+		sortWindowHits(dst[base:])
+		return dst, st, err
+	}
+	bufs := make([]*[]segdb.WindowHit, len(cand))
+	stats := make([]segdb.QueryStats, len(cand))
+	errs := make([]error, len(cand))
+	var wg sync.WaitGroup
+	for i, sh := range cand {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			buf := windowBufPool.Get().(*[]segdb.WindowHit)
+			*buf, stats[i], errs[i] = sh.db.WindowAppendCtx(ctx, rect, (*buf)[:0])
+			for j := range *buf {
+				(*buf)[j].ID = sh.global[(*buf)[j].ID]
+			}
+			bufs[i] = buf
+		}(i, sh)
+	}
+	wg.Wait()
+	base := len(dst)
+	for i := range cand {
+		dst = append(dst, *bufs[i]...)
+		*bufs[i] = (*bufs[i])[:0]
+		windowBufPool.Put(bufs[i])
+		addCounters(&st, stats[i])
+	}
+	sortWindowHits(dst[base:])
+	return dst, st, firstError(errs)
+}
+
+func sortWindowHits(hits []segdb.WindowHit) {
+	sort.Slice(hits, func(i, j int) bool { return hits[i].ID < hits[j].ID })
+}
+
+// WindowCtx runs the window query across the shards and delivers the
+// merged hits to visit in ascending global-ID order. Returning false
+// from visit stops delivery (the traversal cost has already been paid —
+// see the package note on materialization).
+func (r *Router) WindowCtx(ctx context.Context, rect segdb.Rect, visit func(segdb.SegmentID, segdb.Segment) bool) (segdb.QueryStats, error) {
+	start := time.Now()
+	buf := windowBufPool.Get().(*[]segdb.WindowHit)
+	hits, st, err := r.windowAppend(ctx, rect, (*buf)[:0])
+	if err == nil {
+		for _, h := range hits {
+			if !visit(h.ID, h.Seg) {
+				break
+			}
+		}
+	}
+	*buf = hits[:0]
+	windowBufPool.Put(buf)
+	r.record(qkWindow, start, &st, err)
+	return st, err
+}
+
+// WindowBatchCtx runs one routed window query per rectangle, fanning
+// the rectangles across parallelism workers (<= 0 means GOMAXPROCS; the
+// per-rectangle shard fan then runs sequentially inside its worker).
+// stats[q] prices exactly the query over rects[q]. visit may be called
+// from several goroutines at once; returning false cancels the batch
+// with a nil error, as in DB.WindowBatchCtx.
+func (r *Router) WindowBatchCtx(ctx context.Context, rects []segdb.Rect, parallelism int, visit func(query int, id segdb.SegmentID, s segdb.Segment) bool) ([]segdb.QueryStats, error) {
+	if len(rects) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	stats := make([]segdb.QueryStats, len(rects))
+	var stop atomic.Bool
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	err := parallelRange(len(rects), parallelism, func(q int) error {
+		qstart := time.Now()
+		buf := windowBufPool.Get().(*[]segdb.WindowHit)
+		hits, st, werr := r.windowAppendSequential(ctx, rects[q], (*buf)[:0])
+		st.Wall = time.Since(qstart)
+		stats[q] = st
+		canceled := false
+		if werr == nil {
+			for _, h := range hits {
+				if stop.Load() {
+					canceled = true
+					break
+				}
+				if !visit(q, h.ID, h.Seg) {
+					stop.Store(true)
+					canceled = true
+					break
+				}
+			}
+		}
+		*buf = hits[:0]
+		windowBufPool.Put(buf)
+		if werr != nil {
+			return werr
+		}
+		if canceled {
+			return segdb.ErrCanceled
+		}
+		return nil
+	})
+	if errors.Is(err, segdb.ErrCanceled) {
+		err = nil
+	}
+	var total segdb.QueryStats
+	for _, st := range stats {
+		addCounters(&total, st)
+	}
+	r.record(qkWindowBatch, start, &total, err)
+	return stats, err
+}
+
+// windowAppendSequential is windowAppend without the per-shard
+// goroutines — used inside WindowBatchCtx, whose parallelism lives at
+// the rectangle level.
+func (r *Router) windowAppendSequential(ctx context.Context, rect segdb.Rect, dst []segdb.WindowHit) ([]segdb.WindowHit, segdb.QueryStats, error) {
+	var st segdb.QueryStats
+	base := len(dst)
+	for _, sh := range r.shards {
+		if !sh.nonempty || !sh.coverage.Intersects(rect) {
+			continue
+		}
+		mark := len(dst)
+		var sst segdb.QueryStats
+		var err error
+		dst, sst, err = sh.db.WindowAppendCtx(ctx, rect, dst)
+		addCounters(&st, sst)
+		if err != nil {
+			return dst, st, err
+		}
+		for i := mark; i < len(dst); i++ {
+			dst[i].ID = sh.global[dst[i].ID]
+		}
+	}
+	sortWindowHits(dst[base:])
+	return dst, st, nil
+}
+
+// NearestCtx returns the segment nearest to p across all shards.
+func (r *Router) NearestCtx(ctx context.Context, p segdb.Point) (segdb.NearestResult, segdb.QueryStats, error) {
+	start := time.Now()
+	var buf [1]segdb.NearestResult
+	res, st, err := r.nearestKAppend(ctx, p, 1, buf[:0])
+	r.record(qkNearest, start, &st, err)
+	if err != nil || len(res) == 0 {
+		return segdb.NearestResult{}, st, err
+	}
+	return res[0], st, err
+}
+
+// NearestKCtx returns up to k segments across all shards ordered by
+// ascending (distance, global ID).
+func (r *Router) NearestKCtx(ctx context.Context, p segdb.Point, k int) ([]segdb.NearestResult, segdb.QueryStats, error) {
+	start := time.Now()
+	res, st, err := r.nearestKAppend(ctx, p, k, nil)
+	r.record(qkNearestK, start, &st, err)
+	return res, st, err
+}
+
+// NearestKAppendCtx is NearestKCtx appending into dst, for warm callers
+// reusing a result buffer.
+func (r *Router) NearestKAppendCtx(ctx context.Context, p segdb.Point, k int, dst []segdb.NearestResult) ([]segdb.NearestResult, segdb.QueryStats, error) {
+	start := time.Now()
+	dst, st, err := r.nearestKAppend(ctx, p, k, dst)
+	r.record(qkNearestK, start, &st, err)
+	return dst, st, err
+}
+
+// nearestKAppend merges per-shard k-NN answers through a bounded
+// max-heap. Shards are visited in ascending order of the lower bound
+// dist(p, coverage); once the heap holds k results, any shard whose
+// lower bound exceeds the heap's worst kept distance cannot contribute
+// and the remaining shards are pruned wholesale (strictly exceeds: an
+// equal bound may still supply a lower-global-ID tie, which the merged
+// order prefers).
+func (r *Router) nearestKAppend(ctx context.Context, p segdb.Point, k int, dst []segdb.NearestResult) ([]segdb.NearestResult, segdb.QueryStats, error) {
+	var st segdb.QueryStats
+	if k <= 0 {
+		return dst, st, nil
+	}
+	type cand struct {
+		sh *Shard
+		lb float64
+	}
+	cands := make([]cand, 0, len(r.shards))
+	for _, sh := range r.shards {
+		if sh.nonempty {
+			cands = append(cands, cand{sh, sh.coverage.DistSqToPoint(p)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+
+	h := nnHeap{k: k}
+	buf := nnBufPool.Get().(*[]segdb.NearestResult)
+	defer func() {
+		*buf = (*buf)[:0]
+		nnBufPool.Put(buf)
+	}()
+	for _, c := range cands {
+		if bound, full := h.bound(); full && c.lb > bound {
+			break
+		}
+		var sst segdb.QueryStats
+		var err error
+		*buf, sst, err = c.sh.db.NearestKAppendCtx(ctx, p, k, (*buf)[:0])
+		addCounters(&st, sst)
+		if err != nil {
+			return dst, st, err
+		}
+		for _, res := range *buf {
+			res.ID = c.sh.global[res.ID]
+			h.push(res)
+		}
+	}
+	return h.appendSorted(dst), st, nil
+}
+
+// IncidentAtCtx finds every segment with an endpoint at p, fanning
+// across the shards whose coverage contains p and delivering the merged
+// hits in ascending global-ID order.
+func (r *Router) IncidentAtCtx(ctx context.Context, p segdb.Point, visit func(segdb.SegmentID, segdb.Segment) bool) (segdb.QueryStats, error) {
+	start := time.Now()
+	st, err := r.incidentAt(ctx, p, visit)
+	r.record(qkIncidentAt, start, &st, err)
+	return st, err
+}
+
+func (r *Router) incidentAt(ctx context.Context, p segdb.Point, visit func(segdb.SegmentID, segdb.Segment) bool) (segdb.QueryStats, error) {
+	var st segdb.QueryStats
+	buf := windowBufPool.Get().(*[]segdb.WindowHit)
+	hits := (*buf)[:0]
+	var ferr error
+	for _, sh := range r.shards {
+		if !sh.nonempty || !sh.coverage.ContainsPoint(p) {
+			continue
+		}
+		mark := len(hits)
+		sst, err := sh.db.IncidentAtCtx(ctx, p, func(id segdb.SegmentID, s segdb.Segment) bool {
+			hits = append(hits, segdb.WindowHit{ID: sh.global[id], Seg: s})
+			return true
+		})
+		addCounters(&st, sst)
+		if err != nil {
+			ferr = err
+			hits = hits[:mark]
+			break
+		}
+	}
+	if ferr == nil {
+		sortWindowHits(hits)
+		for _, h := range hits {
+			if !visit(h.ID, h.Seg) {
+				break
+			}
+		}
+	}
+	*buf = hits[:0]
+	windowBufPool.Put(buf)
+	return st, ferr
+}
+
+// OtherEndpointCtx reports the segments reachable from segment id by
+// traversing it away from endpoint p — every segment incident at the
+// other endpoint, id itself included, fanned across shards (the
+// connecting segments need not live in id's home shard).
+//
+// The geometry lookup that resolves the other endpoint is routed to the
+// home shard's segment table; its cost shows up in that shard's
+// cumulative Metrics but not in the returned QueryStats, which price
+// the incidence fan.
+func (r *Router) OtherEndpointCtx(ctx context.Context, id segdb.SegmentID, p segdb.Point, visit func(segdb.SegmentID, segdb.Segment) bool) (segdb.QueryStats, error) {
+	start := time.Now()
+	var st segdb.QueryStats
+	s, err := r.Get(id)
+	if err == nil {
+		other, ok := s.Other(p)
+		if !ok {
+			err = fmt.Errorf("router: %v is not an endpoint of segment %d: %w", p, id, segdb.ErrInvalidArgument)
+		} else {
+			st, err = r.incidentAt(ctx, other, visit)
+		}
+	}
+	r.record(qkOtherEndpoint, start, &st, err)
+	return st, err
+}
+
+// OverlayCtx joins the routed collection against another database,
+// reporting every intersecting pair (A-side IDs are global). The shards
+// are fanned across parallelism workers (<= 0 means GOMAXPROCS), each
+// running a sequential per-shard overlay against other, so the counter
+// totals are those of the sequential join. visit may run from several
+// goroutines at once; returning false cancels the overlay with a nil
+// error.
+//
+// EnclosingPolygon is deliberately absent from the Router: polygon
+// tracing walks a face boundary edge by edge through globally adjacent
+// segments, a topology no per-shard index holds. Route polygon queries
+// to an unsharded DB.
+func (r *Router) OverlayCtx(ctx context.Context, other *segdb.DB, parallelism int, visit func(idA, idB segdb.SegmentID, sA, sB segdb.Segment) bool) (segdb.QueryStats, error) {
+	start := time.Now()
+	var total segdb.QueryStats
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	stats := make([]segdb.QueryStats, len(r.shards))
+	var stop atomic.Bool
+	err := parallelRange(len(r.shards), parallelism, func(si int) error {
+		sh := r.shards[si]
+		if !sh.nonempty {
+			return nil
+		}
+		canceled := false
+		var serr error
+		stats[si], serr = sh.db.OverlayCtx(ctx, other, 1, func(la, lb segdb.SegmentID, sa, sb segdb.Segment) bool {
+			if stop.Load() {
+				canceled = true
+				return false
+			}
+			if !visit(sh.global[la], lb, sa, sb) {
+				stop.Store(true)
+				canceled = true
+				return false
+			}
+			return true
+		})
+		if serr != nil {
+			return serr
+		}
+		if canceled {
+			return segdb.ErrCanceled
+		}
+		return nil
+	})
+	if errors.Is(err, segdb.ErrCanceled) {
+		err = nil
+	}
+	for _, st := range stats {
+		addCounters(&total, st)
+	}
+	r.record(qkOverlay, start, &total, err)
+	return total, err
+}
+
+// parallelRange fans [0, n) across a bounded worker pool, stopping the
+// remaining range at the first error (a local copy of the facade's
+// unexported helper).
+func parallelRange(n, workers int, work func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := work(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := work(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,334 @@
+// Package router is the sharded serving tier of segdb: one Router
+// partitions the 16384x16384 world across N independent DB shards and
+// presents the familiar Ctx-first query surface over the whole
+// collection, fanning each query across the shards that can contribute
+// and merging the partial answers.
+//
+// # Shard cut
+//
+// The world is cut by a k-d partition over the segments' MBR centers:
+// the segment set is split at the median along alternating axes until N
+// cells remain, each cell's segment count proportional to its share of
+// the leaves, so shards stay balanced even over skewed maps (a county's
+// road network is anything but uniform). Every segment is assigned to
+// exactly one shard — the one whose cell holds its center — so fan-out
+// results concatenate without deduplication. Each shard is an ordinary
+// segdb.DB bulk-built with AddBatch (the PR-5 bottom-up pipeline), and
+// each records the coverage rectangle of its contents (the union of its
+// segments' bounds), which is what query routing prunes against: a
+// segment's geometry may overhang its cell, its coverage rectangle
+// never lies.
+//
+// # Identity
+//
+// Shards number their segments locally; the Router translates between
+// local IDs and the global IDs of the original input order (global ID i
+// names segs[i], exactly the ID an unsharded DB built from the same
+// slice would assign). Every result a Router returns carries global
+// IDs, which is what makes the sharded and unsharded answers directly
+// comparable — the property tests assert they are identical.
+//
+// # Concurrency
+//
+// A Router is immutable after Build: queries may run from any number of
+// goroutines with no Router-level locking (each shard DB retains its
+// own reader/writer discipline underneath).
+package router
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb"
+	"segdb/internal/obs"
+)
+
+// Shard is one partition of a Router: a private DB plus the bookkeeping
+// that routes and translates queries.
+type Shard struct {
+	db *segdb.DB
+	// global maps the shard's local segment IDs (0..len-1, the order the
+	// shard's segments were bulk-added) to global IDs.
+	global []segdb.SegmentID
+	// coverage is the union of the bounds of every segment stored in the
+	// shard — the rectangle fan-out prunes against. Valid only when
+	// nonempty.
+	coverage segdb.Rect
+	nonempty bool
+}
+
+// DB exposes the shard's underlying database (profiling, integrity
+// checks). Results from direct shard queries carry local IDs.
+func (s *Shard) DB() *segdb.DB { return s.db }
+
+// Coverage returns the union of the shard's segment bounds and whether
+// the shard holds any segments at all.
+func (s *Shard) Coverage() (segdb.Rect, bool) { return s.coverage, s.nonempty }
+
+// Len returns the number of segments in the shard.
+func (s *Shard) Len() int { return len(s.global) }
+
+// shardLoc locates a global segment: which shard holds it and under
+// which local ID.
+type shardLoc struct {
+	shard int32
+	local segdb.SegmentID
+}
+
+// Router fans queries across the shards of a k-d partitioned segment
+// collection and merges the answers. Build one with Build; a Router is
+// read-only afterwards.
+type Router struct {
+	kind   segdb.Kind
+	shards []*Shard
+	home   []shardLoc // global ID -> (shard, local ID)
+
+	prof [numQueryKinds]kindProfile
+}
+
+// queryKind indexes the router-level profile slots; the names match the
+// DB's own profile kinds so the two levels line up in dashboards.
+type queryKind int
+
+const (
+	qkWindow queryKind = iota
+	qkNearest
+	qkNearestK
+	qkIncidentAt
+	qkOtherEndpoint
+	qkOverlay
+	qkWindowBatch
+	numQueryKinds
+)
+
+var queryKindNames = [numQueryKinds]string{
+	qkWindow:        "window",
+	qkNearest:       "nearest",
+	qkNearestK:      "nearestk",
+	qkIncidentAt:    "incident",
+	qkOtherEndpoint: "otherendpoint",
+	qkOverlay:       "overlay",
+	qkWindowBatch:   "windowbatch",
+}
+
+// kindProfile accumulates one query kind's router-level counts and
+// histograms (latency of the whole fan-out+merge, summed disk accesses).
+// All fields are atomic.
+type kindProfile struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	latency obs.Histogram // wall time of the merged query, microseconds
+	disk    obs.Histogram // summed per-shard disk accesses
+}
+
+// record folds one finished router-level query into the profile and
+// stamps the router's wall time into st.
+func (r *Router) record(qk queryKind, start time.Time, st *segdb.QueryStats, err error) {
+	st.Wall = time.Since(start)
+	c := &r.prof[qk]
+	c.count.Add(1)
+	if err != nil {
+		c.errors.Add(1)
+	}
+	c.latency.Record(uint64(st.Wall / time.Microsecond))
+	c.disk.Record(st.DiskAccesses())
+}
+
+// Build partitions segs across shards databases of the given kind and
+// bulk-builds each shard (in parallel; each build is itself the
+// parallel bottom-up pipeline of AddBatch). Global segment IDs are
+// positions in segs — the same IDs an unsharded DB loaded from the same
+// slice assigns. opts configure every shard identically (functional
+// options only; the serving tier does not accept the legacy *Options
+// path).
+//
+// shards must be >= 1. Shards than end up empty (more shards than
+// segments) stay valid and are simply never fanned to.
+func Build(kind segdb.Kind, segs []segdb.Segment, shards int, opts ...segdb.Option) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("router: shard count %d < 1: %w", shards, segdb.ErrInvalidArgument)
+	}
+	// k-d cut over MBR centers.
+	entries := make([]entry, len(segs))
+	for i, s := range segs {
+		b := s.Bounds()
+		entries[i] = entry{
+			cx: int32((int64(b.Min.X) + int64(b.Max.X)) / 2),
+			cy: int32((int64(b.Min.Y) + int64(b.Max.Y)) / 2),
+			gi: uint32(i),
+		}
+	}
+	parts := cut(entries, shards, 0, make([][]entry, 0, shards))
+
+	r := &Router{
+		kind:   kind,
+		shards: make([]*Shard, shards),
+		home:   make([]shardLoc, len(segs)),
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for si, part := range parts {
+		// Local insertion order is ascending global ID, so a one-shard
+		// Router builds the byte-identical index an unsharded AddBatch
+		// over segs would.
+		sort.Slice(part, func(i, j int) bool { return part[i].gi < part[j].gi })
+		sh := &Shard{global: make([]segdb.SegmentID, len(part))}
+		r.shards[si] = sh
+		sub := make([]segdb.Segment, len(part))
+		for li, e := range part {
+			sub[li] = segs[e.gi]
+			sh.global[li] = segdb.SegmentID(e.gi)
+			r.home[e.gi] = shardLoc{shard: int32(si), local: segdb.SegmentID(li)}
+			b := sub[li].Bounds()
+			if !sh.nonempty {
+				sh.coverage, sh.nonempty = b, true
+			} else {
+				sh.coverage = sh.coverage.Union(b)
+			}
+		}
+		wg.Add(1)
+		go func(sh *Shard, sub []segdb.Segment) {
+			defer wg.Done()
+			db, err := segdb.Open(kind, opts...)
+			if err == nil {
+				_, err = db.AddBatch(sub)
+			}
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			sh.db = db
+		}(sh, sub)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return r, nil
+}
+
+// entry is one segment's routing key: its MBR center and global index.
+type entry struct {
+	cx, cy int32
+	gi     uint32
+}
+
+// cut recursively splits es into leaves cells along alternating axes.
+// The left subtree receives floor(leaves/2) cells and a proportional
+// share of the entries, so any leaf count — 7 included — yields balanced
+// shards. Sorting keys are total orders (center, then global index), so
+// the partition is deterministic for a given input order.
+func cut(es []entry, leaves, axis int, out [][]entry) [][]entry {
+	if leaves == 1 {
+		return append(out, es)
+	}
+	nl := leaves / 2
+	split := len(es) * nl / leaves
+	if axis == 0 {
+		sort.Slice(es, func(i, j int) bool {
+			a, b := es[i], es[j]
+			if a.cx != b.cx {
+				return a.cx < b.cx
+			}
+			if a.cy != b.cy {
+				return a.cy < b.cy
+			}
+			return a.gi < b.gi
+		})
+	} else {
+		sort.Slice(es, func(i, j int) bool {
+			a, b := es[i], es[j]
+			if a.cy != b.cy {
+				return a.cy < b.cy
+			}
+			if a.cx != b.cx {
+				return a.cx < b.cx
+			}
+			return a.gi < b.gi
+		})
+	}
+	out = cut(es[:split], nl, axis^1, out)
+	return cut(es[split:], leaves-nl, axis^1, out)
+}
+
+// Kind returns the index kind backing every shard.
+func (r *Router) Kind() segdb.Kind { return r.kind }
+
+// Len returns the total number of segments across all shards.
+func (r *Router) Len() int { return len(r.home) }
+
+// Shards returns the number of shards.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Shard returns shard i for inspection.
+func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+
+// Get fetches a segment's endpoints by global ID, routed to its home
+// shard.
+func (r *Router) Get(id segdb.SegmentID) (segdb.Segment, error) {
+	if int(id) >= len(r.home) {
+		return segdb.Segment{}, fmt.Errorf("router: segment %d out of range: %w", id, segdb.ErrInvalidArgument)
+	}
+	loc := r.home[id]
+	return r.shards[loc.shard].db.Get(loc.local)
+}
+
+// Metrics returns the field-wise sum of every shard's cumulative
+// counters.
+func (r *Router) Metrics() segdb.Metrics {
+	var m segdb.Metrics
+	for _, sh := range r.shards {
+		m = m.Add(sh.db.Metrics())
+	}
+	return m
+}
+
+// ShardMetrics returns each shard's cumulative counter snapshot, in
+// shard order — the per-shard disk-access breakdown the metrics endpoint
+// serves.
+func (r *Router) ShardMetrics() []segdb.Metrics {
+	ms := make([]segdb.Metrics, len(r.shards))
+	for i, sh := range r.shards {
+		ms[i] = sh.db.Metrics()
+	}
+	return ms
+}
+
+// ShardProfiles returns each shard DB's per-query-kind profile, in shard
+// order.
+func (r *Router) ShardProfiles() []segdb.Profile {
+	ps := make([]segdb.Profile, len(r.shards))
+	for i, sh := range r.shards {
+		ps[i] = sh.db.Profile()
+	}
+	return ps
+}
+
+// Profile snapshots the router-level per-query-kind profile: latency is
+// the wall time of the whole fan-out and merge, disk accesses are the
+// per-query sums across shards. The shape matches segdb.DB.Profile, so
+// the two levels aggregate identically.
+func (r *Router) Profile() segdb.Profile {
+	var p segdb.Profile
+	for k := queryKind(0); k < numQueryKinds; k++ {
+		c := &r.prof[k]
+		n := c.count.Load()
+		if n == 0 {
+			continue
+		}
+		p.Queries = append(p.Queries, segdb.QueryKindProfile{
+			Kind:          queryKindNames[k],
+			Count:         n,
+			Errors:        c.errors.Load(),
+			LatencyMicros: c.latency.Snapshot(),
+			DiskAccesses:  c.disk.Snapshot(),
+		})
+	}
+	return p
+}

@@ -109,15 +109,16 @@ func (db *DB) overlayObs(other *DB, workers int, visit func(idA, idB SegmentID, 
 	})
 }
 
-// Overlay is OverlayCtx with a background context, parallelism 1, and
-// the stats discarded — the sequential overlay of the paper's §7.
+// Overlay is a convenience wrapper over OverlayCtx with a background
+// context, parallelism 1, and the stats discarded — the sequential
+// overlay of the paper's §7.
 func (db *DB) Overlay(other *DB, visit func(idA, idB SegmentID, sA, sB Segment) bool) error {
 	_, err := db.OverlayCtx(context.Background(), other, 1, visit)
 	return err
 }
 
-// OverlayParallel is OverlayCtx with a background context and the stats
-// discarded: the nested-loop join's outer segments are fanned across a
+// OverlayParallel is a convenience wrapper over OverlayCtx with a
+// background context and the stats discarded: the nested-loop join's outer segments are fanned across a
 // worker pool, so the join's wall-clock cost drops near-linearly with
 // parallelism on multi-core hosts while the counter totals stay those
 // of a sequential join.

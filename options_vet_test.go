@@ -1,0 +1,113 @@
+package segdb
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoLegacyOptionsConstruction is the vet-style gate finishing the
+// *Options deprecation: no non-test code in the repository may construct
+// the facade's Options struct for configuration — everything (the
+// serving tier included) goes through the functional With* options, so
+// Open's legacy Open(kind, &Options{...}) spelling survives only for
+// out-of-tree source compatibility.
+//
+// The gate flags, in every non-test .go file of the module:
+//
+//   - &Options{...} / &segdb.Options{...} — taking the address of an
+//     Options literal (the legacy configuration path);
+//   - new(Options) / new(segdb.Options);
+//   - segdb.Options{...} composite literals anywhere outside the root
+//     package (value form included: out-of-facade code has no business
+//     building the struct at all).
+//
+// The one legitimate in-facade value use — persist.go reconstructing the
+// recorded Options fields while loading a saved image — is neither a
+// pointer construction nor outside the root package, so it passes.
+func TestNoLegacyOptionsConstruction(t *testing.T) {
+	root, err := os.Getwd() // the root package's dir is the module root
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var offenders []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "bin" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		inRootPkg := f.Name.Name == "segdb"
+		// Resolve the local name(s) the module root is imported under.
+		segdbNames := map[string]bool{}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != "segdb" {
+				continue
+			}
+			name := "segdb"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			segdbNames[name] = true
+		}
+		// isOptionsType reports whether the expression names the facade's
+		// Options type as seen from this file.
+		isOptionsType := func(e ast.Expr) bool {
+			switch e := e.(type) {
+			case *ast.Ident:
+				return inRootPkg && e.Name == "Options"
+			case *ast.SelectorExpr:
+				x, ok := e.X.(*ast.Ident)
+				return ok && segdbNames[x.Name] && e.Sel.Name == "Options"
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if cl, ok := n.X.(*ast.CompositeLit); ok && isOptionsType(cl.Type) {
+					offenders = append(offenders, fset.Position(n.Pos()).String()+": &Options{...} (use With* functional options)")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 && isOptionsType(n.Args[0]) {
+					offenders = append(offenders, fset.Position(n.Pos()).String()+": new(Options) (use With* functional options)")
+				}
+			case *ast.CompositeLit:
+				if !inRootPkg && isOptionsType(n.Type) {
+					offenders = append(offenders, fset.Position(n.Pos()).String()+": segdb.Options{...} outside the facade (use With* functional options)")
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range offenders {
+		t.Errorf("legacy Options construction: %s", o)
+	}
+}

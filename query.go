@@ -50,20 +50,6 @@ type (
 // tracer goes quiet and the error is available from Err.
 func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 
-// CanceledError is the type of ErrCanceled.
-type CanceledError struct{}
-
-// Error implements error.
-func (CanceledError) Error() string { return "segdb: query canceled by visitor" }
-
-// ErrCanceled reports that a visitor callback stopped a query early.
-// It never escapes the public API — visitor-initiated stops return nil,
-// and context-initiated stops return the context's error — but batch
-// visitors running under WindowBatchCtx or OverlayCtx may observe it
-// internally, and custom code threading cancellation through
-// parallelRange-style pools can reuse it. Match with errors.Is.
-var ErrCanceled error = CanceledError{}
-
 // SetTracer installs (or, with nil, removes) a query tracer. It takes
 // the writer lock, so the tracer never changes mid-query.
 func (db *DB) SetTracer(t Tracer) {
@@ -102,15 +88,38 @@ func (db *DB) finish(qk queryKind, o *obs.Op, err error) (QueryStats, error) {
 	return st, err
 }
 
+// run is the single internal entry point of the query API: it takes the
+// reader lock, opens the per-query observation with begin (stats sink,
+// tracer start event, degraded-mode flag), invokes the query body with
+// the op, and closes the observation with finish (tracer finish event,
+// per-kind profile fold, op recycling).
+//
+// Every single-query method routes through run, and every convenience
+// (non-Ctx) method is a thin wrapper over its *Ctx form, so QueryStats
+// accounting and tracing behavior cannot diverge between the two
+// surfaces. The two multi-op executors — WindowBatchCtx, which opens one
+// observation per rectangle under a single reader lock, and OverlayCtx,
+// which must lock an ordered pair of databases — are the only paths that
+// use the begin/finish pair directly.
+//
+// q must not escape its op; run's closure argument is non-escaping, so
+// warm queries through run stay allocation-free (pinned by the
+// AllocsPerRun tests in alloc_test.go).
+func (db *DB) run(ctx context.Context, qk queryKind, q func(o *obs.Op) error) (QueryStats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o := db.begin(ctx, qk)
+	return db.finish(qk, o, q(o))
+}
+
 // WindowCtx is Window (query 5) with cancellation and per-query stats.
 // A canceled or expired ctx aborts the query before its next page fetch
 // and returns ctx's error; the returned stats cover the work done up to
 // that point.
 func (db *DB) WindowCtx(ctx context.Context, r Rect, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkWindow)
-	return db.finish(qkWindow, o, db.index.WindowObs(r, visit, o))
+	return db.run(ctx, qkWindow, func(o *obs.Op) error {
+		return db.index.WindowObs(r, visit, o)
+	})
 }
 
 // WindowHit is one result of an append-form window query: a segment id
@@ -144,36 +153,37 @@ var windowCollectorPool = sync.Pool{New: func() any {
 // allocating results once the buffer has grown to the largest answer
 // set.
 func (db *DB) WindowAppendCtx(ctx context.Context, r Rect, dst []WindowHit) ([]WindowHit, QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkWindow)
-	c := windowCollectorPool.Get().(*windowCollector)
-	c.dst = dst
-	err := db.index.WindowObs(r, c.visit, o)
-	dst, c.dst = c.dst, nil
-	windowCollectorPool.Put(c)
-	st, err := db.finish(qkWindow, o, err)
+	st, err := db.run(ctx, qkWindow, func(o *obs.Op) error {
+		c := windowCollectorPool.Get().(*windowCollector)
+		c.dst = dst
+		werr := db.index.WindowObs(r, c.visit, o)
+		dst, c.dst = c.dst, nil
+		windowCollectorPool.Put(c)
+		return werr
+	})
 	return dst, st, err
 }
 
 // NearestCtx is Nearest (query 3) with cancellation and per-query
 // stats.
 func (db *DB) NearestCtx(ctx context.Context, p Point) (NearestResult, QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkNearest)
-	res, err := core.FirstNearestObs(db.index, p, o)
-	st, err := db.finish(qkNearest, o, err)
+	var res NearestResult
+	st, err := db.run(ctx, qkNearest, func(o *obs.Op) error {
+		var rerr error
+		res, rerr = core.FirstNearestObs(db.index, p, o)
+		return rerr
+	})
 	return res, st, err
 }
 
 // NearestKCtx is NearestK with cancellation and per-query stats.
 func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult, QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkNearestK)
-	res, err := db.index.NearestKObs(p, k, o)
-	st, err := db.finish(qkNearestK, o, err)
+	var res []NearestResult
+	st, err := db.run(ctx, qkNearestK, func(o *obs.Op) error {
+		var rerr error
+		res, rerr = db.index.NearestKObs(p, k, o)
+		return rerr
+	})
 	return res, st, err
 }
 
@@ -182,39 +192,38 @@ func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult,
 // (truncated with dst[:0]) runs repeated nearest-neighbor queries
 // without allocating a result slice per call.
 func (db *DB) NearestKAppendCtx(ctx context.Context, p Point, k int, dst []NearestResult) ([]NearestResult, QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkNearestK)
-	res, err := db.index.NearestKAppendObs(p, k, dst, o)
-	st, err := db.finish(qkNearestK, o, err)
-	return res, st, err
+	st, err := db.run(ctx, qkNearestK, func(o *obs.Op) error {
+		var rerr error
+		dst, rerr = db.index.NearestKAppendObs(p, k, dst, o)
+		return rerr
+	})
+	return dst, st, err
 }
 
 // IncidentAtCtx is IncidentAt (query 1) with cancellation and per-query
 // stats.
 func (db *DB) IncidentAtCtx(ctx context.Context, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkIncidentAt)
-	return db.finish(qkIncidentAt, o, core.IncidentAtObs(db.index, p, visit, o))
+	return db.run(ctx, qkIncidentAt, func(o *obs.Op) error {
+		return core.IncidentAtObs(db.index, p, visit, o)
+	})
 }
 
 // OtherEndpointCtx is OtherEndpoint (query 2) with cancellation and
 // per-query stats.
 func (db *DB) OtherEndpointCtx(ctx context.Context, id SegmentID, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkOtherEndpoint)
-	return db.finish(qkOtherEndpoint, o, core.OtherEndpointObs(db.index, id, p, visit, o))
+	return db.run(ctx, qkOtherEndpoint, func(o *obs.Op) error {
+		return core.OtherEndpointObs(db.index, id, p, visit, o)
+	})
 }
 
 // EnclosingPolygonCtx is EnclosingPolygon (query 4) with cancellation
 // and per-query stats.
 func (db *DB) EnclosingPolygonCtx(ctx context.Context, p Point) (Polygon, QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	o := db.begin(ctx, qkEnclosingPolygon)
-	poly, err := core.EnclosingPolygonObs(db.index, p, o)
-	st, err := db.finish(qkEnclosingPolygon, o, err)
+	var poly Polygon
+	st, err := db.run(ctx, qkEnclosingPolygon, func(o *obs.Op) error {
+		var perr error
+		poly, perr = core.EnclosingPolygonObs(db.index, p, o)
+		return perr
+	})
 	return poly, st, err
 }

@@ -64,35 +64,16 @@ type (
 	Metrics = core.Metrics
 )
 
-// Fault-injection and integrity types, re-exported so facade users can
-// construct policies and match typed errors without reaching into
-// internal packages.
+// Fault-injection types, re-exported so facade users can construct
+// policies without reaching into internal packages. The error types and
+// sentinels they produce live in errors.go alongside the rest of the
+// typed-error surface.
 type (
 	// FaultPolicy injects deterministic faults into a DB's disks; see
 	// SetFaultPolicy.
 	FaultPolicy = store.FaultPolicy
 	// FaultConfig configures the fault distribution of a FaultPolicy.
 	FaultConfig = store.FaultConfig
-	// ChecksumError reports a page whose contents no longer match its
-	// recorded CRC32; it matches ErrChecksum via errors.Is.
-	ChecksumError = store.ChecksumError
-	// FaultError reports an injected read/write/crash fault; it matches
-	// ErrInjectedFault via errors.Is.
-	FaultError = store.FaultError
-)
-
-// Typed error sentinels surfaced by database operations, Load, and
-// CheckIntegrity; match with errors.Is.
-var (
-	// ErrChecksum marks detected page corruption.
-	ErrChecksum = store.ErrChecksum
-	// ErrInjectedFault marks an error produced by a FaultPolicy.
-	ErrInjectedFault = store.ErrInjectedFault
-	// ErrAllPinned marks a buffer pool with no evictable frame.
-	ErrAllPinned = store.ErrAllPinned
-	// ErrBadPage marks an out-of-range page reference in a restored
-	// image.
-	ErrBadPage = store.ErrBadPage
 )
 
 // NewFaultPolicy creates a fault-injection policy; attach it with
@@ -159,9 +140,15 @@ func (k Kind) String() string {
 }
 
 // Options tunes the simulated disk and the index parameters. The zero
-// value of any field selects the paper's default. Prefer the With*
-// functional options over constructing an Options directly; a *Options
-// still satisfies Option for source compatibility with pre-v2 callers.
+// value of any field selects the paper's default.
+//
+// Options is the internal carrier the functional With* options fold
+// into; constructing one directly is the deprecated pre-v2
+// configuration path. A *Options still satisfies Option for source
+// compatibility with out-of-tree pre-v2 callers, but no code in this
+// repository uses it — the serving tier and every command configure
+// databases exclusively through functional options, enforced by the
+// vet-style gate TestNoLegacyOptionsConstruction.
 type Options struct {
 	// PageSize is the disk page size in bytes (default 1024).
 	PageSize int
@@ -328,7 +315,7 @@ func (db *DB) Add(s Segment) (SegmentID, error) {
 
 func (db *DB) addLocked(s Segment) (SegmentID, error) {
 	if !geom.World().ContainsPoint(s.P1) || !geom.World().ContainsPoint(s.P2) {
-		return seg.NilID, fmt.Errorf("segdb: segment %v outside the %dx%d world", s, WorldSize, WorldSize)
+		return seg.NilID, fmt.Errorf("%w: segment %v outside the %dx%d world", ErrInvalidArgument, s, WorldSize, WorldSize)
 	}
 	id, err := db.table.Append(s)
 	if err != nil {
@@ -362,15 +349,16 @@ func (db *DB) Delete(id SegmentID) error {
 // Window visits every segment intersecting r (query 5 of the paper).
 // Queries may run from any number of goroutines; visit must not call
 // back into writer methods of the same DB (Add, Delete, DropCaches, ...)
-// or it will deadlock on the writer lock. It is WindowCtx with a
-// background context and the stats discarded.
+// or it will deadlock on the writer lock. It is a convenience wrapper
+// over WindowCtx with a background context and the stats discarded.
 func (db *DB) Window(r Rect, visit func(SegmentID, Segment) bool) error {
 	_, err := db.WindowCtx(context.Background(), r, visit)
 	return err
 }
 
 // Nearest returns the segment closest to p (query 3). Found is false only
-// for an empty database.
+// for an empty database. It is a convenience wrapper over NearestCtx
+// with a background context and the stats discarded.
 func (db *DB) Nearest(p Point) (NearestResult, error) {
 	res, _, err := db.NearestCtx(context.Background(), p)
 	return res, err
@@ -378,20 +366,25 @@ func (db *DB) Nearest(p Point) (NearestResult, error) {
 
 // NearestK returns up to k segments ordered by increasing distance from p
 // (incremental distance ranking — "find the nearest three subway lines").
+// It is a convenience wrapper over NearestKCtx with a background context
+// and the stats discarded.
 func (db *DB) NearestK(p Point, k int) ([]NearestResult, error) {
 	res, _, err := db.NearestKCtx(context.Background(), p, k)
 	return res, err
 }
 
 // IncidentAt visits the segments having an endpoint exactly at p
-// (query 1).
+// (query 1). It is a convenience wrapper over IncidentAtCtx with a
+// background context and the stats discarded.
 func (db *DB) IncidentAt(p Point, visit func(SegmentID, Segment) bool) error {
 	_, err := db.IncidentAtCtx(context.Background(), p, visit)
 	return err
 }
 
 // OtherEndpoint visits the segments incident at the other endpoint of
-// segment id, given one endpoint p (query 2).
+// segment id, given one endpoint p (query 2). It is a convenience
+// wrapper over OtherEndpointCtx with a background context and the stats
+// discarded.
 func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment) bool) error {
 	_, err := db.OtherEndpointCtx(context.Background(), id, p, visit)
 	return err
@@ -399,7 +392,8 @@ func (db *DB) OtherEndpoint(id SegmentID, p Point, visit func(SegmentID, Segment
 
 // EnclosingPolygon returns the boundary of the map face containing p
 // (query 4). The database must hold a noded planar map for the result to
-// be meaningful.
+// be meaningful. It is a convenience wrapper over EnclosingPolygonCtx
+// with a background context and the stats discarded.
 func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
 	poly, _, err := db.EnclosingPolygonCtx(context.Background(), p)
 	return poly, err
