@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels serve-smoke
+.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels bench-compress serve-smoke
 
 # check is the full local gate: what CI runs.
 check: vet staticcheck govulncheck build race fuzz-smoke
@@ -84,6 +84,16 @@ bench-smoke:
 	@grep -q '"build"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the build-metrics section"; exit 1; }
 	@grep -q '"kernels"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the kernels section"; exit 1; }
 	@grep -q '"serve"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the serve section"; exit 1; }
+	@grep -q '"compression"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the compression section"; exit 1; }
+
+# bench-compress is the page-compression perf smoke: the enforced gate —
+# for every index kind, level-1 compressed pages must answer the window
+# workload with no more disk accesses per query than level-0 classic
+# pages, with no fanout loss and byte-identical query results. Tripping
+# it means the v3 page formats stopped paying for themselves. The test
+# is env-gated so plain `go test` never makes perf assertions.
+bench-compress:
+	SEGDB_BENCH_COMPRESS=1 $(GO) test -run TestCompressionGate -v -count=1 ./cmd/bench
 
 # serve-smoke drives the serving tier end to end through the real lsdb
 # binary: `lsdb serve` on an ephemeral port, one of each query type plus

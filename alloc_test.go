@@ -16,12 +16,17 @@ import (
 // allocDB builds a warm R*-tree database whose working set fits the
 // buffer pool, so repeated queries hit only warm code paths.
 func allocDB(t *testing.T) *DB {
+	return allocDBCompressed(t, 0)
+}
+
+// allocDBCompressed is allocDB at an explicit page-compression level.
+func allocDBCompressed(t *testing.T, level int) *DB {
 	t.Helper()
 	m, err := GenerateCounty("Charles")
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := Open(RStarTree, WithPoolPages(4096))
+	db, err := Open(RStarTree, WithPoolPages(4096), WithPageCompression(level))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,6 +34,35 @@ func allocDB(t *testing.T) *DB {
 		t.Fatal(err)
 	}
 	return db
+}
+
+// TestWindowCtxCompressedWarmZeroAllocs repeats the zero-alloc window
+// assertion over quantized (level 2) pages: the decode cache and the
+// node pool must absorb the wider compressed fanout without per-query
+// allocation (pooled entry slices are trimmed against the compressed
+// capacity, not the classic one).
+func TestWindowCtxCompressedWarmZeroAllocs(t *testing.T) {
+	for _, level := range []int{1, 2} {
+		db := allocDBCompressed(t, level)
+		ctx := context.Background()
+		r := geom.RectOf(2000, 2000, 6000, 6000)
+		hits := 0
+		visit := func(SegmentID, Segment) bool { hits++; return true }
+		if _, err := db.WindowCtx(ctx, r, visit); err != nil {
+			t.Fatal(err)
+		}
+		if hits == 0 {
+			t.Fatal("window query found nothing; the assertion below would be vacuous")
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := db.WindowCtx(ctx, r, visit); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("level %d: warm WindowCtx allocates %.1f objects/query, want 0", level, allocs)
+		}
+	}
 }
 
 func TestWindowCtxWarmZeroAllocs(t *testing.T) {

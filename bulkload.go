@@ -97,21 +97,14 @@ func (db *DB) rebuildBulk(ids []seg.ID) error {
 		err error
 	)
 	switch db.kind {
-	case RStarTree:
-		ix, err = rstar.BulkLoad(pool, db.table, rstar.DefaultConfig(), ids)
-	case ClassicRTree:
-		ix, err = rstar.BulkLoad(pool, db.table, rstar.GuttmanConfig(), ids)
-	case RPlusTree:
-		ix, err = rplus.BulkLoad(pool, db.table, rplus.DefaultConfig(), ids)
-	case KDBTree:
-		ix, err = rplus.BulkLoad(pool, db.table, rplus.KDBConfig(), ids)
+	case RStarTree, ClassicRTree:
+		ix, err = rstar.BulkLoad(pool, db.table, db.opts.rstarConfig(db.kind), ids)
+	case RPlusTree, KDBTree:
+		ix, err = rplus.BulkLoad(pool, db.table, db.opts.rplusConfig(db.kind), ids)
 	case PMRQuadtree:
-		cfg := pmr.DefaultConfig()
-		cfg.SplittingThreshold = db.opts.PMRThreshold
-		cfg.StoreMBR = db.opts.PMRStoreMBR
-		ix, err = pmr.BulkLoad(pool, db.table, cfg, ids)
+		ix, err = pmr.BulkLoad(pool, db.table, db.opts.pmrConfig(), ids)
 	case UniformGrid:
-		ix, err = grid.BulkLoad(pool, db.table, grid.Config{CellsPerSide: db.opts.GridCells}, ids)
+		ix, err = grid.BulkLoad(pool, db.table, db.opts.gridConfig(), ids)
 	default:
 		err = fmt.Errorf("segdb: unknown index kind %v", db.kind)
 	}

@@ -1,0 +1,269 @@
+// Compression experiment for the artifact's "compression" section: every
+// index kind bulk-built at page-compression levels 0, 1, and 2 over the
+// same map, measuring what the v3 page formats buy (bytes per page,
+// effective leaf fanout, disk accesses per query) and what they cost
+// (page decode nanoseconds), while checking the query results stay
+// identical to the classic format. The databases run over a deliberately
+// small buffer pool so the page-count reduction shows up as fewer
+// misses, not as a wash inside an all-resident pool.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"time"
+
+	"segdb"
+	"segdb/internal/btree"
+	"segdb/internal/geom"
+	"segdb/internal/rpage"
+	"segdb/internal/store"
+)
+
+// compressPoolPages keeps the compression workloads' pools smaller than
+// their working sets at every level, so the accesses-per-query column
+// reflects real misses.
+const compressPoolPages = 32
+
+// compressionSection is the artifact's "compression" section.
+type compressionSection struct {
+	// DecodeNs times one full page decode per format and level on
+	// synthetic capacity-full pages: the R-tree node SoA decode and the
+	// B+-tree leaf decode. This is the CPU price paid for the fanout.
+	DecodeNs []decodeLevelRow `json:"decode_ns"`
+	// Kinds holds the per-index-kind level sweep.
+	Kinds []compressKindRow `json:"kinds"`
+}
+
+type decodeLevelRow struct {
+	Level        int     `json:"level"`
+	RNodeNs      float64 `json:"rnode_decode_ns"`
+	RNodeEntries int     `json:"rnode_entries"`
+	LeafNs       float64 `json:"btree_leaf_decode_ns"`
+	LeafEntries  int     `json:"btree_leaf_entries"`
+}
+
+type compressKindRow struct {
+	Kind     string             `json:"kind"`
+	Segments int                `json:"segments"`
+	Levels   []compressLevelRow `json:"levels"`
+}
+
+type compressLevelRow struct {
+	Level           int     `json:"level"`
+	Pages           int     `json:"pages"`
+	BytesPerPage    float64 `json:"bytes_per_page"`
+	LeafFanout      float64 `json:"leaf_fanout"`
+	FanoutRatio     float64 `json:"fanout_ratio_vs_level0"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	DiskAccPerQuery float64 `json:"disk_accesses_per_query"`
+	// IdenticalResults is true when every window query returned exactly
+	// the level-0 segment sets (always true for level 0 itself).
+	IdenticalResults bool `json:"identical_results"`
+}
+
+// collectCompressionStats runs the level sweep for one kind. Each level
+// gets a fresh bulk-built database (bulk packing fills leaves to
+// capacity, so fanout reflects the format rather than the split
+// policy), a result-fingerprint pass, and a timed pass.
+func collectCompressionStats(kind segdb.Kind, m *segdb.MapData, rects []segdb.Rect) (compressKindRow, error) {
+	row := compressKindRow{Kind: kind.String(), Segments: len(m.Segments)}
+	var baseFanout float64
+	var baseHash uint64
+	for level := 0; level <= 2; level++ {
+		db, err := segdb.Open(kind, segdb.WithPageCompression(level), segdb.WithPoolPages(compressPoolPages))
+		if err != nil {
+			return row, err
+		}
+		if _, err := db.AddBatch(m.Segments); err != nil {
+			return row, fmt.Errorf("level %d: %w", level, err)
+		}
+		// Fingerprint pass: order-independent hash of every window's
+		// result set. Doubles as the warm-up.
+		hash, err := windowFingerprint(db, rects)
+		if err != nil {
+			return row, fmt.Errorf("level %d: %w", level, err)
+		}
+		sink := func(segdb.SegmentID, segdb.Segment) bool { return true }
+		base := db.Metrics()
+		start := time.Now()
+		for _, r := range rects {
+			if err := db.Window(r, sink); err != nil {
+				return row, fmt.Errorf("level %d: %w", level, err)
+			}
+		}
+		elapsed := time.Since(start)
+		delta := db.Metrics().Sub(base)
+		stats, err := db.PageFormatStats()
+		if err != nil {
+			return row, fmt.Errorf("level %d: %w", level, err)
+		}
+		n := float64(len(rects))
+		lr := compressLevelRow{
+			Level:           level,
+			Pages:           stats.Pages,
+			BytesPerPage:    stats.AvgBytesPerPage(),
+			LeafFanout:      stats.AvgLeafFanout(),
+			OpsPerSec:       n / elapsed.Seconds(),
+			DiskAccPerQuery: float64(delta.DiskAccesses) / n,
+		}
+		if level == 0 {
+			baseFanout, baseHash = lr.LeafFanout, hash
+		}
+		if baseFanout > 0 {
+			lr.FanoutRatio = lr.LeafFanout / baseFanout
+		}
+		lr.IdenticalResults = hash == baseHash
+		row.Levels = append(row.Levels, lr)
+	}
+	return row, nil
+}
+
+// windowFingerprint hashes every window's result IDs, sorted, so the
+// fingerprint is independent of traversal order (compressed trees group
+// the same entries into different nodes).
+func windowFingerprint(db *segdb.DB, rects []segdb.Rect) (uint64, error) {
+	h := fnv.New64a()
+	var ids []segdb.SegmentID
+	var buf [8]byte
+	for _, r := range rects {
+		ids = ids[:0]
+		err := db.Window(r, func(id segdb.SegmentID, _ segdb.Segment) bool {
+			ids = append(ids, id)
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			putU64(buf[:], uint64(id))
+			h.Write(buf[:])
+		}
+		putU64(buf[:], ^uint64(len(ids)))
+		h.Write(buf[:])
+	}
+	return h.Sum64(), nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// collectDecodeTimings times one full page decode per level for both
+// page families on synthetic capacity-full 1 KB pages: the R-tree node
+// decoded to its struct-of-arrays form (the query hot path), and the
+// B+-tree leaf decoded into a pooled node.
+func collectDecodeTimings() ([]decodeLevelRow, error) {
+	const pageSize = 1024
+	var rows []decodeLevelRow
+	for level := 0; level <= 2; level++ {
+		// R-tree node: capacity-full leaf of world-bounded rectangles.
+		capN := rpage.CapacityLevel(pageSize, level)
+		node := &rpage.Node{Leaf: true}
+		for i := 0; i < capN; i++ {
+			x := int32((i * 131) % (segdb.WorldSize - 64))
+			y := int32((i * 197) % (segdb.WorldSize - 64))
+			node.Entries = append(node.Entries, rpage.Entry{
+				Rect: geom.RectOf(x, y, x+48, y+32),
+				Ptr:  uint32(i + 1),
+			})
+		}
+		page := make([]byte, pageSize)
+		if err := rpage.WriteLevel(page, node, level); err != nil {
+			return nil, err
+		}
+		rnode := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				soa, err := rpage.DecodeSoA(page)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = soa
+			}
+		})
+
+		// B+-tree leaf: harvest the fullest leaf page from a small
+		// bulk-loaded tree at this level (bulk packing fills leaves).
+		leafPage, leafEntries, err := fullestLeafPage(pageSize, level)
+		if err != nil {
+			return nil, err
+		}
+		leaf := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := btree.DecodePage(leafPage, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, decodeLevelRow{
+			Level:        level,
+			RNodeNs:      float64(rnode.NsPerOp()),
+			RNodeEntries: capN,
+			LeafNs:       float64(leaf.NsPerOp()),
+			LeafEntries:  leafEntries,
+		})
+	}
+	return rows, nil
+}
+
+// fullestLeafPage bulk-loads a small keys-only B+-tree at the given
+// compression level and returns a copy of its fullest leaf page.
+func fullestLeafPage(pageSize, level int) ([]byte, int, error) {
+	disk := store.NewDisk(pageSize)
+	pool := store.NewPool(disk, 64)
+	const keys = 4096
+	t, err := btree.BulkLoadWithOptions(pool, 0, level, keys, func(i int) (uint64, []byte) {
+		// Morton-ish spacing: small, varied deltas like real q-edge keys.
+		return uint64(i)*37 + uint64(i%11), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := t.Pool().Flush(); err != nil {
+		return nil, 0, err
+	}
+	var best []byte
+	bestEntries := 0
+	for id := 0; id < disk.PageCount(); id++ {
+		data, err := disk.RawPage(store.PageID(id))
+		if err != nil {
+			return nil, 0, err
+		}
+		info, ok := btree.InspectPage(data, 0)
+		if !ok || !info.Leaf {
+			continue
+		}
+		if info.Entries > bestEntries {
+			bestEntries = info.Entries
+			best = append(best[:0], data...)
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("bulk-loaded btree at level %d has no leaf pages", level)
+	}
+	return best, bestEntries, nil
+}
+
+// collectCompression runs the whole section: decode timings plus the
+// per-kind level sweep.
+func collectCompression(m *segdb.MapData, rects []segdb.Rect) (*compressionSection, error) {
+	sec := new(compressionSection)
+	decode, err := collectDecodeTimings()
+	if err != nil {
+		return nil, err
+	}
+	sec.DecodeNs = decode
+	for _, k := range allKinds() {
+		row, err := collectCompressionStats(k, m, rects)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", k, err)
+		}
+		sec.Kinds = append(sec.Kinds, row)
+	}
+	return sec, nil
+}

@@ -58,6 +58,7 @@ type artifact struct {
 	GoVersion   string               `json:"go_version"`
 	Kinds       []kindResult         `json:"query_stats"`
 	Kernels     *kernelsResult       `json:"kernels"`
+	Compression *compressionSection  `json:"compression"`
 	Build       []buildKindResult    `json:"build"`
 	WindowBatch *batchResult         `json:"window_batch"`
 	Scaling     []*scalingExperiment `json:"scaling"`
@@ -184,6 +185,19 @@ func run(out string, windows int, quick bool) error {
 	fmt.Printf("kernels        scalar %.0fns  lanes %.0fns  packed %.0fns per node (%.2fx), decode skip %.1f%%\n",
 		art.Kernels.ScalarNsPerNode, art.Kernels.LaneNsPerNode, art.Kernels.PackedNsPerNode,
 		art.Kernels.PackedSpeedup, 100*art.Kernels.DecodeSkipRatio)
+
+	// Compression sweep: every kind bulk-built at page-compression
+	// levels 0-2 over a small pool, plus per-format decode timings.
+	art.Compression, err = collectCompression(perKind, rects)
+	if err != nil {
+		return fmt.Errorf("compression: %w", err)
+	}
+	for _, kr := range art.Compression.Kinds {
+		l0, l1 := kr.Levels[0], kr.Levels[1]
+		fmt.Printf("compress:%-8s %5.1f -> %5.1f fanout (%.2fx), %6.2f -> %6.2f accesses/query, identical=%v\n",
+			kr.Kind, l0.LeafFanout, l1.LeafFanout, l1.FanoutRatio,
+			l0.DiskAccPerQuery, l1.DiskAccPerQuery, l1.IdenticalResults)
+	}
 
 	// Build comparison: the ~50k-segment county constructed by
 	// one-at-a-time insertion versus the bulk pipeline, per kind.

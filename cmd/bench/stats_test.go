@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"segdb"
@@ -148,5 +149,48 @@ func TestSweepOverlay(t *testing.T) {
 	}
 	if exp.Points[0].Speedup != 1.0 {
 		t.Errorf("first point must be the workers=1 baseline: %+v", exp.Points[0])
+	}
+}
+
+// TestCompressionGate is the enforced page-compression smoke (run by
+// `make bench-compress`; env-gated so plain `go test` stays fast and
+// free of perf assertions). For every index kind, compressed pages must
+// never cost more disk accesses per query than classic pages, must not
+// shrink the effective leaf fanout, and must answer every window
+// identically — if compression stops paying for itself, this trips
+// before the committed artifact does.
+func TestCompressionGate(t *testing.T) {
+	if os.Getenv("SEGDB_BENCH_COMPRESS") == "" {
+		t.Skip("set SEGDB_BENCH_COMPRESS=1 to run the compression gate (make bench-compress)")
+	}
+	county, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := subsample(county, 3000)
+	rects := makeWindows(96, 1992)
+	for _, kind := range allKinds() {
+		row, err := collectCompressionStats(kind, m, rects)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(row.Levels) != 3 {
+			t.Fatalf("%v: got %d levels, want 3", kind, len(row.Levels))
+		}
+		l0, l1 := row.Levels[0], row.Levels[1]
+		if l1.DiskAccPerQuery > l0.DiskAccPerQuery {
+			t.Errorf("%v: level-1 pages cost %.2f disk accesses/query, level-0 %.2f — compression made queries more expensive",
+				kind, l1.DiskAccPerQuery, l0.DiskAccPerQuery)
+		}
+		if l1.LeafFanout < l0.LeafFanout {
+			t.Errorf("%v: level-1 leaf fanout %.1f below level-0 %.1f", kind, l1.LeafFanout, l0.LeafFanout)
+		}
+		for _, lr := range row.Levels {
+			if !lr.IdenticalResults {
+				t.Errorf("%v: level %d returned different query results than level 0", kind, lr.Level)
+			}
+		}
+		t.Logf("%-14v fanout %5.1f -> %5.1f (%.2fx), accesses/query %5.2f -> %5.2f",
+			kind, l0.LeafFanout, l1.LeafFanout, l1.FanoutRatio, l0.DiskAccPerQuery, l1.DiskAccPerQuery)
 	}
 }

@@ -68,7 +68,7 @@ func usage() {
   lsdb counties
   lsdb build -county NAME -index rstar|rtree|rplus|pmr|kdb|grid [-save FILE]
   lsdb query -county NAME -index KIND -type nearest|polygon|window|incident -x X -y Y [-w W -h H] [-load FILE]
-  lsdb verify [-load FILE | -county NAME -index KIND]
+  lsdb verify [-load FILE | -county NAME -index KIND [-compress N]]
   lsdb recover -dir DIR [-scrub]
   lsdb serve -county NAME -index KIND -shards N -addr HOST:PORT [-cache N] [-quantum N] [-timeout D]`)
 }
@@ -86,6 +86,11 @@ func counties() error {
 }
 
 func load(county, index string) (*segdb.DB, error) {
+	return loadLevel(county, index, 0)
+}
+
+// loadLevel is load at an explicit page-compression level.
+func loadLevel(county, index string, compress int) (*segdb.DB, error) {
 	kind, ok := indexKinds[index]
 	if !ok {
 		return nil, fmt.Errorf("unknown index %q (want rstar|rtree|rplus|pmr|kdb|grid)", index)
@@ -94,7 +99,7 @@ func load(county, index string) (*segdb.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db, err := segdb.Open(kind)
+	db, err := segdb.Open(kind, segdb.WithPageCompression(compress))
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +151,7 @@ func verify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	county := fs.String("county", "Charles", "county name")
 	index := fs.String("index", "pmr", "index kind")
+	compress := fs.Int("compress", 0, "page compression level (0-2) when building")
 	file := fs.String("load", "", "verify a saved database file instead of building one")
 	fs.Parse(args)
 
@@ -163,7 +169,7 @@ func verify(args []string) error {
 		}
 		fmt.Printf("opened %s: %v with %d segments\n", *file, db.Kind(), db.Len())
 	} else {
-		db, err = load(*county, *index)
+		db, err = loadLevel(*county, *index, *compress)
 		if err != nil {
 			return err
 		}
@@ -171,6 +177,15 @@ func verify(args []string) error {
 	rep := db.CheckIntegrity()
 	fmt.Printf("kind %v, %d segments, %d index pages, %d table pages\n",
 		rep.Kind, rep.Segments, rep.IndexPages, rep.TablePages)
+	if stats, serr := db.PageFormatStats(); serr == nil && stats.Pages > 0 {
+		fmt.Printf("page format: compression level %d, %d pages, %.0f bytes/page, leaf fanout %.1f\n",
+			stats.Level, stats.Pages, stats.AvgBytesPerPage(), stats.AvgLeafFanout())
+		for _, format := range []string{"v1", "v3", "v3-16", "v3-8"} {
+			if n := stats.Formats[format]; n > 0 {
+				fmt.Printf("  %-6s %d pages\n", format, n)
+			}
+		}
+	}
 	if rep.Healthy() {
 		fmt.Println("integrity: OK (every check passed)")
 		return nil

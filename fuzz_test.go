@@ -10,22 +10,26 @@ import (
 // either returns a database whose integrity check runs to completion or a
 // descriptive error.
 func FuzzLoad(f *testing.F) {
-	// Seed with valid saved databases of a few kinds.
+	// Seed with valid saved databases of a few kinds, classic and
+	// compressed: the fuzzer should mutate v3 (SEGDB003 + compressed
+	// page) images as readily as v1 ones.
 	for _, kind := range []Kind{PMRQuadtree, RStarTree, UniformGrid} {
-		db, err := Open(kind, nil)
-		if err != nil {
-			f.Fatal(err)
-		}
-		for _, s := range crashSegments(25, int64(kind)) {
-			if _, err := db.Add(s); err != nil {
+		for _, level := range []int{0, 2} {
+			db, err := Open(kind, WithPageCompression(level))
+			if err != nil {
 				f.Fatal(err)
 			}
+			for _, s := range crashSegments(25, int64(kind)) {
+				if _, err := db.Add(s); err != nil {
+					f.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := db.Save(&buf); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
 		}
-		var buf bytes.Buffer
-		if err := db.Save(&buf); err != nil {
-			f.Fatal(err)
-		}
-		f.Add(buf.Bytes())
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

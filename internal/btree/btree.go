@@ -38,8 +38,9 @@ type Tree struct {
 	height      int // 1 = root is a leaf
 	count       int
 	valSize     int
-	leafCap     int // max keys in a leaf
+	leafCap     int // max keys in a leaf (classic format)
 	internalCap int // max separator keys in an internal node
+	compress    bool
 }
 
 // New creates an empty tree with bare keys (no values).
@@ -48,6 +49,16 @@ func New(pool *store.Pool) (*Tree, error) { return NewWithValues(pool, 0) }
 // NewWithValues creates an empty tree whose leaf entries each carry
 // valueSize bytes of payload alongside the key.
 func NewWithValues(pool *store.Pool, valueSize int) (*Tree, error) {
+	return NewWithOptions(pool, valueSize, 0)
+}
+
+// NewWithOptions creates an empty tree; compression > 0 selects the
+// delta-coded leaf format (see compress.go), where leaf occupancy is
+// governed by the encoded byte footprint instead of a fixed key count.
+// Internal nodes always use the classic format. Pages are
+// self-describing, so a compressed tree reads classic leaves and vice
+// versa; the setting only controls what new writes produce.
+func NewWithOptions(pool *store.Pool, valueSize, compression int) (*Tree, error) {
 	if valueSize < 0 || valueSize > pool.PageSize()/4 {
 		return nil, fmt.Errorf("btree: invalid value size %d", valueSize)
 	}
@@ -56,6 +67,7 @@ func NewWithValues(pool *store.Pool, valueSize int) (*Tree, error) {
 		valSize:     valueSize,
 		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
 		internalCap: (pool.PageSize() - headerSize) / 12,
+		compress:    compression > 0,
 	}
 	if t.leafCap < 3 || t.internalCap < 3 {
 		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
@@ -64,11 +76,71 @@ func NewWithValues(pool *store.Pool, valueSize int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	writeNode(data, &node{leaf: true, next: store.NilPage}, valueSize)
+	t.encode(data, &node{leaf: true, next: store.NilPage})
 	pool.Unpin(id, true)
 	t.root = id
 	t.height = 1
 	return t, nil
+}
+
+// encode serializes n into a page buffer in the tree's configured
+// format: delta-coded leaves when compression is on, the classic layout
+// otherwise (and always for internal nodes).
+func (t *Tree) encode(data []byte, n *node) {
+	if t.compress && n.leaf {
+		writeCompressedLeaf(data, n, t.valSize)
+		return
+	}
+	writeNode(data, n, t.valSize)
+}
+
+// leafFits reports whether n can be written to one page: a key-count
+// check classically, a byte-budget check for delta-coded leaves.
+func (t *Tree) leafFits(n *node) bool {
+	if !t.compress {
+		return len(n.keys) <= t.leafCap
+	}
+	return encodedLeafSize(n, t.valSize) <= t.pool.PageSize()
+}
+
+// leafSplitPoint returns the index where an overflowing leaf splits:
+// the key midpoint classically, the byte-balanced point for delta-coded
+// leaves (whose entries have variable encoded widths, so the key
+// midpoint can leave one side still overflowing).
+func (t *Tree) leafSplitPoint(n *node) int {
+	if !t.compress {
+		return len(n.keys) / 2
+	}
+	vsize, _ := leafValSize(n, t.valSize)
+	cost := make([]int, len(n.keys))
+	total := 0
+	for i, k := range n.keys {
+		if i == 0 {
+			cost[i] = uvarintLen(k) + vsize
+		} else {
+			cost[i] = uvarintLen(k-n.keys[i-1]) + vsize
+		}
+		total += cost[i]
+	}
+	best, bestMax := len(n.keys)/2, int(^uint(0)>>1)
+	left := 0
+	for mid := 1; mid < len(n.keys); mid++ {
+		left += cost[mid-1]
+		// The right half re-encodes its first key in full rather than as
+		// a delta from the left half's last key.
+		right := total - left - cost[mid] + uvarintLen(n.keys[mid]) + vsize
+		if m := max(headerSize+left, headerSize+right); m < bestMax {
+			best, bestMax = mid, m
+		}
+	}
+	return best
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Len returns the number of keys stored.
@@ -175,10 +247,10 @@ func (t *Tree) InsertValue(key uint64, val []byte) error {
 		if err != nil {
 			return err
 		}
-		writeNode(data, &node{
+		t.encode(data, &node{
 			keys:     []uint64{sep},
 			children: []store.PageID{t.root, right},
-		}, t.valSize)
+		})
 		t.pool.Unpin(id, true)
 		t.root = id
 		t.height++
@@ -201,13 +273,13 @@ func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep u
 		}
 		n.keys = insertAt(n.keys, i, key)
 		n.insertVal(i, t.valSize, val)
-		if len(n.keys) <= t.leafCap {
-			writeNode(data, n, t.valSize)
+		if t.leafFits(n) {
+			t.encode(data, n)
 			t.pool.Unpin(id, true)
 			return 0, store.NilPage, false, nil
 		}
 		// Split the leaf: right half moves to a new page.
-		mid := len(n.keys) / 2
+		mid := t.leafSplitPoint(n)
 		rn := &node{
 			leaf: true,
 			keys: append([]uint64(nil), n.keys[mid:]...),
@@ -221,14 +293,14 @@ func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep u
 			t.pool.Unpin(id, false)
 			return 0, store.NilPage, false, err
 		}
-		writeNode(rdata, rn, t.valSize)
+		t.encode(rdata, rn)
 		t.pool.Unpin(rid, true)
 		n.keys = n.keys[:mid]
 		if t.valSize > 0 {
 			n.vals = n.vals[:mid*t.valSize]
 		}
 		n.next = rid
-		writeNode(data, n, t.valSize)
+		t.encode(data, n)
 		t.pool.Unpin(id, true)
 		return rn.keys[0], rid, true, nil
 	}
@@ -251,7 +323,7 @@ func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep u
 	n.keys = insertAt(n.keys, i, csep)
 	n.children = insertChildAt(n.children, i+1, cright)
 	if len(n.keys) <= t.internalCap {
-		writeNode(data, n, t.valSize)
+		t.encode(data, n)
 		t.pool.Unpin(id, true)
 		return 0, store.NilPage, false, nil
 	}
@@ -267,11 +339,11 @@ func (t *Tree) insert(id store.PageID, level int, key uint64, val []byte) (sep u
 		t.pool.Unpin(id, false)
 		return 0, store.NilPage, false, err
 	}
-	writeNode(rdata, rn, t.valSize)
+	t.encode(rdata, rn)
 	t.pool.Unpin(rid, true)
 	n.keys = n.keys[:mid]
 	n.children = n.children[:mid+1]
-	writeNode(data, n, t.valSize)
+	t.encode(data, n)
 	t.pool.Unpin(id, true)
 	return sep, rid, true, nil
 }
@@ -343,7 +415,7 @@ func (t *Tree) delete(id store.PageID, level int, key uint64) error {
 		}
 		n.keys = append(n.keys[:i], n.keys[i+1:]...)
 		n.removeVal(i, t.valSize)
-		writeNode(data, n, t.valSize)
+		t.encode(data, n)
 		t.pool.Unpin(id, true)
 		return nil
 	}
@@ -358,6 +430,9 @@ func (t *Tree) delete(id store.PageID, level int, key uint64) error {
 
 // fixChild rebalances child ci of internal node id if it underflowed.
 func (t *Tree) fixChild(id store.PageID, level, ci int) error {
+	if t.compress && level-1 == 1 {
+		return t.fixLeafCompressed(id, ci)
+	}
 	n, data, err := t.getNode(id)
 	if err != nil {
 		return err
@@ -399,11 +474,11 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 				ln.keys = ln.keys[:len(ln.keys)-1]
 				ln.children = ln.children[:len(ln.children)-1]
 			}
-			writeNode(ldata, ln, t.valSize)
+			t.encode(ldata, ln)
 			t.pool.Unpin(left, true)
-			writeNode(cdata, cn, t.valSize)
+			t.encode(cdata, cn)
 			t.pool.Unpin(child, true)
-			writeNode(data, n, t.valSize)
+			t.encode(data, n)
 			t.pool.Unpin(id, true)
 			return nil
 		}
@@ -433,11 +508,11 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 				rn.keys = rn.keys[1:]
 				rn.children = rn.children[1:]
 			}
-			writeNode(rdata, rn, t.valSize)
+			t.encode(rdata, rn)
 			t.pool.Unpin(right, true)
-			writeNode(cdata, cn, t.valSize)
+			t.encode(cdata, cn)
 			t.pool.Unpin(child, true)
-			writeNode(data, n, t.valSize)
+			t.encode(data, n)
 			t.pool.Unpin(id, true)
 			return nil
 		}
@@ -493,14 +568,149 @@ func (t *Tree) fixChild(id store.PageID, level, ci int) error {
 		ln.keys = append(ln.keys, rn.keys...)
 		ln.children = append(ln.children, rn.children...)
 	}
-	writeNode(ldata, ln, t.valSize)
+	t.encode(ldata, ln)
 	t.pool.Unpin(leftID, true)
 	t.pool.Unpin(rightID, false)
 	t.pool.Free(rightID)
 	n.keys = append(n.keys[:mi], n.keys[mi+1:]...)
 	n.children = append(n.children[:mi+1], n.children[mi+2:]...)
-	writeNode(data, n, t.valSize)
+	t.encode(data, n)
 	t.pool.Unpin(id, true)
+	return nil
+}
+
+// mergedLeafSize returns the encoded byte footprint of a and b's
+// entries combined into one delta-coded leaf. It materializes the
+// merge because the value-packing flag is a whole-leaf property: two
+// individually packable leaves stay packable, but a packable leaf
+// absorbing unpackable values does not.
+func mergedLeafSize(a, b *node, valSize int) int {
+	m := &node{leaf: true, keys: append(append([]uint64(nil), a.keys...), b.keys...)}
+	if valSize > 0 {
+		m.vals = append(append([]byte(nil), a.vals...), b.vals...)
+	}
+	return encodedLeafSize(m, valSize)
+}
+
+// fixLeafCompressed rebalances leaf child ci of internal node id when
+// leaves are delta-coded. Classic rebalancing reasons in key counts;
+// here the occupancy floor is a byte floor (a quarter page), the merge
+// test is "does the combined encoding fit one page", and borrowing
+// moves entries until the child clears the floor. When no sibling can
+// help — both neighbours near-full yet the merge does not fit — the
+// leaf is left under the floor, which costs occupancy but breaks no
+// search invariant.
+func (t *Tree) fixLeafCompressed(id store.PageID, ci int) error {
+	n, data, err := t.getNode(id)
+	if err != nil {
+		return err
+	}
+	child := n.children[ci]
+	cn, cdata, err := t.getNode(child)
+	if err != nil {
+		t.pool.Unpin(id, false)
+		return err
+	}
+	floor := t.pool.PageSize() / 4
+	if encodedLeafSize(cn, t.valSize) >= floor {
+		t.pool.Unpin(child, false)
+		t.pool.Unpin(id, false)
+		return nil
+	}
+	if ci > 0 {
+		left := n.children[ci-1]
+		ln, ldata, err := t.getNode(left)
+		if err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+		if mergedLeafSize(ln, cn, t.valSize) <= t.pool.PageSize() {
+			ln.keys = append(ln.keys, cn.keys...)
+			ln.vals = append(ln.vals, cn.vals...)
+			ln.next = cn.next
+			t.encode(ldata, ln)
+			t.pool.Unpin(left, true)
+			t.pool.Unpin(child, false)
+			t.pool.Free(child)
+			n.keys = append(n.keys[:ci-1], n.keys[ci:]...)
+			n.children = append(n.children[:ci], n.children[ci+1:]...)
+			t.encode(data, n)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		// The merge does not fit, so the left sibling holds well over
+		// three quarter-pages of entries: it can lend until the child
+		// clears the floor without itself underflowing.
+		moved := false
+		for encodedLeafSize(cn, t.valSize) < floor && len(ln.keys) > 1 &&
+			encodedLeafSize(ln, t.valSize) > floor {
+			last := len(ln.keys) - 1
+			cn.keys = insertAt(cn.keys, 0, ln.keys[last])
+			cn.insertVal(0, t.valSize, ln.val(last, t.valSize))
+			ln.keys = ln.keys[:last]
+			ln.removeVal(last, t.valSize)
+			moved = true
+		}
+		if moved {
+			n.keys[ci-1] = cn.keys[0]
+			t.encode(ldata, ln)
+			t.pool.Unpin(left, true)
+			t.encode(cdata, cn)
+			t.pool.Unpin(child, true)
+			t.encode(data, n)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		t.pool.Unpin(left, false)
+	}
+	if ci < len(n.children)-1 {
+		right := n.children[ci+1]
+		rn, rdata, err := t.getNode(right)
+		if err != nil {
+			t.pool.Unpin(child, false)
+			t.pool.Unpin(id, false)
+			return err
+		}
+		if mergedLeafSize(cn, rn, t.valSize) <= t.pool.PageSize() {
+			cn.keys = append(cn.keys, rn.keys...)
+			cn.vals = append(cn.vals, rn.vals...)
+			cn.next = rn.next
+			t.encode(cdata, cn)
+			t.pool.Unpin(child, true)
+			t.pool.Unpin(right, false)
+			t.pool.Free(right)
+			n.keys = append(n.keys[:ci], n.keys[ci+1:]...)
+			n.children = append(n.children[:ci+1], n.children[ci+2:]...)
+			t.encode(data, n)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		moved := false
+		for encodedLeafSize(cn, t.valSize) < floor && len(rn.keys) > 1 &&
+			encodedLeafSize(rn, t.valSize) > floor {
+			cn.keys = append(cn.keys, rn.keys[0])
+			if t.valSize > 0 {
+				cn.vals = append(cn.vals, rn.val(0, t.valSize)...)
+			}
+			rn.keys = rn.keys[1:]
+			rn.removeVal(0, t.valSize)
+			moved = true
+		}
+		if moved {
+			n.keys[ci] = rn.keys[0]
+			t.encode(rdata, rn)
+			t.pool.Unpin(right, true)
+			t.encode(cdata, cn)
+			t.pool.Unpin(child, true)
+			t.encode(data, n)
+			t.pool.Unpin(id, true)
+			return nil
+		}
+		t.pool.Unpin(right, false)
+	}
+	t.pool.Unpin(child, false)
+	t.pool.Unpin(id, false)
 	return nil
 }
 
@@ -556,11 +766,20 @@ func (t *Tree) PersistMeta() [3]uint64 {
 // PersistMeta. The pool must wrap the restored disk; valueSize must match
 // the original tree's.
 func Restore(pool *store.Pool, valueSize int, meta [3]uint64) (*Tree, error) {
+	return RestoreWithOptions(pool, valueSize, 0, meta)
+}
+
+// RestoreWithOptions is Restore for trees built with NewWithOptions.
+// Pages are self-describing, so a mismatched compression setting still
+// reads the image correctly; it only changes the format of future
+// writes.
+func RestoreWithOptions(pool *store.Pool, valueSize, compression int, meta [3]uint64) (*Tree, error) {
 	t := &Tree{
 		pool:        pool,
 		valSize:     valueSize,
 		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
 		internalCap: (pool.PageSize() - headerSize) / 12,
+		compress:    compression > 0,
 		root:        store.PageID(meta[0]),
 		height:      int(meta[1]),
 		count:       int(meta[2]),

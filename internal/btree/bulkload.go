@@ -26,6 +26,15 @@ import (
 // Insert/Delete afterwards (the first Insert into a full leaf simply
 // splits it).
 func BulkLoad(pool *store.Pool, valueSize, n int, at func(i int) (key uint64, val []byte)) (*Tree, error) {
+	return BulkLoadWithOptions(pool, valueSize, 0, n, at)
+}
+
+// BulkLoadWithOptions is BulkLoad for trees built with NewWithOptions.
+// With compression > 0 leaves are delta-coded and packed to the page's
+// byte budget instead of a fixed key count, so the leaf count — and the
+// number of disk accesses a later range scan pays — shrinks with the
+// compression ratio.
+func BulkLoadWithOptions(pool *store.Pool, valueSize, compression, n int, at func(i int) (key uint64, val []byte)) (*Tree, error) {
 	if valueSize < 0 || valueSize > pool.PageSize()/4 {
 		return nil, fmt.Errorf("btree: invalid value size %d", valueSize)
 	}
@@ -34,6 +43,7 @@ func BulkLoad(pool *store.Pool, valueSize, n int, at func(i int) (key uint64, va
 		valSize:     valueSize,
 		leafCap:     (pool.PageSize() - headerSize) / (8 + valueSize),
 		internalCap: (pool.PageSize() - headerSize) / 12,
+		compress:    compression > 0,
 	}
 	if t.leafCap < 3 || t.internalCap < 3 {
 		return nil, fmt.Errorf("btree: page size %d too small", pool.PageSize())
@@ -46,68 +56,17 @@ func BulkLoad(pool *store.Pool, valueSize, n int, at func(i int) (key uint64, va
 		if err != nil {
 			return nil, err
 		}
-		writeNode(data, &node{leaf: true, next: store.NilPage}, valueSize)
+		t.encode(data, &node{leaf: true, next: store.NilPage})
 		pool.Unpin(id, true)
 		t.root = id
 		t.height = 1
 		return t, nil
 	}
 
-	// Leaf level. Each leaf is written when its successor is allocated,
-	// so the sibling chain needs no second pass (at most two pages are
-	// pinned at a time).
-	sizes := chunkSizes(n, t.leafCap, t.leafCap/2)
-	refs := make([]levelRef, 0, len(sizes))
-	idx := 0
-	var last uint64
-	var (
-		prevID   store.PageID
-		prevData []byte
-		prevNode *node
-	)
-	for _, size := range sizes {
-		ln := &node{
-			leaf: true,
-			keys: make([]uint64, 0, size),
-			next: store.NilPage,
-		}
-		if valueSize > 0 {
-			ln.vals = make([]byte, 0, size*valueSize)
-		}
-		for j := 0; j < size; j++ {
-			k, v := at(idx)
-			if idx > 0 && k <= last {
-				if prevData != nil {
-					t.pool.Unpin(prevID, false)
-				}
-				return nil, fmt.Errorf("btree: bulk load keys not strictly increasing at entry %d (%d after %d)", idx, k, last)
-			}
-			last = k
-			idx++
-			ln.keys = append(ln.keys, k)
-			if valueSize > 0 {
-				off := len(ln.vals)
-				ln.vals = append(ln.vals, make([]byte, valueSize)...)
-				copy(ln.vals[off:], v)
-			}
-		}
-		id, data, err := pool.Allocate()
-		if err != nil {
-			if prevData != nil {
-				t.pool.Unpin(prevID, false)
-			}
-			return nil, err
-		}
-		if prevData != nil {
-			prevNode.next = id
-			writeNode(prevData, prevNode, valueSize)
-			t.pool.Unpin(prevID, true)
-		}
-		prevID, prevData, prevNode = id, data, ln
-		refs = append(refs, levelRef{firstKey: ln.keys[0], id: id})
+	refs, err := t.bulkLeaves(n, at)
+	if err != nil {
+		return nil, err
 	}
-	writeNode(prevData, prevNode, valueSize)
-	t.pool.Unpin(prevID, true)
 
 	// Internal levels, bottom-up: each node's separator keys are the
 	// first keys of its children past the first, matching what leaf and
@@ -155,6 +114,112 @@ func BulkLoad(pool *store.Pool, valueSize, n int, at func(i int) (key uint64, va
 type levelRef struct {
 	firstKey uint64
 	id       store.PageID
+}
+
+// bulkLeaves builds the leaf level left to right. Each leaf is written
+// when its successor is allocated, so the sibling chain needs no second
+// pass (at most two pages are pinned at a time).
+//
+// Classic leaves are cut by chunkSizes (full pages, last two balanced
+// above the deletion minimum). Delta-coded leaves are cut greedily by
+// encoded bytes: an entry that would push the encoding past the page
+// size starts the next leaf.
+func (t *Tree) bulkLeaves(n int, at func(i int) (key uint64, val []byte)) ([]levelRef, error) {
+	var cuts []int // entry counts per leaf, in order
+	if !t.compress {
+		cuts = chunkSizes(n, t.leafCap, t.leafCap/2)
+	}
+	refs := make([]levelRef, 0, len(cuts))
+	idx := 0
+	var last uint64
+	var (
+		prevID   store.PageID
+		prevData []byte
+		prevNode *node
+	)
+	flush := func(ln *node) error {
+		id, data, err := t.pool.Allocate()
+		if err != nil {
+			if prevData != nil {
+				t.pool.Unpin(prevID, false)
+			}
+			return err
+		}
+		if prevData != nil {
+			prevNode.next = id
+			t.encode(prevData, prevNode)
+			t.pool.Unpin(prevID, true)
+		}
+		prevID, prevData, prevNode = id, data, ln
+		refs = append(refs, levelRef{firstKey: ln.keys[0], id: id})
+		return nil
+	}
+	next := func(ln *node) error {
+		k, v := at(idx)
+		if idx > 0 && k <= last {
+			if prevData != nil {
+				t.pool.Unpin(prevID, false)
+			}
+			return fmt.Errorf("btree: bulk load keys not strictly increasing at entry %d (%d after %d)", idx, k, last)
+		}
+		last = k
+		idx++
+		ln.keys = append(ln.keys, k)
+		if t.valSize > 0 {
+			off := len(ln.vals)
+			ln.vals = append(ln.vals, make([]byte, t.valSize)...)
+			copy(ln.vals[off:], v)
+		}
+		return nil
+	}
+	if t.compress {
+		ln := &node{leaf: true, next: store.NilPage}
+		for idx < n {
+			if err := next(ln); err != nil {
+				return nil, err
+			}
+			if encodedLeafSize(ln, t.valSize) > t.pool.PageSize() {
+				// The page is one entry over budget: peel the overflow
+				// entry into a fresh leaf.
+				over := len(ln.keys) - 1
+				spill := &node{leaf: true, next: store.NilPage, keys: []uint64{ln.keys[over]}}
+				if t.valSize > 0 {
+					spill.vals = append([]byte(nil), ln.val(over, t.valSize)...)
+					ln.vals = ln.vals[:over*t.valSize]
+				}
+				ln.keys = ln.keys[:over]
+				if err := flush(ln); err != nil {
+					return nil, err
+				}
+				ln = spill
+			}
+		}
+		if err := flush(ln); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, size := range cuts {
+			ln := &node{
+				leaf: true,
+				keys: make([]uint64, 0, size),
+				next: store.NilPage,
+			}
+			if t.valSize > 0 {
+				ln.vals = make([]byte, 0, size*t.valSize)
+			}
+			for j := 0; j < size; j++ {
+				if err := next(ln); err != nil {
+					return nil, err
+				}
+			}
+			if err := flush(ln); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.encode(prevData, prevNode)
+	t.pool.Unpin(prevID, true)
+	return refs, nil
 }
 
 // chunkSizes splits n items into maximal chunks of at most max, then

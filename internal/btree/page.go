@@ -83,8 +83,11 @@ func readNodeInto(data []byte, valSize int, n *node) error {
 	n.vals = n.vals[:0]
 	n.children = n.children[:0]
 	n.next = 0
+	if data[0] == typeCompressedLeaf {
+		return readCompressedLeafInto(data, valSize, n)
+	}
 	if data[0] > 1 {
-		return fmt.Errorf("btree: corrupt page: node type %d", data[0])
+		return fmt.Errorf("btree: corrupt page: node type %d: %w", data[0], store.ErrBadPage)
 	}
 	leaf := data[0] == 1
 	count := int(binary.LittleEndian.Uint16(data[2:]))
@@ -93,7 +96,7 @@ func readNodeInto(data []byte, valSize int, n *node) error {
 		entrySize = 8 + valSize
 	}
 	if count > (len(data)-headerSize)/entrySize {
-		return fmt.Errorf("btree: corrupt page: %d entries exceed page capacity %d", count, (len(data)-headerSize)/entrySize)
+		return fmt.Errorf("btree: corrupt page: %d entries exceed page capacity %d: %w", count, (len(data)-headerSize)/entrySize, store.ErrBadPage)
 	}
 	n.leaf = leaf
 	if cap(n.keys) < count {

@@ -50,20 +50,38 @@ func (t *Tree) validate(id store.PageID, level int, lo, hi uint64, isRoot bool, 
 	keys := append([]uint64(nil), n.keys...)
 	children := append([]store.PageID(nil), n.children...)
 	leaf := n.leaf
+	encodedSize := 0
+	if leaf && t.compress {
+		encodedSize = encodedLeafSize(n, t.valSize)
+	}
 	t.pool.Unpin(id, false)
 
 	if leaf != (level == 1) {
 		return fmt.Errorf("btree: page %d leaf=%v at level %d (height %d)", id, leaf, level, t.height)
 	}
-	if !isRoot && len(keys) < t.minKeys(level) {
-		return fmt.Errorf("btree: page %d underfull: %d keys, min %d", id, len(keys), t.minKeys(level))
-	}
-	capacity := t.internalCap
-	if leaf {
-		capacity = t.leafCap
-	}
-	if len(keys) > capacity {
-		return fmt.Errorf("btree: page %d overfull: %d keys, cap %d", id, len(keys), capacity)
+	if leaf && t.compress {
+		// Delta-coded leaves have no fixed key capacity: the hard
+		// invariant is that the encoding fits its page, and that non-root
+		// leaves are non-empty. The byte-occupancy floor is best-effort
+		// (rebalancing may legitimately leave a leaf under it when no
+		// sibling can lend), so it is not enforced here.
+		if encodedSize > t.pool.PageSize() {
+			return fmt.Errorf("btree: page %d overfull: %d encoded bytes, page size %d", id, encodedSize, t.pool.PageSize())
+		}
+		if !isRoot && len(keys) == 0 {
+			return fmt.Errorf("btree: page %d is an empty non-root leaf", id)
+		}
+	} else {
+		if !isRoot && len(keys) < t.minKeys(level) {
+			return fmt.Errorf("btree: page %d underfull: %d keys, min %d", id, len(keys), t.minKeys(level))
+		}
+		capacity := t.internalCap
+		if leaf {
+			capacity = t.leafCap
+		}
+		if len(keys) > capacity {
+			return fmt.Errorf("btree: page %d overfull: %d keys, cap %d", id, len(keys), capacity)
+		}
 	}
 	for i, k := range keys {
 		if i > 0 && keys[i-1] >= k {

@@ -64,7 +64,7 @@ func BulkLoad(pool *store.Pool, table *seg.Table, cfg Config, ids []seg.ID) (*Gr
 		}
 		return 0
 	})
-	bt, err := btree.BulkLoad(pool, 0, len(keys), func(i int) (uint64, []byte) {
+	bt, err := btree.BulkLoadWithOptions(pool, 0, cfg.Compression, len(keys), func(i int) (uint64, []byte) {
 		return keys[i], nil
 	})
 	if err != nil {

@@ -27,6 +27,11 @@ import (
 type Config struct {
 	// CellsPerSide is the number of cells along each axis.
 	CellsPerSide int32
+	// Compression selects the B+-tree leaf format: 0 writes classic
+	// fixed-width entries, >=1 delta-coded varint keys (cell keys are
+	// sorted, so entries within one cell differ only in the low id
+	// bits). Lossless at every level.
+	Compression int
 }
 
 // DefaultConfig returns a 64x64 grid (256-pixel cells on the 16K world).
@@ -50,7 +55,7 @@ func New(pool *store.Pool, table *seg.Table, cfg Config) (*Grid, error) {
 	if geom.WorldSize%cfg.CellsPerSide != 0 {
 		return nil, fmt.Errorf("grid: resolution %d does not divide the world size", cfg.CellsPerSide)
 	}
-	bt, err := btree.New(pool)
+	bt, err := btree.NewWithOptions(pool, 0, cfg.Compression)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +449,7 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*G
 	if count < 0 || count > table.Len() {
 		return nil, fmt.Errorf("grid: segment count %d exceeds table size %d", count, table.Len())
 	}
-	bt, err := btree.Restore(pool, 0, [3]uint64{meta[0], meta[1], meta[2]})
+	bt, err := btree.RestoreWithOptions(pool, 0, cfg.Compression, [3]uint64{meta[0], meta[1], meta[2]})
 	if err != nil {
 		return nil, err
 	}

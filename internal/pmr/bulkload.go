@@ -139,7 +139,7 @@ func BulkLoad(pool *store.Pool, table *seg.Table, cfg Config, ids []seg.ID) (*Tr
 		}
 	})
 
-	bt, err := btree.BulkLoad(pool, valSize, total, func(i int) (uint64, []byte) {
+	bt, err := btree.BulkLoadWithOptions(pool, valSize, cfg.Compression, total, func(i int) (uint64, []byte) {
 		if valSize == 0 {
 			return keys[i], nil
 		}

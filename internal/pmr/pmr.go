@@ -45,6 +45,12 @@ type Config struct {
 	// fetching the segment table, trading storage for fewer segment
 	// comparisons.
 	StoreMBR bool
+	// Compression selects the B+-tree leaf format: 0 writes classic
+	// fixed-width entries, >=1 delta-coded varint keys (q-edge
+	// locational codes are sorted and dense, so deltas are short) with
+	// the 8-byte q-edge rectangles bit-packed to the 14-bit world
+	// domain. Lossless at every level.
+	Compression int
 }
 
 // DefaultConfig returns the configuration of the paper's experiments.
@@ -74,7 +80,7 @@ func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
 	if cfg.StoreMBR {
 		valSize = qedgeValSize
 	}
-	bt, err := btree.NewWithValues(pool, valSize)
+	bt, err := btree.NewWithOptions(pool, valSize, cfg.Compression)
 	if err != nil {
 		return nil, err
 	}
@@ -649,7 +655,7 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [4]uint64) (*T
 	if cfg.StoreMBR {
 		valSize = qedgeValSize
 	}
-	bt, err := btree.Restore(pool, valSize, [3]uint64{meta[0], meta[1], meta[2]})
+	bt, err := btree.RestoreWithOptions(pool, valSize, cfg.Compression, [3]uint64{meta[0], meta[1], meta[2]})
 	if err != nil {
 		return nil, err
 	}

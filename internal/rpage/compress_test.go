@@ -1,0 +1,257 @@
+package rpage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"segdb/internal/geom"
+	"segdb/internal/store"
+)
+
+func randWorldRect(rng *rand.Rand) geom.Rect {
+	x0 := rng.Int31n(geom.WorldSize)
+	y0 := rng.Int31n(geom.WorldSize)
+	x1 := x0 + rng.Int31n(geom.WorldSize-x0)
+	y1 := y0 + rng.Int31n(geom.WorldSize-y0)
+	return geom.Rect{Min: geom.Point{X: x0, Y: y0}, Max: geom.Point{X: x1, Y: y1}}
+}
+
+func randNode(rng *rand.Rand, count int, leaf bool) *Node {
+	n := &Node{Leaf: leaf}
+	for i := 0; i < count; i++ {
+		n.Entries = append(n.Entries, Entry{Rect: randWorldRect(rng), Ptr: rng.Uint32()})
+	}
+	return n
+}
+
+func TestCapacityLevel(t *testing.T) {
+	if got := CapacityLevel(1024, 0); got != Capacity(1024) {
+		t.Errorf("level 0 capacity = %d, want %d", got, Capacity(1024))
+	}
+	if got := CapacityLevel(1024, 1); got != 83 {
+		t.Errorf("level 1 capacity = %d, want 83", got)
+	}
+	if got := CapacityLevel(1024, 2); got != 125 {
+		t.Errorf("level 2 capacity = %d, want 125", got)
+	}
+}
+
+func TestWriteLevelZeroByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := randNode(rng, 50, true)
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	Write(a, n)
+	if err := WriteLevel(b, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("level-0 page differs from classic encoding at byte %d", i)
+		}
+	}
+}
+
+func TestCompressedRoundTripLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		count := rng.Intn(CapacityLevel(1024, 1) + 1)
+		n := randNode(rng, count, trial%2 == 0)
+		data := make([]byte, 1024)
+		if err := WriteLevel(data, n, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Leaf != n.Leaf || len(got.Entries) != len(n.Entries) {
+			t.Fatalf("shape mismatch: leaf %v/%v entries %d/%d", got.Leaf, n.Leaf, len(got.Entries), len(n.Entries))
+		}
+		for i := range n.Entries {
+			if got.Entries[i] != n.Entries[i] {
+				t.Fatalf("entry %d = %+v, want %+v (level 1 must be lossless)", i, got.Entries[i], n.Entries[i])
+			}
+		}
+	}
+}
+
+func TestCompressedLossyConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		count := 1 + rng.Intn(CapacityLevel(1024, 2))
+		n := randNode(rng, count, trial%2 == 0)
+		mbr := n.MBR()
+		data := make([]byte, 1024)
+		if err := WriteLevel(data, n, 2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range n.Entries {
+			orig, dec := n.Entries[i].Rect, got.Entries[i].Rect
+			if !dec.ContainsRect(orig) {
+				t.Fatalf("entry %d decoded %v does not contain original %v", i, dec, orig)
+			}
+			if !mbr.ContainsRect(dec) {
+				t.Fatalf("entry %d decoded %v escapes node MBR %v", i, dec, mbr)
+			}
+			if got.Entries[i].Ptr != n.Entries[i].Ptr {
+				t.Fatalf("entry %d pointer %d, want %d", i, got.Entries[i].Ptr, n.Entries[i].Ptr)
+			}
+		}
+		// The decoded node's MBR must equal the original's: the extreme
+		// offsets 0 and extent quantize exactly.
+		if got.MBR() != mbr {
+			t.Fatalf("decoded MBR %v, want %v", got.MBR(), mbr)
+		}
+	}
+}
+
+func TestCompressedSoAMatchesNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, level := range []int{1, 2} {
+		for trial := 0; trial < 50; trial++ {
+			count := 1 + rng.Intn(CapacityLevel(1024, level))
+			n := randNode(rng, count, trial%2 == 0)
+			data := make([]byte, 1024)
+			if err := WriteLevel(data, n, level); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := Read(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			soa, err := DecodeSoA(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if soa.Len() != len(dec.Entries) || soa.Leaf != dec.Leaf {
+				t.Fatalf("SoA shape mismatch")
+			}
+			if soa.Packed == nil {
+				t.Fatalf("level %d world-bounded page not packable", level)
+			}
+			for i, e := range dec.Entries {
+				if soa.Rect(i) != e.Rect || soa.Ptr[i] != e.Ptr {
+					t.Fatalf("level %d entry %d: SoA %v/%d, Node %v/%d",
+						level, i, soa.Rect(i), soa.Ptr[i], e.Rect, e.Ptr)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressedReleaseTrimsQuantizedLanes(t *testing.T) {
+	// A node decoded from a level-2 page may hold up to 125 entries; its
+	// pooled entry slice must be trimmed against that page's capacity,
+	// not the classic 50-entry capacity (which would drop every pooled
+	// buffer and re-allocate on the warm path).
+	rng := rand.New(rand.NewSource(5))
+	n := randNode(rng, CapacityLevel(1024, 2), true)
+	data := make([]byte, 1024)
+	if err := WriteLevel(data, n, 2); err != nil {
+		t.Fatal(err)
+	}
+	dec := Acquire()
+	if err := ReadInto(data, dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.pageCap != CapacityLevel(1024, 2) {
+		t.Fatalf("decoded pageCap = %d, want %d", dec.pageCap, CapacityLevel(1024, 2))
+	}
+	Release(dec)
+}
+
+func TestCompressedCorruptTypedErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := randNode(rng, 20, true)
+	good := make([]byte, 1024)
+	if err := WriteLevel(good, n, 1); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(p []byte)) []byte {
+		p := append([]byte(nil), good...)
+		mut(p)
+		return p
+	}
+	cases := map[string][]byte{
+		"bad mode":       corrupt(func(p []byte) { p[1] = 9 }),
+		"overflow count": corrupt(func(p []byte) { p[2], p[3] = 0xFF, 0xFF }),
+		"inverted MBR":   corrupt(func(p []byte) { copy(p[4:8], []byte{0xFF, 0xFF, 0xFF, 0x7F}) }),
+		"bad type":       corrupt(func(p []byte) { p[0] = 7 }),
+	}
+	for name, page := range cases {
+		if _, err := Read(page); !errors.Is(err, store.ErrBadPage) {
+			t.Errorf("%s: Read err = %v, want ErrBadPage", name, err)
+		}
+		if _, err := DecodeSoA(page); !errors.Is(err, store.ErrBadPage) {
+			t.Errorf("%s: DecodeSoA err = %v, want ErrBadPage", name, err)
+		}
+	}
+	// Offsets escaping the declared MBR must be rejected, not silently
+	// widened.
+	esc := corrupt(func(p []byte) {
+		p[CHeaderSize+4] = 0xFF
+		p[CHeaderSize+5] = 0xFF
+	})
+	if _, err := Read(esc); !errors.Is(err, store.ErrBadPage) {
+		t.Errorf("escaping offsets: Read err = %v, want ErrBadPage", err)
+	}
+}
+
+func TestWriteLevelRejectsOutOfDomain(t *testing.T) {
+	n := &Node{Entries: []Entry{
+		{Rect: geom.Rect{Min: geom.Point{X: 0, Y: 0}, Max: geom.Point{X: 1 << 20, Y: 1}}},
+	}}
+	data := make([]byte, 1024)
+	if err := WriteLevel(data, n, 1); err == nil {
+		t.Fatal("WriteLevel accepted an MBR extent beyond the 16-bit offset domain")
+	}
+}
+
+func FuzzDecodeCompressed(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	for _, level := range []int{1, 2} {
+		page := make([]byte, 1024)
+		n := randNode(rng, 30, true)
+		if err := WriteLevel(page, n, level); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(page)
+		small := make([]byte, 64)
+		if err := WriteLevel(small, randNode(rng, 2, false), level); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(small)
+	}
+	f.Add([]byte{2, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < CHeaderSize {
+			return
+		}
+		// Neither decoder may panic or over-read; a failure must be a
+		// typed corrupt-page error.
+		n, err := Read(data)
+		if err != nil && !errors.Is(err, store.ErrBadPage) && data[0] > 1 {
+			t.Fatalf("Read: non-typed error %v for node type %d", err, data[0])
+		}
+		soa, serr := DecodeSoA(data)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("Read err=%v but DecodeSoA err=%v", err, serr)
+		}
+		if err == nil && n != nil && soa != nil {
+			if len(n.Entries) != soa.Len() {
+				t.Fatalf("Read %d entries, DecodeSoA %d", len(n.Entries), soa.Len())
+			}
+			for i := range n.Entries {
+				if soa.Rect(i) != n.Entries[i].Rect || soa.Ptr[i] != n.Entries[i].Ptr {
+					t.Fatalf("entry %d decodes differently across paths", i)
+				}
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 
 	"segdb/internal/geom"
 	"segdb/internal/kernel"
+	"segdb/internal/store"
 )
 
 // EntrySize is the 20-byte footprint of one (rect, pointer) tuple.
@@ -81,12 +82,15 @@ func (n *SoA) Rect(i int) geom.Rect {
 // above 1 or an entry count beyond the page's capacity is rejected as
 // corruption.
 func DecodeSoA(data []byte) (*SoA, error) {
+	if data[0] == typeCompressedInternal || data[0] == typeCompressedLeaf {
+		return decodeCompressedSoA(data)
+	}
 	if data[0] > 1 {
-		return nil, fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+		return nil, fmt.Errorf("rpage: corrupt page: node type %d: %w", data[0], store.ErrBadPage)
 	}
 	count := int(binary.LittleEndian.Uint16(data[2:]))
 	if max := Capacity(len(data)); count > max {
-		return nil, fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
+		return nil, fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d: %w", count, max, store.ErrBadPage)
 	}
 	lanes := make([]int32, 4*count)
 	n := &SoA{
@@ -186,12 +190,15 @@ func Read(data []byte) (*Node, error) {
 func ReadInto(data []byte, n *Node) error {
 	n.Leaf = false
 	n.Entries = n.Entries[:0]
+	if data[0] == typeCompressedInternal || data[0] == typeCompressedLeaf {
+		return readCompressedInto(data, n)
+	}
 	if data[0] > 1 {
-		return fmt.Errorf("rpage: corrupt page: node type %d", data[0])
+		return fmt.Errorf("rpage: corrupt page: node type %d: %w", data[0], store.ErrBadPage)
 	}
 	count := int(binary.LittleEndian.Uint16(data[2:]))
 	if max := Capacity(len(data)); count > max {
-		return fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d", count, max)
+		return fmt.Errorf("rpage: corrupt page: %d entries exceed page capacity %d: %w", count, max, store.ErrBadPage)
 	}
 	n.Leaf = data[0] == 1
 	n.pageCap = Capacity(len(data))

@@ -40,6 +40,21 @@ type Config struct {
 	// region, so every probe must fetch the segment). The storage layout
 	// is identical; only pruning power differs.
 	LeafMBR bool
+	// Compression selects the on-page node format: 0 writes the classic
+	// 20-byte tuples, >=1 the lossless 16-bit MBR-relative offsets. The
+	// lossy 8-bit level is never used here — the R+-tree's internal
+	// regions must stay pairwise disjoint and tile their parent exactly,
+	// which outward rounding would break — so level 2 behaves as level 1.
+	Compression int
+}
+
+// effLevel maps a configured compression level onto the formats this
+// tree may write: 0 (classic) or 1 (lossless 16-bit offsets).
+func effLevel(level int) int {
+	if level >= 1 {
+		return 1
+	}
+	return 0
 }
 
 // DefaultConfig returns the hybrid configuration used in the paper.
@@ -56,6 +71,7 @@ type Tree struct {
 	root      store.PageID
 	height    int // 1 = root is a leaf
 	max       int // M: page capacity in entries
+	level     int // page compression level: 0 or 1 (see Config.Compression)
 	count     int // distinct segments indexed
 	nodeComps atomic.Uint64
 	name      string
@@ -63,7 +79,8 @@ type Tree struct {
 
 // New creates an empty tree. The root region is the whole world.
 func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
-	max := rpage.Capacity(pool.PageSize())
+	level := effLevel(cfg.Compression)
+	max := rpage.CapacityLevel(pool.PageSize(), level)
 	if max < 4 {
 		return nil, fmt.Errorf("rplus: page size %d too small", pool.PageSize())
 	}
@@ -71,13 +88,11 @@ func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
 	if !cfg.LeafMBR {
 		name = "k-d-B-tree"
 	}
-	t := &Tree{pool: pool, table: table, cfg: cfg, max: max, name: name}
-	id, data, err := pool.Allocate()
+	t := &Tree{pool: pool, table: table, cfg: cfg, max: max, level: level, name: name}
+	id, err := t.allocNode(&rpage.Node{Leaf: true})
 	if err != nil {
 		return nil, err
 	}
-	rpage.Write(data, &rpage.Node{Leaf: true})
-	pool.Unpin(id, true)
 	t.root = id
 	t.height = 1
 	return t, nil
@@ -123,7 +138,10 @@ func (t *Tree) writeNode(id store.PageID, n *rpage.Node) error {
 	if err != nil {
 		return err
 	}
-	rpage.Write(data, n)
+	if err := rpage.WriteLevel(data, n, t.level); err != nil {
+		t.pool.Unpin(id, false)
+		return err
+	}
 	t.pool.Unpin(id, true)
 	return nil
 }
@@ -133,7 +151,10 @@ func (t *Tree) allocNode(n *rpage.Node) (store.PageID, error) {
 	if err != nil {
 		return store.NilPage, err
 	}
-	rpage.Write(data, n)
+	if err := rpage.WriteLevel(data, n, t.level); err != nil {
+		t.pool.Unpin(id, false)
+		return store.NilPage, err
+	}
 	t.pool.Unpin(id, true)
 	return id, nil
 }
@@ -236,7 +257,8 @@ const maxHeight = 64
 // original tree's. Unlike earlier versions it does not allocate (and so
 // never grows the restored disk); the metadata is validated before use.
 func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*Tree, error) {
-	max := rpage.Capacity(pool.PageSize())
+	level := effLevel(cfg.Compression)
+	max := rpage.CapacityLevel(pool.PageSize(), level)
 	if max < 4 {
 		return nil, fmt.Errorf("rplus: page size %d too small", pool.PageSize())
 	}
@@ -256,6 +278,6 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*T
 	if count < 0 || count > table.Len() {
 		return nil, fmt.Errorf("rplus: segment count %d exceeds table size %d", count, table.Len())
 	}
-	return &Tree{pool: pool, table: table, cfg: cfg, max: max, name: name,
+	return &Tree{pool: pool, table: table, cfg: cfg, max: max, level: level, name: name,
 		root: root, height: height, count: count}, nil
 }

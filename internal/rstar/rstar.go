@@ -48,6 +48,12 @@ type Config struct {
 	// 0.3. Zero disables forced reinsertion (split-only ablation). It is
 	// ignored by the Guttman algorithm.
 	ReinsertFraction float64
+	// Compression selects the on-page node format: 0 writes the paper's
+	// 20-byte absolute-coordinate tuples, 1 the lossless 16-bit
+	// MBR-relative offsets, 2 the 8-bit quantized lanes (outward-rounded,
+	// so stored rectangles may conservatively exceed the exact ones).
+	// Pages are self-describing, so any tree decodes any level.
+	Compression int
 }
 
 // DefaultConfig returns the parameters used in the paper's experiments.
@@ -70,14 +76,27 @@ type Tree struct {
 	height    int // 1 = root is a leaf
 	max       int // M
 	min       int // m
+	level     int // page compression level (Config.Compression, clamped)
 	count     int
 	nodeComps atomic.Uint64
+}
+
+// clampLevel normalizes a configured compression level to [0, 2].
+func clampLevel(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level > 2 {
+		return 2
+	}
+	return level
 }
 
 // New creates an empty R*-tree whose nodes live on pages of pool and whose
 // leaf entries point into table.
 func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
-	max := rpage.Capacity(pool.PageSize())
+	level := clampLevel(cfg.Compression)
+	max := rpage.CapacityLevel(pool.PageSize(), level)
 	if max < 4 {
 		return nil, fmt.Errorf("rstar: page size %d too small", pool.PageSize())
 	}
@@ -88,13 +107,11 @@ func New(pool *store.Pool, table *seg.Table, cfg Config) (*Tree, error) {
 	if min > max/2 {
 		min = max / 2
 	}
-	t := &Tree{pool: pool, table: table, cfg: cfg, max: max, min: min}
-	id, data, err := pool.Allocate()
+	t := &Tree{pool: pool, table: table, cfg: cfg, max: max, min: min, level: level}
+	id, err := t.allocNode(&rpage.Node{Leaf: true})
 	if err != nil {
 		return nil, err
 	}
-	rpage.Write(data, &rpage.Node{Leaf: true})
-	pool.Unpin(id, true)
 	t.root = id
 	t.height = 1
 	return t, nil
@@ -148,7 +165,10 @@ func (t *Tree) writeNode(id store.PageID, n *rpage.Node) error {
 	if err != nil {
 		return err
 	}
-	rpage.Write(data, n)
+	if err := t.encodeNode(data, n); err != nil {
+		t.pool.Unpin(id, false)
+		return err
+	}
 	t.pool.Unpin(id, true)
 	return nil
 }
@@ -158,9 +178,28 @@ func (t *Tree) allocNode(n *rpage.Node) (store.PageID, error) {
 	if err != nil {
 		return store.NilPage, err
 	}
-	rpage.Write(data, n)
+	if err := t.encodeNode(data, n); err != nil {
+		t.pool.Unpin(id, false)
+		return store.NilPage, err
+	}
 	t.pool.Unpin(id, true)
 	return id, nil
+}
+
+// encodeNode serializes n at the tree's compression level. At the lossy
+// level the entries are immediately re-decoded from the page, so n's
+// in-memory rectangles match the stored (outward-rounded) ones — parents
+// that derive their child entry from n.MBR() then bound exactly what a
+// later decode of the child will see, keeping the containment chain
+// intact for queries and Validate alike.
+func (t *Tree) encodeNode(data []byte, n *rpage.Node) error {
+	if err := rpage.WriteLevel(data, n, t.level); err != nil {
+		return err
+	}
+	if rpage.Lossy(t.level) {
+		return rpage.ReadInto(data, n)
+	}
+	return nil
 }
 
 // pending is an entry awaiting (re)insertion at a given level
@@ -369,7 +408,8 @@ const maxHeight = 64
 // original tree's. Unlike earlier versions it does not allocate (and so
 // never grows the restored disk); the metadata is validated before use.
 func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*Tree, error) {
-	max := rpage.Capacity(pool.PageSize())
+	level := clampLevel(cfg.Compression)
+	max := rpage.CapacityLevel(pool.PageSize(), level)
 	if max < 4 {
 		return nil, fmt.Errorf("rstar: page size %d too small", pool.PageSize())
 	}
@@ -392,6 +432,6 @@ func Restore(pool *store.Pool, table *seg.Table, cfg Config, meta [3]uint64) (*T
 	if count < 0 || count > table.Len() {
 		return nil, fmt.Errorf("rstar: segment count %d exceeds table size %d", count, table.Len())
 	}
-	return &Tree{pool: pool, table: table, cfg: cfg, max: max, min: min,
+	return &Tree{pool: pool, table: table, cfg: cfg, max: max, min: min, level: level,
 		root: root, height: height, count: count}, nil
 }

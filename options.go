@@ -68,6 +68,27 @@ func WithPMRStoreMBR(enabled bool) Option {
 	return optionFunc(func(o *Options) { o.PMRStoreMBR = enabled })
 }
 
+// WithPageCompression selects the on-disk page format (default 0):
+//
+//	0  classic fixed-width pages, byte-identical to earlier versions;
+//	1  lossless compressed pages: B+-tree leaves (PMR quadtree, uniform
+//	   grid) delta-code their sorted keys as varints and bit-pack
+//	   payloads to the 14-bit world domain, R-tree-family nodes store
+//	   child rectangles as 16-bit offsets from the node MBR;
+//	2  as 1, but R-tree-family rectangles quantize to 8-bit lanes with
+//	   outward rounding — decoded rectangles conservatively contain the
+//	   originals, so query results are unchanged while fanout roughly
+//	   doubles again. The R+-tree and k-d-B-tree stay at the lossless
+//	   encoding (their regions must tile exactly), as do B+-tree leaves
+//	   (keys must round-trip).
+//
+// Pages are self-describing, so images written at different levels can
+// be read back regardless of the database's current setting; the level
+// only governs what new writes produce.
+func WithPageCompression(level int) Option {
+	return optionFunc(func(o *Options) { o.PageCompression = level })
+}
+
 // WithGridCells sets the uniform grid resolution per side (default 64).
 func WithGridCells(n int32) Option {
 	return optionFunc(func(o *Options) { o.GridCells = n })

@@ -1,0 +1,145 @@
+package segdb
+
+import (
+	"segdb/internal/btree"
+	"segdb/internal/grid"
+	"segdb/internal/pmr"
+	"segdb/internal/rpage"
+	"segdb/internal/rplus"
+	"segdb/internal/rstar"
+	"segdb/internal/store"
+)
+
+// rstarConfig builds the R*-tree/classic-R-tree configuration for these
+// options. Open, rebuildBulk, and restoreIndex must agree on this
+// mapping or a reopened index would use different parameters than the
+// one that wrote the pages.
+func (o Options) rstarConfig(kind Kind) rstar.Config {
+	cfg := rstar.DefaultConfig()
+	if kind == ClassicRTree {
+		cfg = rstar.GuttmanConfig()
+	}
+	cfg.Compression = o.PageCompression
+	return cfg
+}
+
+// rplusConfig builds the R+-tree/k-d-B-tree configuration.
+func (o Options) rplusConfig(kind Kind) rplus.Config {
+	cfg := rplus.DefaultConfig()
+	if kind == KDBTree {
+		cfg = rplus.KDBConfig()
+	}
+	cfg.Compression = o.PageCompression
+	return cfg
+}
+
+// pmrConfig builds the PMR quadtree configuration.
+func (o Options) pmrConfig() pmr.Config {
+	cfg := pmr.DefaultConfig()
+	cfg.SplittingThreshold = o.PMRThreshold
+	cfg.StoreMBR = o.PMRStoreMBR
+	cfg.Compression = o.PageCompression
+	return cfg
+}
+
+// gridConfig builds the uniform grid configuration.
+func (o Options) gridConfig() grid.Config {
+	return grid.Config{CellsPerSide: o.GridCells, Compression: o.PageCompression}
+}
+
+// PageFormatStats summarizes the physical format of the index's pages:
+// how many pages each on-disk encoding accounts for, and the effective
+// leaf fanout the format achieves. `lsdb verify` prints it, and the
+// bench's compression section derives its bytes/page and fanout columns
+// from it.
+type PageFormatStats struct {
+	// Level is the database's configured compression level (0..2).
+	Level int
+	// Pages is the number of index pages inspected.
+	Pages int
+	// Formats counts pages by physical encoding: "v1" (classic),
+	// "v3-16" / "v3-8" (compressed R-tree-family nodes, 16- and 8-bit
+	// lanes), "v3" (delta-coded B+-tree leaves).
+	Formats map[string]int
+	// Leaves and LeafEntries give the effective leaf fanout
+	// LeafEntries/Leaves — the quantity the paper's occupancy numbers
+	// (§7) measure.
+	Leaves      int
+	LeafEntries int
+	// BytesUsed is the total encoded payload across inspected pages;
+	// BytesUsed/Pages is the mean occupied bytes per page.
+	BytesUsed int
+}
+
+// AvgLeafFanout returns LeafEntries/Leaves (0 when there are no leaves).
+func (s PageFormatStats) AvgLeafFanout() float64 {
+	if s.Leaves == 0 {
+		return 0
+	}
+	return float64(s.LeafEntries) / float64(s.Leaves)
+}
+
+// AvgBytesPerPage returns BytesUsed/Pages (0 when there are no pages).
+func (s PageFormatStats) AvgBytesPerPage() float64 {
+	if s.Pages == 0 {
+		return 0
+	}
+	return float64(s.BytesUsed) / float64(s.Pages)
+}
+
+// PageFormatStats walks the index's disk image and classifies every
+// page. The pool is flushed first so the stored bytes reflect current
+// state; the walk itself reads the medium directly and charges no
+// simulated disk accesses.
+func (db *DB) PageFormatStats() (PageFormatStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.pool.Flush(); err != nil {
+		return PageFormatStats{}, err
+	}
+	stats := PageFormatStats{Level: db.opts.PageCompression, Formats: make(map[string]int)}
+	disk := db.pool.Disk()
+	valSize := db.btreeValSize()
+	for id := 0; id < disk.PageCount(); id++ {
+		data, err := disk.RawPage(store.PageID(id))
+		if err != nil {
+			return PageFormatStats{}, err
+		}
+		switch db.kind {
+		case PMRQuadtree, UniformGrid:
+			info, ok := btree.InspectPage(data, valSize)
+			if !ok {
+				continue
+			}
+			stats.Pages++
+			stats.Formats[info.Format]++
+			stats.BytesUsed += info.BytesUsed
+			if info.Leaf {
+				stats.Leaves++
+				stats.LeafEntries += info.Entries
+			}
+		default:
+			info, ok := rpage.Inspect(data)
+			if !ok {
+				continue
+			}
+			stats.Pages++
+			stats.Formats[info.Format]++
+			stats.BytesUsed += info.BytesUsed
+			if info.Leaf {
+				stats.Leaves++
+				stats.LeafEntries += info.Entries
+			}
+		}
+	}
+	return stats, nil
+}
+
+// btreeValSize returns the per-key payload size of the B+-tree backing
+// the index, 0 for the R-tree family.
+func (db *DB) btreeValSize() int {
+	if db.kind == PMRQuadtree && db.opts.PMRStoreMBR {
+		return 8
+	}
+	return 0
+}

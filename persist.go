@@ -17,10 +17,12 @@ import (
 )
 
 // fileMagic identifies a segdb database file ("SEGDB" + format version).
-// Format 002 embeds the checksummed disk-image layout; 001 files (no
+// Format 003 adds a page-compression word to the header; 002 files (no
+// compression word, always level 0) still load. 001 files (no
 // checksums) are rejected with a descriptive error.
 var (
-	fileMagic   = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '2'}
+	fileMagic   = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '3'}
+	fileMagicV2 = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '2'}
 	fileMagicV1 = [8]byte{'S', 'E', 'G', 'D', 'B', '0', '0', '1'}
 )
 
@@ -65,6 +67,7 @@ func (db *DB) writeSnapshot(w io.Writer) error {
 		boolWord(o.PMRStoreMBR),
 		uint32(o.GridCells),
 		uint32(len(meta)),
+		uint32(o.PageCompression),
 	}
 	// The header and metadata get their own CRC32 (the disk images that
 	// follow carry theirs): a bit flip in a config word must not silently
@@ -119,10 +122,16 @@ func loadImage(r io.Reader) (Kind, Options, []uint64, *seg.Table, *store.Disk, e
 	if magic == fileMagicV1 {
 		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: file uses the old unchecksummed format %q; re-save with this version", magic[:])
 	}
-	if magic != fileMagic {
+	if magic != fileMagic && magic != fileMagicV2 {
 		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: not a segdb file (magic %q)", magic[:])
 	}
-	var header [7]uint32
+	// Format 002 headers carry 7 words; 003 appends the page-compression
+	// level. Both are covered by the trailing CRC exactly as written.
+	headerWords := 8
+	if magic == fileMagicV2 {
+		headerWords = 7
+	}
+	header := make([]uint32, headerWords)
 	for i := range header {
 		if err := binary.Read(r, binary.LittleEndian, &header[i]); err != nil {
 			return 0, opts, nil, nil, nil, fmt.Errorf("segdb: reading header: %w", err)
@@ -138,6 +147,12 @@ func loadImage(r io.Reader) (Kind, Options, []uint64, *seg.Table, *store.Disk, e
 		// Pool sharding is runtime tuning, not part of the image; a
 		// loaded database starts on the paper-exact single-shard pool.
 		PoolShards: 1,
+	}
+	if headerWords > 7 {
+		opts.PageCompression = int(header[7])
+	}
+	if opts.PageCompression < 0 || opts.PageCompression > 2 {
+		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: implausible page compression level %d", opts.PageCompression)
 	}
 	if opts.PageSize < 64 || opts.PageSize > 1<<20 {
 		return 0, opts, nil, nil, nil, fmt.Errorf("segdb: implausible page size %d", opts.PageSize)
@@ -195,40 +210,29 @@ func loadImage(r io.Reader) (Kind, Options, []uint64, *seg.Table, *store.Disk, e
 func restoreIndex(kind Kind, opts Options, pool *store.Pool, table *seg.Table, meta []uint64) (core.Index, error) {
 	switch kind {
 	case RStarTree, ClassicRTree:
-		cfg := rstar.DefaultConfig()
-		if kind == ClassicRTree {
-			cfg = rstar.GuttmanConfig()
-		}
 		m, err := meta3(meta)
 		if err != nil {
 			return nil, err
 		}
-		return rstar.Restore(pool, table, cfg, m)
+		return rstar.Restore(pool, table, opts.rstarConfig(kind), m)
 	case RPlusTree, KDBTree:
-		cfg := rplus.DefaultConfig()
-		if kind == KDBTree {
-			cfg = rplus.KDBConfig()
-		}
 		m, err := meta3(meta)
 		if err != nil {
 			return nil, err
 		}
-		return rplus.Restore(pool, table, cfg, m)
+		return rplus.Restore(pool, table, opts.rplusConfig(kind), m)
 	case PMRQuadtree:
-		cfg := pmr.DefaultConfig()
-		cfg.SplittingThreshold = opts.PMRThreshold
-		cfg.StoreMBR = opts.PMRStoreMBR
 		m, err := meta4(meta)
 		if err != nil {
 			return nil, err
 		}
-		return pmr.Restore(pool, table, cfg, m)
+		return pmr.Restore(pool, table, opts.pmrConfig(), m)
 	case UniformGrid:
 		m, err := meta4(meta)
 		if err != nil {
 			return nil, err
 		}
-		return grid.Restore(pool, table, grid.Config{CellsPerSide: opts.GridCells}, m)
+		return grid.Restore(pool, table, opts.gridConfig(), m)
 	}
 	return nil, fmt.Errorf("segdb: unknown index kind %d in file", kind)
 }

@@ -166,6 +166,10 @@ type Options struct {
 	PMRStoreMBR bool
 	// GridCells is the uniform grid resolution per side (default 64).
 	GridCells int32
+	// PageCompression selects the on-disk page format level 0..2 (see
+	// WithPageCompression). Serialized by SaveTo: a compressed image
+	// reopens compressed.
+	PageCompression int
 	// BulkLoad makes Load build the index bottom-up through the bulk
 	// pipeline instead of per-segment insertion (see WithBulkLoad and
 	// AddBatch). A build-time switch: not serialized by SaveTo.
@@ -239,6 +243,9 @@ var dbSeq atomic.Uint64
 // Open(kind, &Options{...}) still compile and behave identically.
 func Open(kind Kind, opts ...Option) (*DB, error) {
 	o := resolveOptions(opts)
+	if o.PageCompression < 0 || o.PageCompression > 2 {
+		return nil, fmt.Errorf("segdb: invalid page compression level %d (want 0..2)", o.PageCompression)
+	}
 	table := seg.NewTableSharded(o.PageSize, o.PoolPages, o.PoolShards)
 	pool := store.NewShardedPool(store.NewDisk(o.PageSize), o.PoolPages, o.PoolShards)
 	var (
@@ -246,21 +253,14 @@ func Open(kind Kind, opts ...Option) (*DB, error) {
 		err error
 	)
 	switch kind {
-	case RStarTree:
-		ix, err = rstar.New(pool, table, rstar.DefaultConfig())
-	case ClassicRTree:
-		ix, err = rstar.New(pool, table, rstar.GuttmanConfig())
-	case RPlusTree:
-		ix, err = rplus.New(pool, table, rplus.DefaultConfig())
-	case KDBTree:
-		ix, err = rplus.New(pool, table, rplus.KDBConfig())
+	case RStarTree, ClassicRTree:
+		ix, err = rstar.New(pool, table, o.rstarConfig(kind))
+	case RPlusTree, KDBTree:
+		ix, err = rplus.New(pool, table, o.rplusConfig(kind))
 	case PMRQuadtree:
-		cfg := pmr.DefaultConfig()
-		cfg.SplittingThreshold = o.PMRThreshold
-		cfg.StoreMBR = o.PMRStoreMBR
-		ix, err = pmr.New(pool, table, cfg)
+		ix, err = pmr.New(pool, table, o.pmrConfig())
 	case UniformGrid:
-		ix, err = grid.New(pool, table, grid.Config{CellsPerSide: o.GridCells})
+		ix, err = grid.New(pool, table, o.gridConfig())
 	default:
 		err = fmt.Errorf("segdb: unknown index kind %v", kind)
 	}
