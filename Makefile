@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels bench-compress serve-smoke
+.PHONY: check build test vet staticcheck govulncheck race fuzz-smoke bench bench-smoke bench-kernels bench-compress bench-ingest serve-smoke
 
 # check is the full local gate: what CI runs.
 check: vet staticcheck govulncheck build race fuzz-smoke
@@ -85,6 +85,7 @@ bench-smoke:
 	@grep -q '"kernels"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the kernels section"; exit 1; }
 	@grep -q '"serve"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the serve section"; exit 1; }
 	@grep -q '"compression"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the compression section"; exit 1; }
+	@grep -q '"ingest"' BENCH_smoke.json || { echo "BENCH_smoke.json is missing the ingest section"; exit 1; }
 
 # bench-compress is the page-compression perf smoke: the enforced gate —
 # for every index kind, level-1 compressed pages must answer the window
@@ -94,6 +95,16 @@ bench-smoke:
 # is env-gated so plain `go test` never makes perf assertions.
 bench-compress:
 	SEGDB_BENCH_COMPRESS=1 $(GO) test -run TestCompressionGate -v -count=1 ./cmd/bench
+
+# bench-ingest is the staged-ingest smoke: the write storm from the
+# artifact's "ingest" section run small in both modes, gating on the
+# MVCC invariants rather than wall clock — zero reader-lock
+# acquisitions on staged query paths, at least one threshold
+# compaction, and the staged database answering exactly the same world
+# window as the exclusive-lock one after the identical stream. The test
+# is env-gated so plain `go test` stays deterministic and quick.
+bench-ingest:
+	SEGDB_BENCH_INGEST=1 $(GO) test -run TestIngestGate -v -count=1 ./cmd/bench
 
 # serve-smoke drives the serving tier end to end through the real lsdb
 # binary: `lsdb serve` on an ephemeral port, one of each query type plus

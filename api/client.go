@@ -113,6 +113,25 @@ func (c *Client) Incident(ctx context.Context, x, y int32) (*IncidentResponse, e
 	return &resp, nil
 }
 
+// Ingest routes segments into the live collection and returns their
+// assigned global IDs (in input order).
+func (c *Client) Ingest(ctx context.Context, segments []SegmentCoordsJSON) (*IngestResponse, error) {
+	var resp IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", &IngestRequest{Segments: segments}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Compact folds every shard's staging tier into its disk index.
+func (c *Client) Compact(ctx context.Context) (*CompactResponse, error) {
+	var resp CompactResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/compact", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Metrics fetches the server's counter and profile snapshot.
 func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
 	var resp MetricsResponse

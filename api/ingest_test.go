@@ -1,0 +1,123 @@
+package api
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"segdb"
+	"segdb/internal/router"
+)
+
+// stagedServer is testServer with staged-ingest shards, so POST
+// /v1/ingest lands writes that never block readers.
+func stagedServer(t *testing.T) (*Client, *router.Router, []segdb.Segment) {
+	t.Helper()
+	m, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := m.Segments[:1000]
+	r, err := router.Build(segdb.RStarTree, segs, 4, segdb.WithStagedIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{Router: r, Quantum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL, ts.Client()), r, segs
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	c, r, segs := stagedServer(t)
+	ctx := context.Background()
+
+	// Prime the cache over a quiet corner of the world.
+	const x1, y1, x2, y2 = 100, 100, 300, 300
+	before, err := c.Window(ctx, x1, y1, x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c.Window(ctx, x1, y1, x2, y2); err != nil {
+		t.Fatal(err)
+	} else if resp.Cache != "hit" {
+		t.Fatalf("second identical window: cache %q, want hit", resp.Cache)
+	}
+
+	// Ingest a segment inside the cached window.
+	ing, err := c.Ingest(ctx, []SegmentCoordsJSON{{X1: 150, Y1: 150, X2: 250, Y2: 250}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Count != 1 || len(ing.IDs) != 1 {
+		t.Fatalf("ingest response: %+v", ing)
+	}
+	if got, want := ing.IDs[0], uint32(len(segs)); got != want {
+		t.Fatalf("ingested global id = %d, want %d (continues the build numbering)", got, want)
+	}
+	if ing.Generation == 0 {
+		t.Fatal("ingest did not open a new cache generation")
+	}
+
+	// The cached pre-ingest answer must not be served: new generation,
+	// and the answer now includes the ingested segment.
+	after, err := c.Window(ctx, x1, y1, x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache != "miss" {
+		t.Fatalf("post-ingest window: cache %q, want miss (generation bumped)", after.Cache)
+	}
+	if after.Count != before.Count+1 {
+		t.Fatalf("post-ingest window count = %d, want %d", after.Count, before.Count+1)
+	}
+	found := false
+	for _, s := range after.Segments {
+		if s.ID == ing.IDs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-ingest window does not contain the ingested segment")
+	}
+
+	// Compaction folds the staging tiers; the answer is unchanged.
+	if resp, err := c.Compact(ctx); err != nil || resp.Status != "ok" {
+		t.Fatalf("compact: %+v, %v", resp, err)
+	}
+	final, err := c.Window(ctx, x1, y1, x2, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Count != after.Count {
+		t.Fatalf("window count changed across compaction: %d -> %d", after.Count, final.Count)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ingested != 1 || m.Generation == 0 {
+		t.Fatalf("metrics: ingested %d generation %d", m.Ingested, m.Generation)
+	}
+	if m.Segments != len(segs)+1 {
+		t.Fatalf("metrics segments = %d, want %d", m.Segments, len(segs)+1)
+	}
+	if r.Ingested() != 1 {
+		t.Fatalf("router ingested = %d, want 1", r.Ingested())
+	}
+}
+
+func TestIngestEndpointValidation(t *testing.T) {
+	c, _, _ := stagedServer(t)
+	ctx := context.Background()
+	if _, err := c.Ingest(ctx, nil); err == nil {
+		t.Fatal("empty ingest accepted")
+	}
+	if _, err := c.Ingest(ctx, []SegmentCoordsJSON{{X1: -5, Y1: 0, X2: 10, Y2: 10}}); err == nil {
+		t.Fatal("out-of-world ingest accepted")
+	}
+}

@@ -23,6 +23,8 @@ const (
 	DefaultMaxK         = 128
 	// maxBatchWindows bounds one POST /v1/window/batch request.
 	maxBatchWindows = 1024
+	// maxIngestSegments bounds one POST /v1/ingest request.
+	maxIngestSegments = 65536
 	// shutdownGrace bounds how long Run waits for in-flight requests
 	// after its context is canceled.
 	shutdownGrace = 5 * time.Second
@@ -59,7 +61,12 @@ type Server struct {
 	cache    *resultCache
 	start    time.Time
 	requests atomic.Uint64
-	mux      *http.ServeMux
+	// gen is the result-cache generation: every cache key embeds it and
+	// every ingest bumps it, so answers cached over the previous contents
+	// can never serve a post-ingest request. Stale entries age out of the
+	// LRU on their own.
+	gen atomic.Uint64
+	mux *http.ServeMux
 }
 
 // NewServer validates cfg, applies defaults, and builds the handler
@@ -91,6 +98,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/window/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/nearest", s.handleNearest)
 	s.mux.HandleFunc("GET /v1/incident", s.handleIncident)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
@@ -268,7 +277,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key := fmt.Sprintf("w:%d,%d,%d,%d", rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y)
+	key := fmt.Sprintf("g%d:w:%d,%d,%d,%d", s.gen.Load(), rect.Min.X, rect.Min.Y, rect.Max.X, rect.Max.Y)
 	if v, ok := s.cache.get(key); ok {
 		resp := *v.(*WindowResponse) // shallow copy; cached slices are read-only
 		resp.Cache = "hit"
@@ -363,7 +372,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, invalidf("api: k=%d exceeds the limit of %d", k, s.cfg.MaxK))
 		return
 	}
-	key := fmt.Sprintf("n:%d,%d,%d", x, y, k)
+	key := fmt.Sprintf("g%d:n:%d,%d,%d", s.gen.Load(), x, y, k)
 	if v, ok := s.cache.get(key); ok {
 		resp := *v.(*NearestResponse)
 		resp.Cache = "hit"
@@ -405,7 +414,7 @@ func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key := fmt.Sprintf("i:%d,%d", x, y)
+	key := fmt.Sprintf("g%d:i:%d,%d", s.gen.Load(), x, y)
 	if v, ok := s.cache.get(key); ok {
 		resp := *v.(*IncidentResponse)
 		resp.Cache = "hit"
@@ -437,6 +446,47 @@ func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, invalidf("api: ingest body: %v", err))
+		return
+	}
+	if len(req.Segments) == 0 {
+		writeError(w, invalidf("api: ingest has no segments"))
+		return
+	}
+	if len(req.Segments) > maxIngestSegments {
+		writeError(w, invalidf("api: ingest of %d segments exceeds the limit of %d", len(req.Segments), maxIngestSegments))
+		return
+	}
+	segs := make([]segdb.Segment, len(req.Segments))
+	for i, sc := range req.Segments {
+		segs[i] = segdb.Seg(sc.X1, sc.Y1, sc.X2, sc.Y2)
+	}
+	ids, err := s.router.Ingest(segs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Open a new cache generation: every answer cached so far described
+	// the pre-ingest contents.
+	gen := s.gen.Add(1)
+	resp := IngestResponse{Count: len(ids), IDs: make([]uint32, len(ids)), Generation: gen}
+	for i, id := range ids {
+		resp.IDs[i] = uint32(id)
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.router.Compact(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{Status: "ok"})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.counters()
 	total := s.router.Metrics()
@@ -450,6 +500,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:   misses,
 		DiskAccesses:  total.DiskAccesses,
 		PoolHitRatio:  total.HitRatio(),
+		Ingested:      s.router.Ingested(),
+		Generation:    s.gen.Load(),
 	}
 	if hits+misses > 0 {
 		resp.CacheHitRatio = float64(hits) / float64(hits+misses)

@@ -140,8 +140,38 @@ type MetricsResponse struct {
 	CacheHitRatio float64            `json:"cache_hit_ratio"`
 	DiskAccesses  uint64             `json:"disk_accesses"`
 	PoolHitRatio  float64            `json:"pool_hit_ratio"`
+	Ingested      uint64             `json:"ingested"`
+	Generation    uint64             `json:"generation"`
 	PerShard      []ShardMetricsJSON `json:"per_shard"`
 	Profile       []ProfileKindJSON  `json:"profile"`
+}
+
+// IngestRequest is the body of POST /v1/ingest: segments to route into
+// the live collection.
+type IngestRequest struct {
+	Segments []SegmentCoordsJSON `json:"segments"`
+}
+
+// SegmentCoordsJSON is one segment's endpoints, without an ID (the
+// server assigns global IDs on ingest).
+type SegmentCoordsJSON struct {
+	X1 int32 `json:"x1"`
+	Y1 int32 `json:"y1"`
+	X2 int32 `json:"x2"`
+	Y2 int32 `json:"y2"`
+}
+
+// IngestResponse reports the global IDs assigned to an ingested batch
+// (in input order) and the cache generation the ingest opened.
+type IngestResponse struct {
+	Count      int      `json:"count"`
+	IDs        []uint32 `json:"ids"`
+	Generation uint64   `json:"generation"`
+}
+
+// CompactResponse answers POST /v1/compact.
+type CompactResponse struct {
+	Status string `json:"status"`
 }
 
 // HealthResponse answers /healthz.

@@ -1,0 +1,180 @@
+// The staged-ingest experiment: sustained single-segment writes landing
+// against concurrent window readers, measured twice over the same base
+// map and write stream — once in staged-ingest mode (MVCC snapshots, an
+// LSM staging tier, readers take no lock) and once in the legacy
+// exclusive-lock mode (every Add mutates the index in place under the
+// writer lock while readers block on the RWMutex). The rows become the
+// artifact's "ingest" section: writes/sec and the reader latency tail
+// under identical write pressure, plus the staged run's compaction and
+// reader-lock counters (the latter must be zero — that is the whole
+// point of the design).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"segdb"
+)
+
+// ingestModeResult is one side of the comparison: the write throughput
+// the mode sustained and the latency distribution its concurrent
+// readers observed while the writes were landing.
+type ingestModeResult struct {
+	WritesPerSec    float64 `json:"writes_per_sec"`
+	ReaderOps       int     `json:"reader_ops"`
+	ReaderP50Micros int64   `json:"reader_p50_micros"`
+	ReaderP99Micros int64   `json:"reader_p99_micros"`
+}
+
+// ingestResult is the artifact's "ingest" section.
+type ingestResult struct {
+	Kind     string           `json:"kind"`
+	Segments int              `json:"segments"`
+	Writes   int              `json:"writes"`
+	Readers  int              `json:"readers"`
+	Staged   ingestModeResult `json:"staged"`
+	Locked   ingestModeResult `json:"exclusive_lock"`
+	// WriteSpeedup is staged writes/sec over exclusive-lock writes/sec.
+	WriteSpeedup float64 `json:"write_speedup"`
+	// StagedCompactions counts the staged run's threshold-triggered
+	// compactions plus the explicit final one.
+	StagedCompactions uint64 `json:"staged_compactions"`
+	// StagedLockedReads counts reader-lock acquisitions on the staged
+	// run's query paths. Anything but zero is a regression.
+	StagedLockedReads uint64 `json:"staged_locked_reads"`
+}
+
+// makeStream generates n deterministic short segments scattered over the
+// world — the write stream both modes ingest.
+func makeStream(n int, seed int64) []segdb.Segment {
+	rng := rand.New(rand.NewSource(seed))
+	segs := make([]segdb.Segment, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Int31n(segdb.WorldSize - 257)
+		y := rng.Int31n(segdb.WorldSize - 257)
+		segs = append(segs, segdb.Seg(x, y, x+rng.Int31n(255)+1, y+rng.Int31n(255)+1))
+	}
+	return segs
+}
+
+func quantileMicros(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runIngestMode drives one database: readers goroutines loop window
+// queries (timing each) while the caller's goroutine lands the write
+// stream one Add at a time. Readers stop once the stream is fully
+// ingested, but each completes at least one query so the latency rows
+// are never empty.
+func runIngestMode(db *segdb.DB, stream []segdb.Segment, rects []segdb.Rect, readers int) (ingestModeResult, error) {
+	sink := func(segdb.SegmentID, segdb.Segment) bool { return true }
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	lats := make([][]int64, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j == 0 || !stop.Load(); j++ {
+				r := rects[(j*readers+i)%len(rects)]
+				t := time.Now()
+				if err := db.Window(r, sink); err != nil {
+					errs[i] = err
+					return
+				}
+				lats[i] = append(lats[i], time.Since(t).Microseconds())
+			}
+		}(i)
+	}
+	start := time.Now()
+	var werr error
+	for _, s := range stream {
+		if _, err := db.Add(s); err != nil {
+			werr = err
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if werr != nil {
+		return ingestModeResult{}, werr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ingestModeResult{}, err
+		}
+	}
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return ingestModeResult{
+		WritesPerSec:    float64(len(stream)) / elapsed.Seconds(),
+		ReaderOps:       len(all),
+		ReaderP50Micros: quantileMicros(all, 0.5),
+		ReaderP99Micros: quantileMicros(all, 0.99),
+	}, nil
+}
+
+// collectIngestStats preloads the base map (bulk) into two R*-tree
+// databases — staged-ingest and legacy exclusive-lock — then runs the
+// identical write storm against each with readers concurrent window
+// queriers, and finally compacts the staged run.
+func collectIngestStats(m *segdb.MapData, writes, readers int) (*ingestResult, error) {
+	stream := makeStream(writes, 8871992)
+	rects := makeWindows(192, 40)
+	threshold := writes / 8
+	if threshold < 256 {
+		threshold = 256
+	}
+
+	staged, err := segdb.Open(segdb.RStarTree,
+		segdb.WithStagedIngest(), segdb.WithCompactThreshold(threshold))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := staged.AddBatch(m.Segments); err != nil {
+		return nil, err
+	}
+	locked, err := segdb.Open(segdb.RStarTree)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := locked.AddBatch(m.Segments); err != nil {
+		return nil, err
+	}
+
+	res := &ingestResult{
+		Kind:     segdb.RStarTree.String(),
+		Segments: len(m.Segments),
+		Writes:   writes,
+		Readers:  readers,
+	}
+	if res.Staged, err = runIngestMode(staged, stream, rects, readers); err != nil {
+		return nil, fmt.Errorf("staged: %w", err)
+	}
+	if res.Locked, err = runIngestMode(locked, stream, rects, readers); err != nil {
+		return nil, fmt.Errorf("exclusive-lock: %w", err)
+	}
+	res.StagedLockedReads = staged.LockedReads()
+	if err := staged.Compact(); err != nil {
+		return nil, err
+	}
+	res.StagedCompactions = staged.Metrics().Compactions
+	if res.Locked.WritesPerSec > 0 {
+		res.WriteSpeedup = res.Staged.WritesPerSec / res.Locked.WritesPerSec
+	}
+	return res, nil
+}

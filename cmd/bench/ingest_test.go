@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"segdb"
+)
+
+// TestIngestGate is the staged-ingest smoke gate (`make bench-ingest`):
+// a small write storm against concurrent readers in both modes, then
+// the invariants the MVCC design promises — readers took zero locks,
+// the threshold compacted the staging tier at least once, both modes
+// answered every reader query, and after ingesting the identical
+// stream the staged database serves exactly the same world window as
+// the exclusive-lock one. Wall-clock throughput is recorded by `make
+// bench`, not asserted here: this gate catches a correctness or
+// lock-discipline regression, not noise.
+func TestIngestGate(t *testing.T) {
+	if os.Getenv("SEGDB_BENCH_INGEST") == "" {
+		t.Skip("set SEGDB_BENCH_INGEST=1 to run the staged-ingest gate")
+	}
+	county, err := segdb.GenerateCounty("Charles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := subsample(county, 3000)
+
+	res, err := collectIngestStats(m, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StagedLockedReads != 0 {
+		t.Errorf("staged run acquired %d reader locks on query paths, want 0", res.StagedLockedReads)
+	}
+	if res.StagedCompactions == 0 {
+		t.Error("staged run never compacted (threshold compaction broken)")
+	}
+	if res.Staged.ReaderOps < res.Readers || res.Locked.ReaderOps < res.Readers {
+		t.Errorf("reader ops %d staged / %d locked, want >= %d each",
+			res.Staged.ReaderOps, res.Locked.ReaderOps, res.Readers)
+	}
+	if res.Staged.WritesPerSec <= 0 || res.Locked.WritesPerSec <= 0 {
+		t.Errorf("non-positive write throughput: %+v", res)
+	}
+
+	// Equivalence: the same stream through both modes yields the same
+	// answer (IDs included — both append in the same order).
+	stream := makeStream(200, 1)
+	staged, err := segdb.Open(segdb.UniformGrid, segdb.WithStagedIngest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err := segdb.Open(segdb.UniformGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []*segdb.DB{staged, locked} {
+		if _, err := db.AddBatch(m.Segments); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stream {
+			if _, err := db.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	world := segdb.RectOf(0, 0, segdb.WorldSize-1, segdb.WorldSize-1)
+	collect := func(db *segdb.DB) map[segdb.SegmentID]segdb.Segment {
+		got := map[segdb.SegmentID]segdb.Segment{}
+		if err := db.Window(world, func(id segdb.SegmentID, s segdb.Segment) bool {
+			got[id] = s
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	sg, lk := collect(staged), collect(locked)
+	if len(sg) != len(lk) {
+		t.Fatalf("world window: staged %d segments, exclusive-lock %d", len(sg), len(lk))
+	}
+	for id, s := range lk {
+		if sg[id] != s {
+			t.Fatalf("segment %d: staged %v, exclusive-lock %v", id, sg[id], s)
+		}
+	}
+	if staged.LockedReads() != 0 {
+		t.Errorf("equivalence staged db acquired %d reader locks, want 0", staged.LockedReads())
+	}
+}

@@ -3,7 +3,7 @@
 // perf trajectory: each PR can rerun `make bench` and diff against the
 // committed artifact.
 //
-// Six experiments run:
+// Seven experiments run:
 //
 //   - per-kind query stats: a fixed 512-window workload over a mid-size
 //     (~12k segment) county, reporting ops/sec, disk accesses per query,
@@ -34,7 +34,12 @@
 //     server, driven over loopback by the deterministic zipfian pan/zoom
 //     load generator from 4 client goroutines, reporting p50/p95/p99
 //     request latency, throughput, the result-cache hit ratio, and the
-//     per-shard disk-access balance, as the artifact's "serve" section.
+//     per-shard disk-access balance, as the artifact's "serve" section;
+//   - staged ingest: a sustained single-segment write storm landed
+//     against concurrent window readers, once in staged-MVCC mode (reads
+//     pin snapshots, no reader lock) and once in the legacy
+//     exclusive-lock mode, reporting writes/sec and the reader latency
+//     tail side by side as the artifact's "ingest" section.
 //
 // Usage:
 //
@@ -63,6 +68,7 @@ type artifact struct {
 	WindowBatch *batchResult         `json:"window_batch"`
 	Scaling     []*scalingExperiment `json:"scaling"`
 	Serve       *serveResult         `json:"serve"`
+	Ingest      *ingestResult        `json:"ingest"`
 }
 
 // sweepWorkers is the goroutine-count sweep of the scaling experiments.
@@ -311,6 +317,21 @@ func run(out string, windows int, quick bool) error {
 		art.Serve.OpsPerSec, art.Serve.Concurrency,
 		art.Serve.LatencyP50Micros, art.Serve.LatencyP95Micros, art.Serve.LatencyP99Micros,
 		100*art.Serve.CacheHitRatio, art.Serve.WindowOps, art.Serve.NearestOps, art.Serve.IncidentOps)
+
+	// Staged ingest: the same write storm landed against concurrent
+	// readers in staged-MVCC mode and in legacy exclusive-lock mode.
+	ingestMap, ingestWrites := perKind, 4000
+	if quick {
+		ingestWrites = 600
+	}
+	art.Ingest, err = collectIngestStats(ingestMap, ingestWrites, 4)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	fmt.Printf("ingest         %9.0f writes/s staged, %9.0f locked (%.2fx), reader p99 %d vs %dus, %d compactions, %d locked reads\n",
+		art.Ingest.Staged.WritesPerSec, art.Ingest.Locked.WritesPerSec, art.Ingest.WriteSpeedup,
+		art.Ingest.Staged.ReaderP99Micros, art.Ingest.Locked.ReaderP99Micros,
+		art.Ingest.StagedCompactions, art.Ingest.StagedLockedReads)
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

@@ -28,6 +28,7 @@ func serve(args []string) error {
 	cacheEntries := fs.Int("cache", api.DefaultCacheEntries, "result cache entries (negative disables)")
 	quantum := fs.Int("quantum", api.DefaultQuantum, "window cache tile size (1 serves exact windows)")
 	timeout := fs.Duration("timeout", api.DefaultTimeout, "per-request query timeout")
+	staged := fs.Bool("staged", true, "open shards in staged-ingest mode (POST /v1/ingest never blocks readers)")
 	fs.Parse(args)
 
 	kind, ok := indexKinds[*index]
@@ -39,7 +40,11 @@ func serve(args []string) error {
 		return err
 	}
 	start := time.Now()
-	r, err := router.Build(kind, m.Segments, *shards)
+	var buildOpts []segdb.Option
+	if *staged {
+		buildOpts = append(buildOpts, segdb.WithStagedIngest())
+	}
+	r, err := router.Build(kind, m.Segments, *shards, buildOpts...)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	iofs "io/fs"
+	"runtime"
+	"sort"
 
 	"segdb/internal/seg"
 	"segdb/internal/store"
@@ -165,11 +167,19 @@ func (db *DB) walDiskStates() [2]store.WALDiskState {
 // and truncates the log. Recovery time is proportional to the log since
 // the last checkpoint, so long-running writers should checkpoint
 // periodically. It takes the writer lock.
+//
+// In staged-ingest mode a non-empty staging tier is compacted first:
+// the checkpoint image is the disk state, so the invariant "checkpoint
+// ⇒ empty memtable" keeps the image complete (compaction itself cuts
+// the checkpoint in that case).
 func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.walfs == nil {
 		return ErrNoWAL
+	}
+	if db.stagedMode() && (db.mem.Len() > 0 || len(db.tombs) > 0) {
+		return db.compactLocked()
 	}
 	return db.checkpointLocked()
 }
@@ -248,6 +258,9 @@ type RecoveryReport struct {
 	TornTail bool
 	// Seq is the mutation count of the recovered state.
 	Seq uint64
+	// StagedReplayed counts staged-ingest operations (memtable adds and
+	// deletes) found in the log and folded into the rebuilt index.
+	StagedReplayed int
 }
 
 // Recover reopens a crashed (or cleanly closed) durable database from
@@ -278,20 +291,23 @@ func RecoverFS(wfs WALFS, opts ...Option) (*DB, *RecoveryReport, error) {
 	dbOpts.Tracer = o.Tracer
 	dbOpts.RetryPolicy = o.RetryPolicy
 	dbOpts.DegradedReads = o.DegradedReads
+	dbOpts.StagedIngest = o.StagedIngest
+	dbOpts.CompactThreshold = o.CompactThreshold
 	pool := store.NewShardedPool(st.disk, dbOpts.PoolPages, dbOpts.PoolShards)
 	ix, err := restoreIndex(st.kind, dbOpts, pool, st.table, st.meta)
 	if err != nil {
 		return nil, nil, err
 	}
 	db := &DB{
-		seq:    dbSeq.Add(1),
-		kind:   st.kind,
-		opts:   dbOpts,
-		table:  st.table,
-		pool:   pool,
-		index:  ix,
-		tracer: dbOpts.Tracer,
+		seq:   dbSeq.Add(1),
+		kind:  st.kind,
+		opts:  dbOpts,
+		table: st.table,
+		pool:  pool,
+		index: ix,
 	}
+	db.setTracer(dbOpts.Tracer)
+	db.degraded.Store(dbOpts.DegradedReads)
 	if dbOpts.FaultPolicy != nil {
 		db.pool.Disk().SetFaultPolicy(dbOpts.FaultPolicy)
 		db.table.Disk().SetFaultPolicy(dbOpts.FaultPolicy)
@@ -305,8 +321,22 @@ func RecoverFS(wfs WALFS, opts ...Option) (*DB, *RecoveryReport, error) {
 	db.walSeq = st.seq
 	db.pool.Disk().SetJournal(true)
 	db.table.Disk().SetJournal(true)
+	if len(st.staged) > 0 {
+		// The log holds staged-ingest operations: the previous run's
+		// memtable. Its segment geometry is already in the replayed table
+		// pages; fold the operations into the index by rebuilding it over
+		// the final live set ("recovery replays the memtable").
+		if err := db.foldStagedRecovery(st.staged); err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := db.checkpointLocked(); err != nil {
 		return nil, nil, err
+	}
+	if o.StagedIngest {
+		if err := db.initStaged(); err != nil {
+			return nil, nil, err
+		}
 	}
 	return db, &RecoveryReport{
 		CheckpointEpoch: st.epoch,
@@ -315,7 +345,36 @@ func RecoverFS(wfs WALFS, opts ...Option) (*DB, *RecoveryReport, error) {
 		PagesReplayed:   st.pages,
 		TornTail:        st.torn,
 		Seq:             st.seq,
+		StagedReplayed:  len(st.staged),
 	}, nil
+}
+
+// foldStagedRecovery applies replayed staged operations to the
+// recovered base index: the live set after the operations is the base's
+// live segments plus staged adds minus every delete, and the index is
+// bulk-rebuilt over it.
+func (db *DB) foldStagedRecovery(ops []store.WALStagedOp) error {
+	base, err := db.collectLiveIDs(db.index)
+	if err != nil {
+		return err
+	}
+	live := make(map[seg.ID]bool, len(base)+len(ops))
+	for _, id := range base {
+		live[id] = true
+	}
+	for _, op := range ops {
+		if op.Del {
+			delete(live, seg.ID(op.ID))
+		} else {
+			live[seg.ID(op.ID)] = true
+		}
+	}
+	ids := make([]seg.ID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return db.rebuildBulk(ids)
 }
 
 // replayedState is the durable state of a WAL directory, materialized:
@@ -334,6 +393,11 @@ type replayedState struct {
 	txns      int
 	pages     int
 	torn      bool
+
+	// staged is the concatenation of every committed transaction's
+	// staged-ingest operations, in commit order: the previous run's
+	// memtable as the log remembers it.
+	staged []store.WALStagedOp
 }
 
 // replayDurableState loads the checkpoint and rolls the WAL forward over
@@ -401,6 +465,7 @@ func replayDurableState(wfs store.WALFS) (*replayedState, error) {
 			st.pages++
 		}
 		st.txns++
+		st.staged = append(st.staged, txn.Staged...)
 		last = &txn.Commit
 	}
 	if last != nil {
@@ -475,7 +540,12 @@ func (db *DB) Scrub() (*ScrubReport, error) {
 }
 
 // repairPages rewrites each bad page of the live disk from the shadow
-// (durable) disk and discards any stale cached copy.
+// (durable) disk and discards any stale cached copy. In staged-ingest
+// mode queries hold no lock, so a snapshot reader may have the stale
+// frame pinned at this instant; pins are released at page granularity
+// within queries, so a short bounded spin drains them. A frame that
+// stays pinned is a bug, not contention — fail loudly rather than leave
+// a silently stale cache over a repaired page.
 func (db *DB) repairPages(pool *store.Pool, shadow *store.Disk, bad []PageID, r *ScrubReport) error {
 	disk := pool.Disk()
 	for _, id := range bad {
@@ -489,7 +559,14 @@ func (db *DB) repairPages(pool *store.Pool, shadow *store.Disk, bad []PageID, r 
 		if err := disk.RawRestore(id, data); err != nil {
 			return err
 		}
-		pool.Discard(id)
+		dropped := pool.Discard(id)
+		for spin := 0; !dropped && spin < 10000; spin++ {
+			runtime.Gosched()
+			dropped = pool.Discard(id)
+		}
+		if !dropped {
+			return fmt.Errorf("segdb: page %d stayed pinned throughout scrub repair; stale cache not discarded", id)
+		}
 		r.Repaired++
 	}
 	return nil
@@ -538,11 +615,14 @@ func (db *DB) SetRetryPolicy(rp *RetryPolicy) {
 
 // SetDegradedReads toggles degraded-read mode at runtime (see
 // WithDegradedReads): queries skip quarantined pages, reporting them in
-// QueryStats.SkippedPages, instead of failing.
+// QueryStats.SkippedPages, instead of failing. The flag itself is
+// atomic (queries read it lock-free); the writer lock keeps the Options
+// mirror consistent for observers.
 func (db *DB) SetDegradedReads(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.opts.DegradedReads = on
+	db.degraded.Store(on)
 }
 
 // WALSize returns the current write-ahead log size in bytes, or 0 with

@@ -30,16 +30,19 @@ func normalizeParallelism(p int) int {
 // queries not yet started never run, leaving their stats zero.
 // parallelism <= 0 uses GOMAXPROCS workers.
 //
-// The batch holds the database's reader lock, so it runs concurrently
-// with other queries but never with writes. Per-query result sets are
-// identical to sequential execution; the paper's counters (disk page
+// The batch holds one read acquisition — the database's reader lock,
+// or in staged-ingest mode one pinned snapshot, so every rectangle of
+// the batch sees the same version. It runs concurrently with other
+// queries but never against a half-applied write. Per-query result sets
+// are identical to sequential execution; the paper's counters (disk page
 // requests, segment comparisons, bounding box computations) total
 // exactly the same as a sequential replay, though the split of page
 // requests into pool hits versus misses depends on how the workers
 // interleave.
 func (db *DB) WindowBatchCtx(ctx context.Context, rects []Rect, parallelism int, visit func(query int, id SegmentID, s Segment) bool) ([]QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	h := db.acquireRead()
+	defer h.release()
+	ix := h.index()
 	if len(rects) == 0 {
 		return nil, nil
 	}
@@ -47,8 +50,9 @@ func (db *DB) WindowBatchCtx(ctx context.Context, rects []Rect, parallelism int,
 	var stop atomic.Bool // a visitor said stop; drain the remaining queries
 	err := parallelRange(len(rects), normalizeParallelism(parallelism), func(q int) error {
 		o := db.begin(ctx, qkWindowBatch)
+		o.SetEpoch(h.version())
 		canceled := false
-		werr := db.index.WindowObs(rects[q], func(id SegmentID, s Segment) bool {
+		werr := ix.WindowObs(rects[q], func(id SegmentID, s Segment) bool {
 			if stop.Load() {
 				canceled = true
 				return false

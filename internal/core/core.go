@@ -133,6 +133,17 @@ type Metrics struct {
 	// RetryPolicy (transient injected faults absorbed instead of
 	// surfacing to the caller).
 	Retries uint64
+	// StagedOps counts mutations absorbed by the in-memory staging tier
+	// instead of the disk index (staged-ingest mode); Compactions counts
+	// how many times the staging tier was folded into the base index by
+	// a bulk rebuild. Both are facade-level counters: Snapshot leaves
+	// them zero and DB.Metrics fills them in.
+	StagedOps   uint64
+	Compactions uint64
+	// BulkMerges counts AddBatch calls on a non-empty database that went
+	// through the bulk merge path — the batches that, before staged
+	// ingest existed, silently degraded to a one-at-a-time Add loop.
+	BulkMerges uint64
 }
 
 // HitRatio returns the fraction of page requests served from the buffer
@@ -167,6 +178,9 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		PoolHits:     m.PoolHits - prev.PoolHits,
 		PoolRequests: m.PoolRequests - prev.PoolRequests,
 		Retries:      m.Retries - prev.Retries,
+		StagedOps:    m.StagedOps - prev.StagedOps,
+		Compactions:  m.Compactions - prev.Compactions,
+		BulkMerges:   m.BulkMerges - prev.BulkMerges,
 	}
 }
 
@@ -179,6 +193,9 @@ func (m Metrics) Add(o Metrics) Metrics {
 		PoolHits:     m.PoolHits + o.PoolHits,
 		PoolRequests: m.PoolRequests + o.PoolRequests,
 		Retries:      m.Retries + o.Retries,
+		StagedOps:    m.StagedOps + o.StagedOps,
+		Compactions:  m.Compactions + o.Compactions,
+		BulkMerges:   m.BulkMerges + o.BulkMerges,
 	}
 }
 

@@ -6,6 +6,36 @@ import (
 	"segdb/internal/seg"
 )
 
+// JoinLiveNestedLoopObs is JoinNestedLoopObs with the outer relation
+// enumerated *through the index* instead of by a raw table scan: a
+// world-window traversal of a yields exactly the live segments — those
+// neither deleted nor tombstoned by a staging tier — so the join is
+// correct for indexes with deletions and for merged snapshot views,
+// where the table retains slots the index no longer answers for. Each
+// live outer segment probes b with a window query on its bounding box,
+// exactly like JoinNestedLoopObs.
+func JoinLiveNestedLoopObs(a, b Index, visit func(idA, idB seg.ID, sA, sB geom.Segment) bool, o *obs.Op) error {
+	var innerErr error
+	stopped := false
+	err := a.WindowObs(geom.World(), func(idA seg.ID, sA geom.Segment) bool {
+		innerErr = b.WindowObs(sA.Bounds(), func(idB seg.ID, sB geom.Segment) bool {
+			if !geom.SegmentsIntersect(sA, sB) {
+				return true
+			}
+			if !visit(idA, idB, sA, sB) {
+				stopped = true
+				return false
+			}
+			return true
+		}, o)
+		return innerErr == nil && !stopped
+	}, o)
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
 // JoinNestedLoop finds every intersecting pair of segments between two
 // indexes with an index nested-loop join: the outer relation (a's segment
 // table) is scanned in storage order and each segment probes b with a

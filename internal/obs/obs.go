@@ -57,6 +57,17 @@ type Stats struct {
 	// and the query returned partial results instead of aborting. Always
 	// zero outside degraded mode.
 	SkippedPages uint64
+	// StagedHits counts results this query served from the in-memory
+	// staging tier (LSM memtable) rather than the base index snapshot.
+	// Always zero outside staged-ingest mode; staging-tier work touches
+	// no disk pages, so it appears in no other counter.
+	StagedHits uint64
+	// Epoch is the snapshot version the query ran against in
+	// staged-ingest mode: the count of mutations visible to it. Two
+	// queries with the same Epoch saw the identical database state.
+	// Zero outside staged-ingest mode (where queries serialize against
+	// writes with a lock instead).
+	Epoch uint64
 	// Wall is the elapsed wall-clock time of the query, filled in by
 	// Op.Finish.
 	Wall time.Duration
@@ -67,7 +78,8 @@ type Stats struct {
 func (s Stats) DiskAccesses() uint64 { return s.DiskReads + s.DiskWrites }
 
 // Add returns the field-wise sum (wall times add too, giving total busy
-// time when summing over a batch).
+// time when summing over a batch). Epoch is not a counter: the sum
+// keeps the receiver's.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
 		DiskReads:    s.DiskReads + o.DiskReads,
@@ -78,12 +90,15 @@ func (s Stats) Add(o Stats) Stats {
 		NodeComps:    s.NodeComps + o.NodeComps,
 		Retries:      s.Retries + o.Retries,
 		SkippedPages: s.SkippedPages + o.SkippedPages,
+		StagedHits:   s.StagedHits + o.StagedHits,
+		Epoch:        s.Epoch,
 		Wall:         s.Wall + o.Wall,
 	}
 }
 
 // Sub returns the field-wise difference (for diffing two cumulative
-// snapshots expressed as Stats).
+// snapshots expressed as Stats). Epoch is not a counter: the difference
+// keeps the receiver's.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
 		DiskReads:    s.DiskReads - o.DiskReads,
@@ -94,6 +109,8 @@ func (s Stats) Sub(o Stats) Stats {
 		NodeComps:    s.NodeComps - o.NodeComps,
 		Retries:      s.Retries - o.Retries,
 		SkippedPages: s.SkippedPages - o.SkippedPages,
+		StagedHits:   s.StagedHits - o.StagedHits,
+		Epoch:        s.Epoch,
 		Wall:         s.Wall - o.Wall,
 	}
 }
@@ -128,6 +145,10 @@ type Op struct {
 	// aborting on an unreadable page.
 	degraded bool
 
+	// epoch is the snapshot version the query pinned (staged-ingest
+	// mode); set once by the facade before the query runs.
+	epoch uint64
+
 	diskReads  atomic.Uint64
 	diskWrites atomic.Uint64
 	poolHits   atomic.Uint64
@@ -135,6 +156,7 @@ type Op struct {
 	nodeComps  atomic.Uint64
 	retries    atomic.Uint64
 	skipped    atomic.Uint64
+	staged     atomic.Uint64
 }
 
 // opPool recycles Op allocations across queries, so a warm query's hot
@@ -156,6 +178,7 @@ func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
 	o.end = time.Time{}
 	o.done = nil
 	o.degraded = false
+	o.epoch = 0
 	if ctx != nil {
 		o.done = ctx.Done()
 	}
@@ -166,6 +189,7 @@ func Begin(ctx context.Context, tracer Tracer, info QueryInfo) *Op {
 	o.nodeComps.Store(0)
 	o.retries.Store(0)
 	o.skipped.Store(0)
+	o.staged.Store(0)
 	if tracer != nil {
 		tracer.QueryStart(info)
 	}
@@ -206,6 +230,24 @@ func (o *Op) SetDegraded(on bool) {
 
 // Degraded reports whether the query runs in degraded-read mode.
 func (o *Op) Degraded() bool { return o != nil && o.degraded }
+
+// SetEpoch records the snapshot version the query pinned (staged-ingest
+// mode). Like SetDegraded it must be called before the query's first
+// charge; the facade sets it right after Begin.
+func (o *Op) SetEpoch(v uint64) {
+	if o == nil {
+		return
+	}
+	o.epoch = v
+}
+
+// StagedHit charges one result served from the staging tier.
+func (o *Op) StagedHit() {
+	if o == nil {
+		return
+	}
+	o.staged.Add(1)
+}
 
 // Done exposes the query context's cancellation channel (nil when the
 // query cannot be canceled, which blocks forever in a select — the
@@ -323,6 +365,8 @@ func (o *Op) Stats() Stats {
 		NodeComps:    o.nodeComps.Load(),
 		Retries:      o.retries.Load(),
 		SkippedPages: o.skipped.Load(),
+		StagedHits:   o.staged.Load(),
+		Epoch:        o.epoch,
 		Wall:         o.wall(),
 	}
 }

@@ -49,6 +49,19 @@ func addCounters(dst *segdb.QueryStats, src segdb.QueryStats) {
 	dst.Wall = wall
 }
 
+// xlate translates a shard-local ID to a global ID through view v,
+// falling back to the shard's current view when the local ID postdates
+// v: a shard query pins its snapshot after the fan-out loaded v, so it
+// can return a segment ingested in between. Ingest publishes routing
+// metadata before the shard absorbs a segment, so the current view
+// always covers every queryable local ID.
+func xlate(sh *Shard, v *shardView, lid segdb.SegmentID) segdb.SegmentID {
+	if int(lid) < len(v.global) {
+		return v.global[lid]
+	}
+	return sh.view.Load().global[lid]
+}
+
 // firstError returns the first non-nil error in shard order, so the
 // reported error is deterministic however the fan-out interleaved.
 func firstError(errs []error) error {
@@ -77,21 +90,25 @@ func (r *Router) WindowAppendCtx(ctx context.Context, rect segdb.Rect, dst []seg
 // its own kind).
 func (r *Router) windowAppend(ctx context.Context, rect segdb.Rect, dst []segdb.WindowHit) ([]segdb.WindowHit, segdb.QueryStats, error) {
 	var st segdb.QueryStats
-	var cand []*Shard
+	type shardCand struct {
+		sh *Shard
+		v  *shardView
+	}
+	var cand []shardCand
 	for _, sh := range r.shards {
-		if sh.nonempty && sh.coverage.Intersects(rect) {
-			cand = append(cand, sh)
+		if v := sh.view.Load(); v.nonempty && v.coverage.Intersects(rect) {
+			cand = append(cand, shardCand{sh, v})
 		}
 	}
 	switch len(cand) {
 	case 0:
 		return dst, st, nil
 	case 1:
-		sh := cand[0]
+		c := cand[0]
 		base := len(dst)
-		dst, st, err := sh.db.WindowAppendCtx(ctx, rect, dst)
+		dst, st, err := c.sh.db.WindowAppendCtx(ctx, rect, dst)
 		for i := base; i < len(dst); i++ {
-			dst[i].ID = sh.global[dst[i].ID]
+			dst[i].ID = xlate(c.sh, c.v, dst[i].ID)
 		}
 		sortWindowHits(dst[base:])
 		return dst, st, err
@@ -100,17 +117,17 @@ func (r *Router) windowAppend(ctx context.Context, rect segdb.Rect, dst []segdb.
 	stats := make([]segdb.QueryStats, len(cand))
 	errs := make([]error, len(cand))
 	var wg sync.WaitGroup
-	for i, sh := range cand {
+	for i, c := range cand {
 		wg.Add(1)
-		go func(i int, sh *Shard) {
+		go func(i int, c shardCand) {
 			defer wg.Done()
 			buf := windowBufPool.Get().(*[]segdb.WindowHit)
-			*buf, stats[i], errs[i] = sh.db.WindowAppendCtx(ctx, rect, (*buf)[:0])
+			*buf, stats[i], errs[i] = c.sh.db.WindowAppendCtx(ctx, rect, (*buf)[:0])
 			for j := range *buf {
-				(*buf)[j].ID = sh.global[(*buf)[j].ID]
+				(*buf)[j].ID = xlate(c.sh, c.v, (*buf)[j].ID)
 			}
 			bufs[i] = buf
-		}(i, sh)
+		}(i, c)
 	}
 	wg.Wait()
 	base := len(dst)
@@ -213,7 +230,8 @@ func (r *Router) windowAppendSequential(ctx context.Context, rect segdb.Rect, ds
 	var st segdb.QueryStats
 	base := len(dst)
 	for _, sh := range r.shards {
-		if !sh.nonempty || !sh.coverage.Intersects(rect) {
+		v := sh.view.Load()
+		if !v.nonempty || !v.coverage.Intersects(rect) {
 			continue
 		}
 		mark := len(dst)
@@ -225,7 +243,7 @@ func (r *Router) windowAppendSequential(ctx context.Context, rect segdb.Rect, ds
 			return dst, st, err
 		}
 		for i := mark; i < len(dst); i++ {
-			dst[i].ID = sh.global[dst[i].ID]
+			dst[i].ID = xlate(sh, v, dst[i].ID)
 		}
 	}
 	sortWindowHits(dst[base:])
@@ -276,12 +294,13 @@ func (r *Router) nearestKAppend(ctx context.Context, p segdb.Point, k int, dst [
 	}
 	type cand struct {
 		sh *Shard
+		v  *shardView
 		lb float64
 	}
 	cands := make([]cand, 0, len(r.shards))
 	for _, sh := range r.shards {
-		if sh.nonempty {
-			cands = append(cands, cand{sh, sh.coverage.DistSqToPoint(p)})
+		if v := sh.view.Load(); v.nonempty {
+			cands = append(cands, cand{sh, v, v.coverage.DistSqToPoint(p)})
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
@@ -304,7 +323,7 @@ func (r *Router) nearestKAppend(ctx context.Context, p segdb.Point, k int, dst [
 			return dst, st, err
 		}
 		for _, res := range *buf {
-			res.ID = c.sh.global[res.ID]
+			res.ID = xlate(c.sh, c.v, res.ID)
 			h.push(res)
 		}
 	}
@@ -327,12 +346,13 @@ func (r *Router) incidentAt(ctx context.Context, p segdb.Point, visit func(segdb
 	hits := (*buf)[:0]
 	var ferr error
 	for _, sh := range r.shards {
-		if !sh.nonempty || !sh.coverage.ContainsPoint(p) {
+		v := sh.view.Load()
+		if !v.nonempty || !v.coverage.ContainsPoint(p) {
 			continue
 		}
 		mark := len(hits)
 		sst, err := sh.db.IncidentAtCtx(ctx, p, func(id segdb.SegmentID, s segdb.Segment) bool {
-			hits = append(hits, segdb.WindowHit{ID: sh.global[id], Seg: s})
+			hits = append(hits, segdb.WindowHit{ID: xlate(sh, v, id), Seg: s})
 			return true
 		})
 		addCounters(&st, sst)
@@ -402,7 +422,8 @@ func (r *Router) OverlayCtx(ctx context.Context, other *segdb.DB, parallelism in
 	var stop atomic.Bool
 	err := parallelRange(len(r.shards), parallelism, func(si int) error {
 		sh := r.shards[si]
-		if !sh.nonempty {
+		v := sh.view.Load()
+		if !v.nonempty {
 			return nil
 		}
 		canceled := false
@@ -412,7 +433,7 @@ func (r *Router) OverlayCtx(ctx context.Context, other *segdb.DB, parallelism in
 				canceled = true
 				return false
 			}
-			if !visit(sh.global[la], lb, sa, sb) {
+			if !visit(xlate(sh, v, la), lb, sa, sb) {
 				stop.Store(true)
 				canceled = true
 				return false

@@ -30,9 +30,14 @@
 //
 // # Concurrency
 //
-// A Router is immutable after Build: queries may run from any number of
-// goroutines with no Router-level locking (each shard DB retains its
-// own reader/writer discipline underneath).
+// The shard set is fixed at Build, but the collection is not read-only:
+// Ingest routes new segments to shards (each a plain DB.Add underneath)
+// and republishes the routing metadata — per-shard global-ID maps and
+// coverage rectangles — through atomic pointers, so queries never take a
+// Router-level lock: each fan-out pins the metadata snapshot it starts
+// with, exactly the discipline the shard DBs' own staged-ingest mode
+// applies one level down. Build the shards with segdb.WithStagedIngest
+// and ingest never blocks readers at either level.
 package router
 
 import (
@@ -47,11 +52,20 @@ import (
 )
 
 // Shard is one partition of a Router: a private DB plus the bookkeeping
-// that routes and translates queries.
+// that routes and translates queries. The bookkeeping lives in an
+// atomically published shardView so Ingest can extend it while queries
+// fan out lock-free.
 type Shard struct {
-	db *segdb.DB
+	db   *segdb.DB
+	view atomic.Pointer[shardView]
+}
+
+// shardView is the immutable routing metadata of one shard: queries
+// load it once per fan-out and Ingest publishes a successor, never
+// mutating a view in place.
+type shardView struct {
 	// global maps the shard's local segment IDs (0..len-1, the order the
-	// shard's segments were bulk-added) to global IDs.
+	// shard's segments were added) to global IDs.
 	global []segdb.SegmentID
 	// coverage is the union of the bounds of every segment stored in the
 	// shard — the rectangle fan-out prunes against. Valid only when
@@ -66,10 +80,13 @@ func (s *Shard) DB() *segdb.DB { return s.db }
 
 // Coverage returns the union of the shard's segment bounds and whether
 // the shard holds any segments at all.
-func (s *Shard) Coverage() (segdb.Rect, bool) { return s.coverage, s.nonempty }
+func (s *Shard) Coverage() (segdb.Rect, bool) {
+	v := s.view.Load()
+	return v.coverage, v.nonempty
+}
 
-// Len returns the number of segments in the shard.
-func (s *Shard) Len() int { return len(s.global) }
+// Len returns the number of segments routed to the shard.
+func (s *Shard) Len() int { return len(s.view.Load().global) }
 
 // shardLoc locates a global segment: which shard holds it and under
 // which local ID.
@@ -84,7 +101,14 @@ type shardLoc struct {
 type Router struct {
 	kind   segdb.Kind
 	shards []*Shard
-	home   []shardLoc // global ID -> (shard, local ID)
+	// home maps global IDs to (shard, local ID). Published atomically:
+	// Ingest appends under ingestMu and stores a new slice; readers load
+	// whatever mapping was current when they started.
+	home atomic.Pointer[[]shardLoc]
+	// ingestMu serializes Ingest and Compact against each other; queries
+	// never take it.
+	ingestMu sync.Mutex
+	ingested atomic.Uint64
 
 	prof [numQueryKinds]kindProfile
 }
@@ -166,8 +190,9 @@ func Build(kind segdb.Kind, segs []segdb.Segment, shards int, opts ...segdb.Opti
 	r := &Router{
 		kind:   kind,
 		shards: make([]*Shard, shards),
-		home:   make([]shardLoc, len(segs)),
 	}
+	home := make([]shardLoc, len(segs))
+	r.home.Store(&home)
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -178,20 +203,22 @@ func Build(kind segdb.Kind, segs []segdb.Segment, shards int, opts ...segdb.Opti
 		// Router builds the byte-identical index an unsharded AddBatch
 		// over segs would.
 		sort.Slice(part, func(i, j int) bool { return part[i].gi < part[j].gi })
-		sh := &Shard{global: make([]segdb.SegmentID, len(part))}
+		sh := &Shard{}
+		v := &shardView{global: make([]segdb.SegmentID, len(part))}
 		r.shards[si] = sh
 		sub := make([]segdb.Segment, len(part))
 		for li, e := range part {
 			sub[li] = segs[e.gi]
-			sh.global[li] = segdb.SegmentID(e.gi)
-			r.home[e.gi] = shardLoc{shard: int32(si), local: segdb.SegmentID(li)}
+			v.global[li] = segdb.SegmentID(e.gi)
+			home[e.gi] = shardLoc{shard: int32(si), local: segdb.SegmentID(li)}
 			b := sub[li].Bounds()
-			if !sh.nonempty {
-				sh.coverage, sh.nonempty = b, true
+			if !v.nonempty {
+				v.coverage, v.nonempty = b, true
 			} else {
-				sh.coverage = sh.coverage.Union(b)
+				v.coverage = v.coverage.Union(b)
 			}
 		}
+		sh.view.Store(v)
 		wg.Add(1)
 		go func(sh *Shard, sub []segdb.Segment) {
 			defer wg.Done()
@@ -261,7 +288,7 @@ func cut(es []entry, leaves, axis int, out [][]entry) [][]entry {
 func (r *Router) Kind() segdb.Kind { return r.kind }
 
 // Len returns the total number of segments across all shards.
-func (r *Router) Len() int { return len(r.home) }
+func (r *Router) Len() int { return len(*r.home.Load()) }
 
 // Shards returns the number of shards.
 func (r *Router) Shards() int { return len(r.shards) }
@@ -272,11 +299,135 @@ func (r *Router) Shard(i int) *Shard { return r.shards[i] }
 // Get fetches a segment's endpoints by global ID, routed to its home
 // shard.
 func (r *Router) Get(id segdb.SegmentID) (segdb.Segment, error) {
-	if int(id) >= len(r.home) {
+	home := *r.home.Load()
+	if int(id) >= len(home) {
 		return segdb.Segment{}, fmt.Errorf("router: segment %d out of range: %w", id, segdb.ErrInvalidArgument)
 	}
-	loc := r.home[id]
+	loc := home[id]
 	return r.shards[loc.shard].db.Get(loc.local)
+}
+
+// Ingested returns how many segments Ingest has routed into the
+// collection since Build.
+func (r *Router) Ingested() uint64 { return r.ingested.Load() }
+
+// Ingest routes segs into the collection, appending each to the shard
+// whose coverage rectangle is nearest its MBR center (an empty shard
+// counts as distance zero, so sparse shards fill first). Global IDs
+// continue the Build numbering: the i-th ingested segment of the
+// router's lifetime gets ID Build-len + i, returned in input order.
+//
+// Queries never block on an ingest: the extended routing metadata is
+// published atomically before the shard databases absorb the segments,
+// and each shard write is an ordinary DB.Add — lock-free against that
+// shard's readers when the shard was built with segdb.WithStagedIngest.
+// Concurrent Ingest calls serialize against each other.
+func (r *Router) Ingest(segs []segdb.Segment) ([]segdb.SegmentID, error) {
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	for _, s := range segs {
+		b := s.Bounds()
+		if b.Min.X < 0 || b.Min.Y < 0 || b.Max.X >= segdb.WorldSize || b.Max.Y >= segdb.WorldSize {
+			return nil, fmt.Errorf("router: segment %v outside the world: %w", s, segdb.ErrInvalidArgument)
+		}
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+
+	views := make([]*shardView, len(r.shards))
+	for si, sh := range r.shards {
+		views[si] = sh.view.Load()
+	}
+	targets := make([]int, len(segs))
+	for i, s := range segs {
+		b := s.Bounds()
+		c := segdb.Pt(int32((int64(b.Min.X)+int64(b.Max.X))/2), int32((int64(b.Min.Y)+int64(b.Max.Y))/2))
+		best, bestD := 0, -1.0
+		for si, v := range views {
+			d := 0.0
+			if v.nonempty {
+				d = v.coverage.DistSqToPoint(c)
+			}
+			if bestD < 0 || d < bestD {
+				best, bestD = si, d
+			}
+		}
+		targets[i] = best
+	}
+
+	// Build the successor metadata in full before touching any shard DB:
+	// routing tables must already cover a segment when it first becomes
+	// queryable, so a concurrent fan-out translating local IDs never
+	// finds its map one entry short. Between publish and Add the extra
+	// entries simply describe segments no query can return yet.
+	oldHome := *r.home.Load()
+	newHome := make([]shardLoc, len(oldHome), len(oldHome)+len(segs))
+	copy(newHome, oldHome)
+	next := make([]*shardView, len(r.shards))
+	ids := make([]segdb.SegmentID, len(segs))
+	for i, s := range segs {
+		si := targets[i]
+		nv := next[si]
+		if nv == nil {
+			old := views[si]
+			nv = &shardView{
+				global:   append(make([]segdb.SegmentID, 0, len(old.global)+1), old.global...),
+				coverage: old.coverage,
+				nonempty: old.nonempty,
+			}
+			next[si] = nv
+		}
+		gid := segdb.SegmentID(len(newHome))
+		newHome = append(newHome, shardLoc{shard: int32(si), local: segdb.SegmentID(len(nv.global))})
+		nv.global = append(nv.global, gid)
+		b := s.Bounds()
+		if !nv.nonempty {
+			nv.coverage, nv.nonempty = b, true
+		} else {
+			nv.coverage = nv.coverage.Union(b)
+		}
+		ids[i] = gid
+	}
+	for si, nv := range next {
+		if nv != nil {
+			r.shards[si].view.Store(nv)
+		}
+	}
+	r.home.Store(&newHome)
+
+	for i, s := range segs {
+		sh := r.shards[targets[i]]
+		lid, err := sh.db.Add(s)
+		if err != nil {
+			return nil, fmt.Errorf("router: ingesting into shard %d: %w", targets[i], err)
+		}
+		if want := newHome[ids[i]].local; lid != want {
+			return nil, fmt.Errorf("router: shard %d assigned local ID %d, routing predicted %d", targets[i], lid, want)
+		}
+	}
+	r.ingested.Add(uint64(len(segs)))
+	return ids, nil
+}
+
+// Compact folds every shard's staging tier into its disk index (in
+// parallel; each shard publishes its rebuilt index under a new epoch
+// without blocking that shard's readers). Errors if the shards were not
+// built with segdb.WithStagedIngest.
+func (r *Router) Compact() error {
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for si, sh := range r.shards {
+		wg.Add(1)
+		go func(si int, sh *Shard) {
+			defer wg.Done()
+			errs[si] = sh.db.Compact()
+		}(si, sh)
+	}
+	wg.Wait()
+	return firstError(errs)
 }
 
 // Metrics returns the field-wise sum of every shard's cumulative

@@ -39,12 +39,16 @@ const recordSize = 16
 //
 // Concurrency: Get may be called from any number of goroutines (the pool
 // underneath is latched and the comparison counter is atomic). Append is
-// a structural write and must be serialized with all other operations by
-// the caller (the facade's writer lock).
+// a structural write and must be serialized with other writes by the
+// caller (the facade's writer lock); because the table is append-only
+// and the record count is atomic, snapshot readers may keep calling Get
+// for already-visible ids while an Append is in flight — the new slot's
+// bytes are disjoint from every visible record, and visibility of the
+// new id is published by the caller's snapshot pointer, not by count.
 type Table struct {
 	pool    *store.Pool
 	perPage int
-	count   int
+	count   atomic.Int64
 	fetches atomic.Uint64
 }
 
@@ -65,7 +69,7 @@ func NewTableSharded(pageSize, poolPages, shards int) *Table {
 }
 
 // Len returns the number of segments in the table.
-func (t *Table) Len() int { return t.count }
+func (t *Table) Len() int { return int(t.count.Load()) }
 
 // DiskStats returns the disk activity of the table's buffer pool.
 func (t *Table) DiskStats() store.Stats { return t.pool.Stats() }
@@ -88,7 +92,7 @@ func (t *Table) Pool() *store.Pool { return t.pool }
 // SetLen overrides the record count during crash recovery, after WAL
 // replay has restored the underlying pages. n must be consistent with
 // the pages actually present (CheckIntegrity verifies).
-func (t *Table) SetLen(n int) { t.count = n }
+func (t *Table) SetLen(n int) { t.count.Store(int64(n)) }
 
 // DropCache empties the table's buffer pool (cold restart between
 // experiment phases), flushing dirty frames first.
@@ -100,9 +104,10 @@ func (t *Table) Flush() error { return t.pool.Flush() }
 // Append stores a segment and returns its ID. Appending does not count as
 // a segment comparison.
 func (t *Table) Append(s geom.Segment) (ID, error) {
-	id := ID(t.count)
-	pageIdx := t.count / t.perPage
-	slot := t.count % t.perPage
+	count := int(t.count.Load())
+	id := ID(count)
+	pageIdx := count / t.perPage
+	slot := count % t.perPage
 	var (
 		pid  store.PageID
 		data []byte
@@ -125,7 +130,7 @@ func (t *Table) Append(s geom.Segment) (ID, error) {
 	}
 	encode(data[slot*recordSize:], s)
 	t.pool.Unpin(pid, true)
-	t.count++
+	t.count.Add(1)
 	return id, nil
 }
 
@@ -138,8 +143,8 @@ func (t *Table) Get(id ID) (geom.Segment, error) {
 // the underlying page request are charged to o as well as to the table's
 // own counters. A nil o makes this identical to Get.
 func (t *Table) GetObs(id ID, o *obs.Op) (geom.Segment, error) {
-	if int(id) >= t.count {
-		return geom.Segment{}, fmt.Errorf("seg: id %d out of range (%d segments)", id, t.count)
+	if count := t.count.Load(); int64(id) >= count {
+		return geom.Segment{}, fmt.Errorf("seg: id %d out of range (%d segments)", id, count)
 	}
 	t.fetches.Add(1)
 	o.SegComps(1)
@@ -188,7 +193,7 @@ func (t *Table) SaveTo(w io.Writer) error {
 // pool. Crash harnesses use it to capture what a halted disk actually
 // holds.
 func (t *Table) WriteSnapshot(w io.Writer) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(t.count)); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(t.count.Load())); err != nil {
 		return err
 	}
 	_, err := t.pool.Disk().WriteTo(w)
@@ -198,9 +203,10 @@ func (t *Table) WriteSnapshot(w io.Writer) error {
 // CheckIntegrity cross-checks the record count against the pages the disk
 // actually holds.
 func (t *Table) CheckIntegrity() error {
-	need := (t.count + t.perPage - 1) / t.perPage
+	count := int(t.count.Load())
+	need := (count + t.perPage - 1) / t.perPage
 	if t.pool.Disk().PagesInUse() < need {
-		return fmt.Errorf("seg: table holds %d pages, %d records need %d", t.pool.Disk().PagesInUse(), t.count, need)
+		return fmt.Errorf("seg: table holds %d pages, %d records need %d", t.pool.Disk().PagesInUse(), count, need)
 	}
 	return nil
 }
@@ -228,10 +234,10 @@ func RestoreTableSharded(r io.Reader, poolPages, shards int) (*Table, error) {
 	t := &Table{
 		pool:    store.NewShardedPool(disk, poolPages, shards),
 		perPage: disk.PageSize() / recordSize,
-		count:   int(count),
 	}
-	if need := (t.count + t.perPage - 1) / t.perPage; disk.PagesInUse() < need {
-		return nil, fmt.Errorf("seg: table image has %d pages, %d records need %d", disk.PagesInUse(), t.count, need)
+	t.count.Store(int64(count))
+	if need := (int(count) + t.perPage - 1) / t.perPage; disk.PagesInUse() < need {
+		return nil, fmt.Errorf("seg: table image has %d pages, %d records need %d", disk.PagesInUse(), count, need)
 	}
 	return t, nil
 }

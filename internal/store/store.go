@@ -1063,6 +1063,40 @@ func (p *Pool) DropAll() error {
 	return nil
 }
 
+// DropUnpinned flushes and evicts every frame not currently pinned,
+// leaving pinned frames (and their decode caches) untouched, and
+// returns how many frames were dropped. It is the cache-drop primitive
+// for databases with snapshot readers in flight: DropAll panics on a
+// pinned frame because dropping data under a reader is a correctness
+// bug, but a pinned frame simply *staying resident* is not — the reader
+// finishes against a warm page and the next drop gets it. On a write
+// fault the pool is left partially flushed and nothing is dropped.
+func (p *Pool) DropUnpinned() (int, error) {
+	dropped := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins.Load() > 0 || !f.dirty.Load() {
+				continue
+			}
+			if err := p.disk.write(f.id, f.data); err != nil {
+				sh.mu.Unlock()
+				return dropped, err
+			}
+			f.dirty.Store(false)
+		}
+		for _, f := range sh.frames {
+			if f.pins.Load() > 0 {
+				continue
+			}
+			sh.remove(f)
+			dropped++
+		}
+		sh.mu.Unlock()
+	}
+	return dropped, nil
+}
+
 // install brings a page into the shard, evicting if necessary, charging
 // any eviction write-back to o. The shard latch must be held exclusively.
 func (sh *shard) install(p *Pool, id PageID, readFromDisk bool, o *obs.Op) (*frame, error) {

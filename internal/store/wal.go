@@ -25,6 +25,7 @@ import (
 const (
 	walRecPage   = 1
 	walRecCommit = 2
+	walRecStaged = 3
 
 	// walFrameHead is the byte size of the [length][CRC] frame prefix.
 	walFrameHead = 8
@@ -75,10 +76,23 @@ type WALPage struct {
 	Data []byte
 }
 
-// WALTxn is one committed transaction: the page images logged before the
-// commit record, plus the commit itself.
+// WALStagedOp is one staged-ingest operation (an LSM memtable entry)
+// logged ahead of its commit. Staged adds carry the segment id and
+// endpoint coordinates; staged deletes carry only the id. Recovery
+// replays these into a fresh memtable — the segment-table *pages* of a
+// staged add are logged as ordinary page records, so the staged record
+// only has to rebuild the in-memory index over them.
+type WALStagedOp struct {
+	Del    bool
+	ID     uint32
+	Coords [4]int32 // x1, y1, x2, y2 (adds only)
+}
+
+// WALTxn is one committed transaction: the page images and staged
+// operations logged before the commit record, plus the commit itself.
 type WALTxn struct {
 	Pages  []WALPage
+	Staged []WALStagedOp
 	Commit WALCommit
 }
 
@@ -137,6 +151,24 @@ func (w *WAL) AppendPage(disk uint8, page PageID, data []byte) error {
 	return w.appendRecord()
 }
 
+// AppendStaged logs one staged-ingest operation. Like page records it
+// is sealed by the next commit; an unsealed staged record is discarded
+// by replay exactly like an unsealed page.
+func (w *WAL) AppendStaged(op WALStagedOp) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, make([]byte, walFrameHead)...)
+	del := byte(0)
+	if op.Del {
+		del = 1
+	}
+	w.buf = append(w.buf, walRecStaged, del)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, op.ID)
+	for _, c := range op.Coords {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(c))
+	}
+	return w.appendRecord()
+}
+
 // AppendCommit logs the commit record sealing the transaction and syncs
 // the file: when it returns nil, the transaction is durable.
 func (w *WAL) AppendCommit(c WALCommit) error {
@@ -186,6 +218,7 @@ func ReadWAL(data []byte, afterEpoch uint64) (txns []*WALTxn, torn bool, err err
 	}
 	rest := data[len(walMagic):]
 	var pending []WALPage
+	var pendingStaged []WALStagedOp
 	for len(rest) > 0 {
 		if len(rest) < walFrameHead {
 			return txns, true, nil
@@ -213,20 +246,32 @@ func ReadWAL(data []byte, afterEpoch uint64) (txns []*WALTxn, torn bool, err err
 				Page: PageID(binary.LittleEndian.Uint32(payload[2:6])),
 				Data: payload[6:],
 			})
+		case walRecStaged:
+			if len(payload) != 2+4+16 {
+				return txns, true, nil
+			}
+			op := WALStagedOp{
+				Del: payload[1] != 0,
+				ID:  binary.LittleEndian.Uint32(payload[2:6]),
+			}
+			for i := range op.Coords {
+				op.Coords[i] = int32(binary.LittleEndian.Uint32(payload[6+4*i:]))
+			}
+			pendingStaged = append(pendingStaged, op)
 		case walRecCommit:
 			c, ok := parseCommit(payload[1:])
 			if !ok {
 				return txns, true, nil
 			}
 			if c.Epoch > afterEpoch {
-				txns = append(txns, &WALTxn{Pages: pending, Commit: c})
+				txns = append(txns, &WALTxn{Pages: pending, Staged: pendingStaged, Commit: c})
 			}
-			pending = nil
+			pending, pendingStaged = nil, nil
 		default:
 			return txns, true, nil
 		}
 	}
-	return txns, len(pending) > 0, nil
+	return txns, len(pending) > 0 || len(pendingStaged) > 0, nil
 }
 
 // parseCommit decodes a commit payload (type byte already consumed).

@@ -9,26 +9,34 @@ import (
 	"segdb/internal/obs"
 	"segdb/internal/pmr"
 	"segdb/internal/seg"
+	"segdb/internal/staging"
 )
 
-// rlockPair acquires the reader locks of both databases in allocation
-// order (each DB carries a unique sequence number), so two goroutines
-// overlaying the same pair in opposite directions cannot deadlock. The
-// returned function releases both. A self-overlay locks once.
-func rlockPair(a, b *DB) func() {
+// pairAcquire acquires the read side of both databases — reader locks
+// in allocation order (each DB carries a unique sequence number), so
+// two goroutines overlaying the same pair in opposite directions cannot
+// deadlock; staged-ingest databases pin a snapshot instead, which
+// cannot deadlock regardless of order. The returned handles are in
+// (a, b) order and the returned function releases both. A self-overlay
+// acquires once.
+func pairAcquire(a, b *DB) (ha, hb readHandle, release func()) {
 	if a == b {
-		a.mu.RLock()
-		return a.mu.RUnlock
+		h := a.acquireRead()
+		return h, h, h.release
 	}
 	first, second := a, b
 	if second.seq < first.seq {
 		first, second = second, first
 	}
-	first.mu.RLock()
-	second.mu.RLock()
-	return func() {
-		second.mu.RUnlock()
-		first.mu.RUnlock()
+	hf := first.acquireRead()
+	hs := second.acquireRead()
+	ha, hb = hf, hs
+	if first != a {
+		ha, hb = hs, hf
+	}
+	return ha, hb, func() {
+		hs.release()
+		hf.release()
 	}
 }
 
@@ -53,13 +61,16 @@ func rlockPair(a, b *DB) func() {
 // The returned QueryStats is the whole join's cost (all workers charge
 // the one operation; the counter totals are those of a sequential
 // join). The stats are attributed to db's profile under kind "overlay".
-// OverlayCtx holds both databases' reader locks, so it runs
-// concurrently with queries but never with writes.
+// OverlayCtx holds both databases' read acquisitions (reader locks, or
+// pinned snapshots in staged-ingest mode), so it runs concurrently with
+// queries, and in staged mode also with writes — the join sees one
+// consistent version of each database.
 func (db *DB) OverlayCtx(ctx context.Context, other *DB, parallelism int, visit func(idA, idB SegmentID, sA, sB Segment) bool) (QueryStats, error) {
-	unlock := rlockPair(db, other)
-	defer unlock()
+	ha, hb, release := pairAcquire(db, other)
+	defer release()
 	o := db.begin(ctx, qkOverlay)
-	err := db.overlayObs(other, normalizeParallelism(parallelism), visit, o)
+	o.SetEpoch(ha.version())
+	err := overlayObs(ha.index(), hb.index(), normalizeParallelism(parallelism), visit, o)
 	if errors.Is(err, ErrCanceled) {
 		// The visitor stopped the join; that is not a failure.
 		err = nil
@@ -67,46 +78,84 @@ func (db *DB) OverlayCtx(ctx context.Context, other *DB, parallelism int, visit 
 	return db.finish(qkOverlay, o, err)
 }
 
-// overlayObs runs the join under the already-held pair of reader locks,
+// overlayObs runs the join over the two already-acquired read views,
 // charging o.
-func (db *DB) overlayObs(other *DB, workers int, visit func(idA, idB SegmentID, sA, sB Segment) bool, o *obs.Op) error {
+func overlayObs(ixA, ixB core.Index, workers int, visit func(idA, idB SegmentID, sA, sB Segment) bool, o *obs.Op) error {
+	_, mergedA := ixA.(*staging.Merged)
+	_, mergedB := ixB.(*staging.Merged)
 	if workers == 1 {
-		if a, ok := db.index.(*pmr.Tree); ok {
-			if b, ok := other.index.(*pmr.Tree); ok {
+		if a, ok := ixA.(*pmr.Tree); ok {
+			if b, ok := ixB.(*pmr.Tree); ok {
 				return pmr.JoinObs(a, b, visit, o)
 			}
 		}
-		return core.JoinNestedLoopObs(db.index, other.index, visit, o)
+		if mergedA || mergedB {
+			// A merged view's table retains slots the snapshot no longer
+			// answers for (tombstoned or staged-deleted segments), so the
+			// outer relation must be enumerated through the index.
+			return core.JoinLiveNestedLoopObs(ixA, ixB, visit, o)
+		}
+		return core.JoinNestedLoopObs(ixA, ixB, visit, o)
 	}
-	outer := db.index.Table()
-	inner := other.index
+	if mergedA || mergedB {
+		return overlayLiveParallel(ixA, ixB, workers, visit, o)
+	}
+	outer := ixA.Table()
 	return parallelRange(outer.Len(), workers, func(i int) error {
 		idA := seg.ID(i)
 		sA, err := outer.GetObs(idA, o)
 		if err != nil {
 			return err
 		}
-		canceled := false
-		err = inner.WindowObs(sA.Bounds(), func(idB SegmentID, sB Segment) bool {
-			// Window guarantees sB intersects sA's bounding box; confirm
-			// the segments themselves intersect.
-			if !geom.SegmentsIntersect(sA, sB) {
-				return true
-			}
-			if !visit(idA, idB, sA, sB) {
-				canceled = true
-				return false
-			}
-			return true
-		}, o)
-		if err != nil {
-			return err
-		}
-		if canceled {
-			return ErrCanceled
-		}
-		return nil
+		return overlayProbe(ixB, idA, sA, visit, o)
 	})
+}
+
+// overlayLiveParallel is the parallel nested-loop join for snapshot
+// views: the outer relation is materialized by one world-window
+// traversal (exactly the enumeration the sequential live join performs,
+// so the counter totals match), then the probes fan out across the
+// worker pool.
+func overlayLiveParallel(ixA, ixB core.Index, workers int, visit func(idA, idB SegmentID, sA, sB Segment) bool, o *obs.Op) error {
+	type outerSeg struct {
+		id SegmentID
+		s  Segment
+	}
+	var outer []outerSeg
+	if err := ixA.WindowObs(geom.World(), func(id SegmentID, s Segment) bool {
+		outer = append(outer, outerSeg{id: id, s: s})
+		return true
+	}, o); err != nil {
+		return err
+	}
+	return parallelRange(len(outer), workers, func(i int) error {
+		return overlayProbe(ixB, outer[i].id, outer[i].s, visit, o)
+	})
+}
+
+// overlayProbe window-probes the inner index with one outer segment's
+// bounding box, confirming exact intersection per hit.
+func overlayProbe(inner core.Index, idA SegmentID, sA Segment, visit func(idA, idB SegmentID, sA, sB Segment) bool, o *obs.Op) error {
+	canceled := false
+	err := inner.WindowObs(sA.Bounds(), func(idB SegmentID, sB Segment) bool {
+		// Window guarantees sB intersects sA's bounding box; confirm
+		// the segments themselves intersect.
+		if !geom.SegmentsIntersect(sA, sB) {
+			return true
+		}
+		if !visit(idA, idB, sA, sB) {
+			canceled = true
+			return false
+		}
+		return true
+	}, o)
+	if err != nil {
+		return err
+	}
+	if canceled {
+		return ErrCanceled
+	}
+	return nil
 }
 
 // Overlay is a convenience wrapper over OverlayCtx with a background

@@ -143,6 +143,29 @@ func WithRetryPolicy(rp *RetryPolicy) Option {
 	return optionFunc(func(o *Options) { o.RetryPolicy = rp })
 }
 
+// WithStagedIngest opens the database in staged-ingest (MVCC) mode:
+// queries pin an immutable published snapshot and run with no locking
+// at all, while Add and Delete are absorbed by an in-memory staging
+// tier — a memtable over a coarse grid — visible to queries
+// immediately. Compaction (automatic past the threshold, or explicit
+// via DB.Compact) folds the staging tier into a freshly bulk-built
+// disk index and publishes it under a new epoch; readers pinned to the
+// old epoch finish against the old index undisturbed. Writers never
+// block readers and readers never block writers. A runtime mode: not
+// serialized by SaveTo.
+func WithStagedIngest() Option {
+	return optionFunc(func(o *Options) { o.StagedIngest = true })
+}
+
+// WithCompactThreshold sets how large the staging tier (memtable
+// entries plus base tombstones) may grow before a write triggers
+// compaction (default 4096; negative disables automatic compaction,
+// leaving it to explicit DB.Compact calls). Only meaningful with
+// WithStagedIngest.
+func WithCompactThreshold(n int) Option {
+	return optionFunc(func(o *Options) { o.CompactThreshold = n })
+}
+
 // WithDegradedReads opens the database in degraded-read mode: a page
 // that fails its checksum or exhausts its retries is quarantined and
 // skipped instead of aborting the query, which then returns partial
@@ -177,6 +200,9 @@ func resolveOptions(opts []Option) Options {
 	}
 	if o.GridCells == 0 {
 		o.GridCells = 64
+	}
+	if o.CompactThreshold == 0 {
+		o.CompactThreshold = 4096
 	}
 	return o
 }

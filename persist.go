@@ -147,6 +147,9 @@ func loadImage(r io.Reader) (Kind, Options, []uint64, *seg.Table, *store.Disk, e
 		// Pool sharding is runtime tuning, not part of the image; a
 		// loaded database starts on the paper-exact single-shard pool.
 		PoolShards: 1,
+		// Staged ingest is likewise a runtime mode (off after Load); the
+		// compaction threshold resolves to its default as in Open.
+		CompactThreshold: 4096,
 	}
 	if headerWords > 7 {
 		opts.PageCompression = int(header[7])

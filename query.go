@@ -50,25 +50,25 @@ type (
 // tracer goes quiet and the error is available from Err.
 func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
 
-// SetTracer installs (or, with nil, removes) a query tracer. It takes
-// the writer lock, so the tracer never changes mid-query.
+// SetTracer installs (or, with nil, removes) a query tracer. The swap
+// is atomic: a query in flight keeps the tracer it started with, and
+// the next query picks up the new one.
 func (db *DB) SetTracer(t Tracer) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.tracer = t
+	db.setTracer(t)
 }
 
-// begin opens a per-query observation. Callers must hold at least the
-// reader lock (it reads db.tracer). Ops are recycled through a pool —
+// begin opens a per-query observation. It reads only atomic state (the
+// tracer pointer, the degraded flag), so it needs no lock — staged-mode
+// queries call it with nothing held. Ops are recycled through a pool —
 // finish releases them — so with a nil tracer and a background context a
 // warm query allocates nothing here; every per-counter charge on the hot
 // path is a nil-checked atomic add.
 func (db *DB) begin(ctx context.Context, qk queryKind) *obs.Op {
-	o := obs.Begin(ctx, db.tracer, obs.QueryInfo{
+	o := obs.Begin(ctx, db.tracerNow(), obs.QueryInfo{
 		ID:   db.qid.Add(1),
 		Kind: qk.String(),
 	})
-	o.SetDegraded(db.opts.DegradedReads)
+	o.SetDegraded(db.degraded.Load())
 	return o
 }
 
@@ -88,28 +88,31 @@ func (db *DB) finish(qk queryKind, o *obs.Op, err error) (QueryStats, error) {
 	return st, err
 }
 
-// run is the single internal entry point of the query API: it takes the
-// reader lock, opens the per-query observation with begin (stats sink,
-// tracer start event, degraded-mode flag), invokes the query body with
-// the op, and closes the observation with finish (tracer finish event,
-// per-kind profile fold, op recycling).
+// run is the single internal entry point of the query API: it acquires
+// the read side (a pinned immutable snapshot in staged-ingest mode, the
+// reader lock otherwise), opens the per-query observation with begin
+// (stats sink, tracer start event, degraded-mode flag), invokes the
+// query body with the read view and the op, and closes the observation
+// with finish (tracer finish event, per-kind profile fold, op
+// recycling).
 //
 // Every single-query method routes through run, and every convenience
 // (non-Ctx) method is a thin wrapper over its *Ctx form, so QueryStats
 // accounting and tracing behavior cannot diverge between the two
 // surfaces. The two multi-op executors — WindowBatchCtx, which opens one
-// observation per rectangle under a single reader lock, and OverlayCtx,
-// which must lock an ordered pair of databases — are the only paths that
-// use the begin/finish pair directly.
+// observation per rectangle under a single read acquisition, and
+// OverlayCtx, which must acquire an ordered pair of databases — are the
+// only paths that use the begin/finish pair directly.
 //
 // q must not escape its op; run's closure argument is non-escaping, so
 // warm queries through run stay allocation-free (pinned by the
 // AllocsPerRun tests in alloc_test.go).
-func (db *DB) run(ctx context.Context, qk queryKind, q func(o *obs.Op) error) (QueryStats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+func (db *DB) run(ctx context.Context, qk queryKind, q func(ix core.Index, o *obs.Op) error) (QueryStats, error) {
+	h := db.acquireRead()
+	defer h.release()
 	o := db.begin(ctx, qk)
-	return db.finish(qk, o, q(o))
+	o.SetEpoch(h.version())
+	return db.finish(qk, o, q(h.index(), o))
 }
 
 // WindowCtx is Window (query 5) with cancellation and per-query stats.
@@ -117,8 +120,8 @@ func (db *DB) run(ctx context.Context, qk queryKind, q func(o *obs.Op) error) (Q
 // and returns ctx's error; the returned stats cover the work done up to
 // that point.
 func (db *DB) WindowCtx(ctx context.Context, r Rect, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	return db.run(ctx, qkWindow, func(o *obs.Op) error {
-		return db.index.WindowObs(r, visit, o)
+	return db.run(ctx, qkWindow, func(ix core.Index, o *obs.Op) error {
+		return ix.WindowObs(r, visit, o)
 	})
 }
 
@@ -153,10 +156,10 @@ var windowCollectorPool = sync.Pool{New: func() any {
 // allocating results once the buffer has grown to the largest answer
 // set.
 func (db *DB) WindowAppendCtx(ctx context.Context, r Rect, dst []WindowHit) ([]WindowHit, QueryStats, error) {
-	st, err := db.run(ctx, qkWindow, func(o *obs.Op) error {
+	st, err := db.run(ctx, qkWindow, func(ix core.Index, o *obs.Op) error {
 		c := windowCollectorPool.Get().(*windowCollector)
 		c.dst = dst
-		werr := db.index.WindowObs(r, c.visit, o)
+		werr := ix.WindowObs(r, c.visit, o)
 		dst, c.dst = c.dst, nil
 		windowCollectorPool.Put(c)
 		return werr
@@ -168,9 +171,9 @@ func (db *DB) WindowAppendCtx(ctx context.Context, r Rect, dst []WindowHit) ([]W
 // stats.
 func (db *DB) NearestCtx(ctx context.Context, p Point) (NearestResult, QueryStats, error) {
 	var res NearestResult
-	st, err := db.run(ctx, qkNearest, func(o *obs.Op) error {
+	st, err := db.run(ctx, qkNearest, func(ix core.Index, o *obs.Op) error {
 		var rerr error
-		res, rerr = core.FirstNearestObs(db.index, p, o)
+		res, rerr = core.FirstNearestObs(ix, p, o)
 		return rerr
 	})
 	return res, st, err
@@ -179,9 +182,9 @@ func (db *DB) NearestCtx(ctx context.Context, p Point) (NearestResult, QueryStat
 // NearestKCtx is NearestK with cancellation and per-query stats.
 func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult, QueryStats, error) {
 	var res []NearestResult
-	st, err := db.run(ctx, qkNearestK, func(o *obs.Op) error {
+	st, err := db.run(ctx, qkNearestK, func(ix core.Index, o *obs.Op) error {
 		var rerr error
-		res, rerr = db.index.NearestKObs(p, k, o)
+		res, rerr = ix.NearestKObs(p, k, o)
 		return rerr
 	})
 	return res, st, err
@@ -192,9 +195,9 @@ func (db *DB) NearestKCtx(ctx context.Context, p Point, k int) ([]NearestResult,
 // (truncated with dst[:0]) runs repeated nearest-neighbor queries
 // without allocating a result slice per call.
 func (db *DB) NearestKAppendCtx(ctx context.Context, p Point, k int, dst []NearestResult) ([]NearestResult, QueryStats, error) {
-	st, err := db.run(ctx, qkNearestK, func(o *obs.Op) error {
+	st, err := db.run(ctx, qkNearestK, func(ix core.Index, o *obs.Op) error {
 		var rerr error
-		dst, rerr = db.index.NearestKAppendObs(p, k, dst, o)
+		dst, rerr = ix.NearestKAppendObs(p, k, dst, o)
 		return rerr
 	})
 	return dst, st, err
@@ -203,16 +206,16 @@ func (db *DB) NearestKAppendCtx(ctx context.Context, p Point, k int, dst []Neare
 // IncidentAtCtx is IncidentAt (query 1) with cancellation and per-query
 // stats.
 func (db *DB) IncidentAtCtx(ctx context.Context, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	return db.run(ctx, qkIncidentAt, func(o *obs.Op) error {
-		return core.IncidentAtObs(db.index, p, visit, o)
+	return db.run(ctx, qkIncidentAt, func(ix core.Index, o *obs.Op) error {
+		return core.IncidentAtObs(ix, p, visit, o)
 	})
 }
 
 // OtherEndpointCtx is OtherEndpoint (query 2) with cancellation and
 // per-query stats.
 func (db *DB) OtherEndpointCtx(ctx context.Context, id SegmentID, p Point, visit func(SegmentID, Segment) bool) (QueryStats, error) {
-	return db.run(ctx, qkOtherEndpoint, func(o *obs.Op) error {
-		return core.OtherEndpointObs(db.index, id, p, visit, o)
+	return db.run(ctx, qkOtherEndpoint, func(ix core.Index, o *obs.Op) error {
+		return core.OtherEndpointObs(ix, id, p, visit, o)
 	})
 }
 
@@ -220,9 +223,9 @@ func (db *DB) OtherEndpointCtx(ctx context.Context, id SegmentID, p Point, visit
 // and per-query stats.
 func (db *DB) EnclosingPolygonCtx(ctx context.Context, p Point) (Polygon, QueryStats, error) {
 	var poly Polygon
-	st, err := db.run(ctx, qkEnclosingPolygon, func(o *obs.Op) error {
+	st, err := db.run(ctx, qkEnclosingPolygon, func(ix core.Index, o *obs.Op) error {
 		var perr error
-		poly, perr = core.EnclosingPolygonObs(db.index, p, o)
+		poly, perr = core.EnclosingPolygonObs(ix, p, o)
 		return perr
 	})
 	return poly, st, err

@@ -41,6 +41,7 @@ import (
 	"segdb/internal/rplus"
 	"segdb/internal/rstar"
 	"segdb/internal/seg"
+	"segdb/internal/staging"
 	"segdb/internal/store"
 )
 
@@ -193,6 +194,13 @@ type Options struct {
 	// in QueryStats.SkippedPages instead of failing (see
 	// WithDegradedReads).
 	DegradedReads bool
+	// StagedIngest enables MVCC snapshot reads and LSM-staged writes
+	// (see WithStagedIngest). A runtime mode, not serialized by SaveTo.
+	StagedIngest bool
+	// CompactThreshold is the staging-tier size that triggers automatic
+	// compaction (default 4096; negative disables — see
+	// WithCompactThreshold).
+	CompactThreshold int
 }
 
 // DB is a line segment database: a disk-resident segment table plus one
@@ -209,11 +217,18 @@ type Options struct {
 // comparisons, and bounding box computations total exactly the same as a
 // sequential replay; only the hit/miss split depends on interleaving).
 //
-// Writes remain exclusive: Add, Delete, Load, LoadPacked, DropCaches,
-// CheckIntegrity, SetFaultPolicy, and SaveTo take the writer lock and
-// therefore never run concurrently with queries or each other.
+// By default writes are exclusive: Add, Delete, Load, LoadPacked,
+// DropCaches, CheckIntegrity, SetFaultPolicy, and SaveTo take the writer
+// lock and therefore never run concurrently with queries or each other.
+//
+// A database opened with WithStagedIngest instead runs MVCC snapshot
+// reads: queries pin an immutable published snapshot and acquire no lock
+// at all, while Add and Delete are absorbed by an in-memory staging tier
+// and folded into the disk index by compaction (see mvcc.go). Writers
+// never block readers and readers never block writers; writers still
+// serialize among themselves on the writer lock.
 type DB struct {
-	mu    sync.RWMutex // queries share; structural writes are exclusive
+	mu    sync.RWMutex // queries share (legacy mode); structural writes are exclusive
 	seq   uint64       // allocation order; fixes the lock order for two-DB operations
 	kind  Kind
 	opts  Options
@@ -221,15 +236,52 @@ type DB struct {
 	pool  *store.Pool
 	index core.Index
 
-	tracer Tracer                     // read under RLock; swapped under Lock
-	qid    atomic.Uint64              // query IDs for QueryInfo
-	prof   [numQueryKinds]kindProfile // per-kind latency/disk histograms
+	trc      atomic.Pointer[tracerBox]  // installed tracer; queries read lock-free
+	degraded atomic.Bool                // live degraded-reads flag; queries read lock-free
+	qid      atomic.Uint64              // query IDs for QueryInfo
+	prof     [numQueryKinds]kindProfile // per-kind latency/disk histograms
+
+	// Staged-ingest (MVCC) state; snap is non-nil exactly in staged
+	// mode. The writer-side fields are guarded by the writer half of mu;
+	// readers only ever touch the immutable snapshot behind snap.
+	snap     atomic.Pointer[dbSnapshot]
+	curEpoch *store.Epoch // current epoch (writer-side)
+	version  uint64       // mutations published so far (writer-side)
+	mem      *staging.Mem // current memtable (writer-side)
+	baseIDs  []seg.ID     // sorted live ids of the base index (writer-side)
+	tombs    []seg.ID     // sorted tombstoned base ids (copy-on-write)
+
+	lockedReads atomic.Uint64 // reader-lock acquisitions by query paths
+	stagedOps   atomic.Uint64 // mutations absorbed by the staging tier
+	compactions atomic.Uint64 // staging-tier folds into the base index
+	bulkMerges  atomic.Uint64 // non-empty AddBatch bulk merges
 
 	// Durability state (nil/zero without WithWAL); guarded by mu.
 	walfs    store.WALFS // filesystem holding the checkpoint and the log
 	wal      *store.WAL  // open write-ahead log
 	walEpoch uint64      // epoch stamped on commits (checkpoint epoch + 1)
 	walSeq   uint64      // mutations committed so far
+}
+
+// tracerBox wraps a Tracer for atomic publication (an interface value
+// cannot be stored atomically without a carrier).
+type tracerBox struct{ t Tracer }
+
+// setTracer atomically installs (or with nil removes) the tracer.
+func (db *DB) setTracer(t Tracer) {
+	if t == nil {
+		db.trc.Store(nil)
+		return
+	}
+	db.trc.Store(&tracerBox{t: t})
+}
+
+// tracerNow returns the currently installed tracer (nil if none).
+func (db *DB) tracerNow() Tracer {
+	if b := db.trc.Load(); b != nil {
+		return b.t
+	}
+	return nil
 }
 
 // dbSeq hands every DB a unique sequence number so operations over two
@@ -275,7 +327,9 @@ func Open(kind Kind, opts ...Option) (*DB, error) {
 		pool.Disk().SetRetryPolicy(o.RetryPolicy)
 		table.Disk().SetRetryPolicy(o.RetryPolicy)
 	}
-	db := &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix, tracer: o.Tracer}
+	db := &DB{seq: dbSeq.Add(1), kind: kind, opts: o, table: table, pool: pool, index: ix}
+	db.setTracer(o.Tracer)
+	db.degraded.Store(o.DegradedReads)
 	wfs := o.WALFS
 	if wfs == nil && o.WALDir != "" {
 		wfs, err = store.NewDirWALFS(o.WALDir)
@@ -288,6 +342,11 @@ func Open(kind Kind, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
+	if o.StagedIngest {
+		if err := db.initStaged(); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -296,16 +355,26 @@ func (db *DB) Kind() Kind { return db.kind }
 
 // Len returns the number of stored segments.
 func (db *DB) Len() int {
+	if s := db.snap.Load(); s != nil {
+		// The snapshot's merged view nets out staged deletes (the
+		// append-only table retains tombstoned slots); no lock needed.
+		return s.merged.Len()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.index.Table().Len()
 }
 
 // Add stores a segment and indexes it, returning its ID. Coordinates must
-// lie in [0, WorldSize).
+// lie in [0, WorldSize). In staged-ingest mode the segment lands in the
+// in-memory staging tier (visible to queries immediately) and reaches
+// the disk index at the next compaction.
 func (db *DB) Add(s Segment) (SegmentID, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.stagedMode() {
+		return db.addStagedLocked(s)
+	}
 	id, err := db.addLocked(s)
 	if err != nil {
 		return id, err
@@ -330,16 +399,27 @@ func (db *DB) addLocked(s Segment) (SegmentID, error) {
 // Get fetches a segment's endpoints (counting one segment comparison,
 // like any access to the disk-resident segment table).
 func (db *DB) Get(id SegmentID) (Segment, error) {
+	if db.stagedMode() {
+		// The table is append-only with an atomic record count and a
+		// latched pool; reads need no database lock.
+		return db.table.Get(id)
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.table.Get(id)
 }
 
 // Delete removes a segment from the index. The table slot is retained
-// (the table is append-only, as in the paper's testbed).
+// (the table is append-only, as in the paper's testbed). In staged-
+// ingest mode the delete is absorbed by the staging tier — a memtable
+// mark for a staged segment, a snapshot tombstone for a base one — and
+// applied to the disk index at the next compaction.
 func (db *DB) Delete(id SegmentID) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.stagedMode() {
+		return db.deleteStagedLocked(id)
+	}
 	if err := db.index.Delete(id); err != nil {
 		return err
 	}
@@ -403,8 +483,23 @@ func (db *DB) EnclosingPolygon(p Point) (Polygon, error) {
 // to cost an operation. Beyond the paper's three counters it carries the
 // buffer-pool hit statistics (PoolHits, PoolRequests, HitRatio), so cache
 // effectiveness is visible. Counters are atomic: Metrics may be called at
-// any time, including while queries are in flight.
-func (db *DB) Metrics() Metrics { return core.Snapshot(db.index) }
+// any time, including while queries are in flight. The staged-ingest
+// counters (StagedOps, Compactions, BulkMerges) are facade-level and
+// filled in here; note a compaction rebuilds the index on a fresh disk,
+// so the index-side disk counters restart from zero (table counters
+// persist), exactly as a bulk AddBatch always has.
+func (db *DB) Metrics() Metrics {
+	var m Metrics
+	if s := db.snap.Load(); s != nil {
+		m = core.Snapshot(s.merged)
+	} else {
+		m = core.Snapshot(db.index)
+	}
+	m.StagedOps = db.stagedOps.Load()
+	m.Compactions = db.compactions.Load()
+	m.BulkMerges = db.bulkMerges.Load()
+	return m
+}
 
 // Measure runs f and returns the metric deltas it caused, by diffing
 // the database-wide cumulative counters around f.
@@ -453,12 +548,23 @@ func (db *DB) TableSizeBytes() int64 {
 // Dirty frames are flushed first; with an active fault policy the flush
 // can fail, leaving the caches partially dropped.
 //
-// DropCaches takes the writer lock: it must not (and, enforced here,
-// cannot) run concurrently with queries, whose pinned pages would make
-// dropping panic.
+// In legacy mode DropCaches takes the writer lock: it must not (and,
+// enforced here, cannot) run concurrently with queries, whose pinned
+// pages would make dropping panic. In staged-ingest mode queries hold no
+// lock, so DropCaches instead drops every unpinned frame and leaves the
+// frames pinned by in-flight snapshot readers (and their decoded-node
+// caches) alone — those readers keep their pages; everything else goes
+// cold.
 func (db *DB) DropCaches() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.stagedMode() {
+		if _, err := db.pool.DropUnpinned(); err != nil {
+			return err
+		}
+		_, err := db.table.Pool().DropUnpinned()
+		return err
+	}
 	if err := db.index.DropCache(); err != nil {
 		return err
 	}
@@ -477,5 +583,12 @@ func (db *DB) SetFaultPolicy(p *store.FaultPolicy) {
 }
 
 // Index exposes the underlying core.Index for advanced use (experiment
-// harnesses); most callers should use the DB methods.
-func (db *DB) Index() core.Index { return db.index }
+// harnesses); most callers should use the DB methods. In staged-ingest
+// mode it returns the current snapshot's merged view, so direct index
+// queries see exactly what DB queries see.
+func (db *DB) Index() core.Index {
+	if s := db.snap.Load(); s != nil {
+		return s.merged
+	}
+	return db.index
+}
